@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Benchmarks use the fast test preset and small workloads so a full
+``pytest benchmarks/ --benchmark-only`` run finishes in minutes; the
+publication-scale experiment runs (all 18 nets / 15 circuits, default
+preset) are driven from the CLI (``python -m repro table1``) and recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.experiments.nets import make_experiment_net
+from repro.tech.technology import default_technology
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Fast preset bounded to 2 MERLIN iterations."""
+    return MerlinConfig.test_preset().with_(max_iterations=2)
+
+
+@pytest.fixture(scope="session")
+def bench_net():
+    """One representative Table 1-style net (6 sinks)."""
+    return make_experiment_net("bench_net", 6, seed=17)
+
+
+@pytest.fixture(scope="session")
+def small_bench_net():
+    return make_experiment_net("bench_small", 4, seed=23)

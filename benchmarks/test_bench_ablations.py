@@ -1,0 +1,72 @@
+"""E3/E4/E5 — ablation benchmarks for the paper's prose claims.
+
+* E3: candidate-location strategy (full Hanan / reduced / center-of-mass)
+  barely changes quality, strongly changes runtime.
+* E4: initial sink order barely changes MERLIN's final quality.
+* E5: the branching bound α trades runtime for (slight) quality.
+* plus the core claim: bubbling on vs off.
+"""
+
+import pytest
+
+from repro.core.bubble_construct import bubble_construct
+from repro.core.merlin import merlin
+from repro.geometry.candidates import CandidateStrategy
+from repro.orders.heuristics import random_order
+from repro.orders.tsp import tsp_order
+from repro.routing.evaluate import evaluate_tree
+
+
+@pytest.mark.parametrize("strategy", list(CandidateStrategy))
+def test_candidate_strategy(benchmark, strategy, bench_net, tech,
+                            bench_config):
+    cfg = bench_config.with_(candidate_strategy=strategy,
+                             max_iterations=1)
+    result = benchmark.pedantic(
+        lambda: merlin(bench_net, tech, config=cfg),
+        iterations=1, rounds=1)
+    ev = evaluate_tree(result.tree, tech)
+    benchmark.extra_info["strategy"] = strategy.value
+    benchmark.extra_info["delay_ps"] = round(ev.delay, 1)
+
+
+@pytest.mark.parametrize("label,seed", [("tsp", None), ("random_a", 3),
+                                        ("random_b", 31)])
+def test_initial_order(benchmark, label, seed, bench_net, tech,
+                       bench_config):
+    order = tsp_order(bench_net) if seed is None else \
+        random_order(bench_net, seed=seed)
+    result = benchmark.pedantic(
+        lambda: merlin(bench_net, tech, config=bench_config,
+                       initial_order=order),
+        iterations=1, rounds=1)
+    ev = evaluate_tree(result.tree, tech)
+    benchmark.extra_info["initial_order"] = label
+    benchmark.extra_info["delay_ps"] = round(ev.delay, 1)
+    benchmark.extra_info["loops"] = result.iterations
+
+
+@pytest.mark.parametrize("alpha", [2, 3, 4])
+def test_alpha_sweep(benchmark, alpha, bench_net, tech, bench_config):
+    cfg = bench_config.with_(alpha=alpha, max_iterations=1)
+    order = tsp_order(bench_net)
+    result = benchmark.pedantic(
+        lambda: bubble_construct(bench_net, order, tech, config=cfg),
+        iterations=1, rounds=1)
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.extra_info["ranges"] = result.stats["ranges"]
+    benchmark.extra_info["req_ps"] = round(result.solution.required_time, 1)
+
+
+@pytest.mark.parametrize("bubbling", [True, False])
+def test_bubbling_cost(benchmark, bubbling, bench_net, tech, bench_config):
+    """What the χ1–χ3 structures cost: the neighborhood coverage is the
+    paper's headline, and its runtime multiplier is the honest price."""
+    cfg = bench_config.with_(enable_bubbling=bubbling, max_iterations=1)
+    order = tsp_order(bench_net)
+    result = benchmark.pedantic(
+        lambda: bubble_construct(bench_net, order, tech, config=cfg),
+        iterations=1, rounds=1)
+    benchmark.extra_info["bubbling"] = bubbling
+    benchmark.extra_info["req_ps"] = round(result.solution.required_time, 1)
+    benchmark.extra_info["cells"] = result.stats["cells"]

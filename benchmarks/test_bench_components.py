@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the individual engines.
+
+These pin the relative costs the paper discusses: LTTREE and van Ginneken
+are cheap, PTREE moderate, BUBBLE_CONSTRUCT dominates (its per-call cost
+is the paper's O(n⁴α⁵q²k²m)).
+"""
+
+from repro.baselines.lttree import lttree_fanout
+from repro.baselines.ptree import ptree_route
+from repro.baselines.van_ginneken import van_ginneken_insert
+from repro.core.bubble_construct import bubble_construct
+from repro.orders.tsp import tsp_order
+
+
+def test_bench_tsp_order(benchmark, bench_net):
+    order = benchmark(lambda: tsp_order(bench_net))
+    assert sorted(order) == list(range(len(bench_net)))
+
+
+def test_bench_lttree(benchmark, bench_net, tech, bench_config):
+    result = benchmark(lambda: lttree_fanout(bench_net, tech,
+                                             config=bench_config))
+    assert sorted(result.root.all_sinks()) == list(range(len(bench_net)))
+
+
+def test_bench_ptree(benchmark, bench_net, tech, bench_config):
+    result = benchmark.pedantic(
+        lambda: ptree_route(bench_net, tech, config=bench_config),
+        iterations=1, rounds=3)
+    assert result.solution.area == 0.0
+
+
+def test_bench_van_ginneken(benchmark, bench_net, tech, bench_config):
+    routed = ptree_route(bench_net, tech, config=bench_config).tree
+    result = benchmark.pedantic(
+        lambda: van_ginneken_insert(routed, tech, config=bench_config),
+        iterations=1, rounds=3)
+    assert result.solution.required_time >= -1e9
+
+
+def test_bench_bubble_construct(benchmark, bench_net, tech, bench_config):
+    order = tsp_order(bench_net)
+    result = benchmark.pedantic(
+        lambda: bubble_construct(bench_net, order, tech,
+                                 config=bench_config),
+        iterations=1, rounds=1)
+    benchmark.extra_info.update(result.stats)

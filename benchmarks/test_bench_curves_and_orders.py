@@ -1,0 +1,79 @@
+"""E6/E8 — combinatorial substrate benchmarks.
+
+* E6 (Theorem 1): the closed-form neighborhood size is O(n) integer
+  arithmetic while exhaustive enumeration is exponential — measured side
+  by side on a small n where both are feasible.
+* E8 (Lemma 10): solution-curve insert+prune throughput and final curve
+  sizes as the load quantization (the paper's q) gets finer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bubble_construct import bubble_construct
+from repro.core.config import MerlinConfig
+from repro.curves.curve import CurveConfig, SolutionCurve
+from repro.curves.solution import SinkLeaf, Solution
+from repro.geometry.point import Point
+from repro.orders.neighborhood import (
+    enumerate_neighborhood,
+    neighborhood_size,
+)
+from repro.orders.order import Order
+from repro.orders.tsp import tsp_order
+
+P = Point(0, 0)
+
+
+def test_bench_neighborhood_closed_form(benchmark):
+    size = benchmark(lambda: neighborhood_size(500))
+    assert size > 10 ** 100  # F(501): exponentially many orders
+
+
+def test_bench_neighborhood_enumeration(benchmark):
+    order = Order.identity(14)
+    members = benchmark.pedantic(
+        lambda: sum(1 for _ in enumerate_neighborhood(order)),
+        iterations=1, rounds=3)
+    assert members == neighborhood_size(14)
+
+
+def _random_solutions(count, seed):
+    rng = random.Random(seed)
+    return [
+        Solution(P, rng.uniform(0, 300), rng.uniform(-500, 500),
+                 rng.uniform(0, 900), SinkLeaf(0))
+        for _ in range(count)
+    ]
+
+
+def test_bench_curve_insert_and_prune(benchmark):
+    solutions = _random_solutions(3000, seed=1)
+    config = CurveConfig(load_step=2.0, area_step=60.0, max_solutions=24)
+
+    def insert_all():
+        curve = SolutionCurve(P, config)
+        for s in solutions:
+            curve.add(s)
+        curve.prune()
+        return curve
+
+    curve = benchmark(insert_all)
+    assert len(curve) <= 24
+    assert curve.is_non_inferior_set()
+
+
+@pytest.mark.parametrize("load_step", [8.0, 2.0])
+def test_bench_curve_quantization_cost(benchmark, load_step, bench_net,
+                                       tech):
+    """Lemma 10 in action: finer q -> bigger curves -> slower DP."""
+    cfg = MerlinConfig.test_preset().with_(
+        curve=CurveConfig(load_step=load_step, area_step=60.0,
+                          max_solutions=24))
+    order = tsp_order(bench_net)
+    result = benchmark.pedantic(
+        lambda: bubble_construct(bench_net, order, tech, config=cfg),
+        iterations=1, rounds=1)
+    benchmark.extra_info["load_step"] = load_step
+    benchmark.extra_info["final_curve_size"] = len(result.final_solutions)

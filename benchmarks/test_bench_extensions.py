@@ -1,0 +1,38 @@
+"""E9/E10 — extension benchmarks: annealing outer loop and wire sizing."""
+
+import pytest
+
+from repro.core.annealing import annealed_merlin
+from repro.core.bubble_construct import bubble_construct
+from repro.core.merlin import merlin
+from repro.orders.tsp import tsp_order
+
+
+def test_bench_annealed_outer_loop(benchmark, small_bench_net, tech,
+                                   bench_config):
+    """E9: the uphill-capable search; extra_info records whether its best
+    beat the strict-descent loop on this net."""
+    result = benchmark.pedantic(
+        lambda: annealed_merlin(small_bench_net, tech, config=bench_config,
+                                iterations=4, seed=11),
+        iterations=1, rounds=1)
+    greedy = merlin(small_bench_net, tech, config=bench_config)
+    benchmark.extra_info["sa_req_ps"] = round(
+        result.best.solution.required_time, 1)
+    benchmark.extra_info["greedy_req_ps"] = round(
+        greedy.best.solution.required_time, 1)
+    benchmark.extra_info["uphill_moves"] = result.uphill_moves
+
+
+@pytest.mark.parametrize("widths", [(1.0,), (1.0, 2.0, 4.0)])
+def test_bench_wire_sizing_cost(benchmark, widths, small_bench_net, tech,
+                                bench_config):
+    """E10: what the extra width axis costs the DP (roughly linear in the
+    number of width options on the extension-heavy paths)."""
+    cfg = bench_config.with_(wire_width_options=widths, max_iterations=1)
+    order = tsp_order(small_bench_net)
+    result = benchmark.pedantic(
+        lambda: bubble_construct(small_bench_net, order, tech, config=cfg),
+        iterations=1, rounds=1)
+    benchmark.extra_info["widths"] = len(widths)
+    benchmark.extra_info["req_ps"] = round(result.solution.required_time, 1)

@@ -1,0 +1,44 @@
+"""E1 — Table 1 regeneration benchmark (per-net flow comparison).
+
+Each flow's wall time on the same representative net is measured
+separately (the paper's runtime columns), and one benchmark runs the full
+quick-suite Table 1 harness, attaching the delay/area ratio summary as
+extra_info so the benchmark JSON doubles as an experiment record.
+"""
+
+import pytest
+
+from repro.baselines.flows import FLOW_I, FLOW_II, FLOW_III, run_flow
+from repro.experiments.nets import ExperimentNet, make_experiment_net
+from repro.experiments.table1 import run_table1, summarize_table1
+
+
+@pytest.mark.parametrize("flow", [FLOW_I, FLOW_II, FLOW_III])
+def test_flow_runtime_on_representative_net(benchmark, flow, bench_net,
+                                            tech, bench_config):
+    result = benchmark.pedantic(
+        lambda: run_flow(flow, bench_net, tech, config=bench_config),
+        iterations=1, rounds=3 if flow != FLOW_III else 1)
+    benchmark.extra_info["delay_ps"] = round(result.delay, 2)
+    benchmark.extra_info["buffer_area_um2"] = round(result.buffer_area, 1)
+    benchmark.extra_info["flow"] = flow
+
+
+def test_table1_quick_suite(benchmark, tech, bench_config):
+    """The whole Table 1 pipeline on a 3-net miniature suite."""
+    nets = [
+        ExperimentNet("C432", make_experiment_net("net1", 5, seed=101), 16),
+        ExperimentNet("C3540", make_experiment_net("net8", 6, seed=108), 35),
+        ExperimentNet("C7552", make_experiment_net("net16", 5, seed=116), 12),
+    ]
+    rows = benchmark.pedantic(
+        lambda: run_table1(tech=tech, config=bench_config, nets=nets),
+        iterations=1, rounds=1)
+    summary = summarize_table1(rows)
+    benchmark.extra_info.update(
+        {key: round(value, 3) for key, value in summary.items()})
+    # Shape assertions: the buffered flows must beat Flow I on delay.
+    assert summary["flow2_delay"] < 1.0
+    assert summary["flow3_delay"] < 1.0
+    # MERLIN pays the largest runtime, as in the paper.
+    assert summary["flow3_runtime"] > summary["flow2_runtime"]

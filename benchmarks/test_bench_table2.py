@@ -1,0 +1,37 @@
+"""E2 — Table 2 regeneration benchmark (post-layout circuit comparison).
+
+One miniature circuit runs the full substitute layout flow per
+experimental setup; the full 15-circuit experiment is driven from the CLI
+(``python -m repro table2``) and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.baselines.flows import FLOW_I, FLOW_II, FLOW_III
+from repro.netlist.flow_runner import run_circuit_flow
+from repro.netlist.generator import CircuitSpec, generate_circuit
+
+SPEC = CircuitSpec(name="bench_ckt", primary_inputs=4, primary_outputs=3,
+                   logic_gates=14, levels=4, max_fanout=4, seed=29)
+
+
+@pytest.mark.parametrize("flow", [FLOW_I, FLOW_II, FLOW_III])
+def test_circuit_flow_runtime(benchmark, flow, tech, bench_config):
+    result = benchmark.pedantic(
+        lambda: run_circuit_flow(generate_circuit(SPEC), flow, tech,
+                                 bench_config),
+        iterations=1, rounds=1)
+    benchmark.extra_info["critical_delay_ps"] = round(result.critical_delay, 1)
+    benchmark.extra_info["total_area_um2"] = round(result.total_area, 1)
+    benchmark.extra_info["nets_optimized"] = result.nets_optimized
+    assert result.nets_optimized > 0
+
+
+def test_circuit_flows_shape(tech, bench_config):
+    """Not a timing benchmark: asserts the Table 2 delay ordering on the
+    miniature circuit — buffered routing beats the naive sequential flow."""
+    flow1 = run_circuit_flow(generate_circuit(SPEC), FLOW_I, tech,
+                             bench_config)
+    flow3 = run_circuit_flow(generate_circuit(SPEC), FLOW_III, tech,
+                             bench_config)
+    assert flow3.critical_delay < flow1.critical_delay * 1.05

@@ -1,0 +1,56 @@
+"""Explore the 3-D solution curve: required time vs total buffer area.
+
+The paper's central data structure is the three-dimensional non-inferior
+solution curve, which answers *both* problem variants from one DP run:
+
+* variant I — maximize the driver required time under an area budget,
+* variant II — minimize buffer area over a required-time floor.
+
+This example runs BUBBLE_CONSTRUCT once, prints the final non-inferior
+curve, then walks an area-budget sweep (variant I) and a required-time
+floor sweep (variant II) *without re-running the optimizer* — selection is
+just a scan over the final curve.
+
+Run:  python examples/area_delay_tradeoff.py
+"""
+
+from repro import MerlinConfig, Objective, bubble_construct, default_technology
+from repro.experiments.nets import make_experiment_net
+from repro.orders.tsp import tsp_order
+
+
+def main() -> None:
+    net = make_experiment_net("tradeoff", 7, seed=5)
+    tech = default_technology()
+    result = bubble_construct(net, tsp_order(net), tech,
+                              config=MerlinConfig())
+    curve = sorted(result.final_solutions, key=lambda s: s.area)
+
+    print(f"final non-inferior curve at the driver "
+          f"({len(curve)} solutions):\n")
+    print(f"{'buffer area (um^2)':>20s} {'required time (ps)':>20s} "
+          f"{'driver load (fF)':>18s}")
+    for solution in curve:
+        print(f"{solution.area:20.1f} {solution.required_time:20.1f} "
+              f"{solution.load:18.1f}")
+
+    print("\nvariant I — max required time s.t. area budget:")
+    budgets = [0.0] + [s.area for s in curve]
+    for budget in sorted(set(budgets)):
+        best = Objective.max_required_time(budget).select(curve)
+        if best is not None:
+            print(f"  budget {budget:8.1f} um^2 -> required time "
+                  f"{best.required_time:9.1f} ps (area {best.area:.1f})")
+
+    print("\nvariant II — min area s.t. required-time floor:")
+    best_req = max(s.required_time for s in curve)
+    for slack in (0.0, 25.0, 100.0, 400.0):
+        floor = best_req - slack
+        best = Objective.min_area(floor).select(curve)
+        if best is not None:
+            print(f"  floor {floor:9.1f} ps -> area {best.area:9.1f} um^2 "
+                  f"(required time {best.required_time:.1f})")
+
+
+if __name__ == "__main__":
+    main()

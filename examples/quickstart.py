@@ -1,0 +1,61 @@
+"""Quickstart: build one buffered routing tree with MERLIN.
+
+Constructs a small net by hand, runs the full MERLIN optimization
+(BUBBLE_CONSTRUCT + local neighborhood search), and prints the resulting
+tree, its timing, and the convergence trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MerlinConfig,
+    Net,
+    Point,
+    Sink,
+    default_technology,
+    evaluate_tree,
+    merlin,
+)
+from repro.routing.export import tree_to_dot
+
+
+def main() -> None:
+    # A net: one driver at the origin, five sinks with mapped-style loads
+    # (fF) and required times (ps).
+    net = Net(
+        name="quickstart",
+        source=Point(0.0, 0.0),
+        sinks=(
+            Sink("u1", Point(900.0, 300.0), load=12.0, required_time=900.0),
+            Sink("u2", Point(1100.0, 500.0), load=8.0, required_time=950.0),
+            Sink("u3", Point(300.0, 1200.0), load=20.0, required_time=880.0),
+            Sink("u4", Point(1500.0, 1400.0), load=10.0, required_time=1000.0),
+            Sink("u5", Point(700.0, 800.0), load=15.0, required_time=920.0),
+        ),
+    )
+
+    # The synthetic 0.35um technology: 34 buffers, Elmore wires,
+    # 4-parameter gate delays.
+    tech = default_technology()
+
+    # The default configuration balances quality and pure-Python runtime;
+    # see MerlinConfig.paper_preset() for the paper's Table 1 knobs.
+    result = merlin(net, tech, config=MerlinConfig())
+
+    evaluation = evaluate_tree(result.tree, tech)
+    print(f"net {net.name}: {len(net)} sinks")
+    print(f"  MERLIN iterations (loops): {result.iterations} "
+          f"(converged: {result.converged})")
+    print(f"  required time at driver:   "
+          f"{evaluation.required_time_at_driver:9.1f} ps")
+    print(f"  critical delay:            {evaluation.delay:9.1f} ps")
+    print(f"  inserted buffers:          {evaluation.buffer_count}")
+    print(f"  total buffer area:         {evaluation.buffer_area:9.1f} um^2")
+    print(f"  total wire length:         {evaluation.wire_length:9.1f} um")
+    print()
+    print("Graphviz DOT of the winning tree (paste into `dot -Tsvg`):")
+    print(tree_to_dot(result.tree.simplified()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

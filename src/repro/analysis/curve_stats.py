@@ -1,0 +1,45 @@
+"""Geometry summaries of three-dimensional solution curves."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.curves.solution import Solution
+
+
+@dataclass(frozen=True)
+class CurveStats:
+    """Shape summary of one non-inferior solution set."""
+
+    size: int
+    req_span: float          # best minus worst required time (ps)
+    area_span: float         # max minus min total buffer area (um^2)
+    load_span: float         # max minus min root load (fF)
+    #: Marginal required-time gain per unit area along the area-sorted
+    #: front (ps per um^2); quantifies how much the area budget buys.
+    req_per_area: float
+    #: Fraction of solutions that use no buffers at all.
+    unbuffered_fraction: float
+
+
+def curve_stats(solutions: Iterable[Solution]) -> CurveStats:
+    """Summarize ``solutions`` (at least one required)."""
+    sols: List[Solution] = list(solutions)
+    if not sols:
+        raise ValueError("cannot summarize an empty curve")
+    reqs = [s.required_time for s in sols]
+    areas = [s.area for s in sols]
+    loads = [s.load for s in sols]
+    area_span = max(areas) - min(areas)
+    by_area = sorted(sols, key=lambda s: s.area)
+    # Required-time gain of the most expensive vs the cheapest solution.
+    gain = by_area[-1].required_time - by_area[0].required_time
+    return CurveStats(
+        size=len(sols),
+        req_span=max(reqs) - min(reqs),
+        area_span=area_span,
+        load_span=max(loads) - min(loads),
+        req_per_area=gain / area_span if area_span > 0 else 0.0,
+        unbuffered_fraction=sum(1 for a in areas if a == 0.0) / len(sols),
+    )

@@ -1,0 +1,81 @@
+"""Structural and timing quality metrics for routing trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.routing.evaluate import TreeEvaluation, evaluate_tree
+from repro.routing.tree import BufferNode, RoutingTree, SinkNode, TreeNode
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """One tree's quality summary."""
+
+    #: Routed length / half-perimeter of the net's bounding box (>= 1 for
+    #: multi-sink nets; close to 1 means near-minimal interconnect).
+    wirelength_ratio: float
+    #: Number of buffer stages on the deepest source-to-sink path.
+    max_stage_depth: int
+    #: Buffers inserted per sink (a density measure).
+    buffers_per_sink: float
+    #: Worst and total negative slack over the sinks (ps).
+    worst_slack: float
+    total_negative_slack: float
+    #: Spread of sink arrival times (max - min, ps): big spreads suggest
+    #: the tree serves criticalities unevenly.
+    arrival_skew: float
+
+
+def tree_metrics(tree: RoutingTree, tech: Technology,
+                 evaluation: TreeEvaluation = None) -> TreeMetrics:
+    """Compute :class:`TreeMetrics`; reuses ``evaluation`` when given."""
+    net = tree.net
+    ev = evaluation or evaluate_tree(tree, tech)
+    half_perimeter = max(net.bounding_box.half_perimeter, 1e-9)
+    slacks = slack_profile(tree, tech, ev)
+    arrivals = list(ev.sink_arrivals.values())
+    return TreeMetrics(
+        wirelength_ratio=tree.wire_length / half_perimeter,
+        max_stage_depth=max(stage_depths(tree).values(), default=0),
+        buffers_per_sink=ev.buffer_count / len(net),
+        worst_slack=min(slacks.values()),
+        total_negative_slack=sum(min(0.0, s) for s in slacks.values()),
+        arrival_skew=max(arrivals) - min(arrivals),
+    )
+
+
+def slack_profile(tree: RoutingTree, tech: Technology,
+                  evaluation: TreeEvaluation = None) -> Dict[int, float]:
+    """Per-sink slack (ps): required time minus arrival, at arrival 0 at
+    the driver input.  Negative means the sink misses its requirement when
+    the signal launches at time zero."""
+    ev = evaluation or evaluate_tree(tree, tech)
+    net = tree.net
+    return {
+        index: net.sink(index).required_time - arrival
+        for index, arrival in ev.sink_arrivals.items()
+    }
+
+
+def stage_depths(tree: RoutingTree) -> Dict[int, int]:
+    """Buffer stages crossed from the source to each sink.
+
+    For a Cα_Tree this is each sink's depth in the buffer-chain hierarchy;
+    the paper's intuition — less critical sinks sit deeper — can be
+    checked directly against this map.
+    """
+    depths: Dict[int, int] = {}
+
+    def walk(node: TreeNode, depth: int) -> None:
+        if isinstance(node, SinkNode):
+            depths[node.sink_index] = depth
+            return
+        next_depth = depth + 1 if isinstance(node, BufferNode) else depth
+        for child in node.children:
+            walk(child, next_depth)
+
+    walk(tree.root, 0)
+    return depths

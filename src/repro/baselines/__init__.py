@@ -1,0 +1,29 @@
+"""The paper's comparison baselines, implemented from scratch.
+
+* :mod:`repro.baselines.ptree` — PTREE [LCLH96]: optimal fixed-order
+  rectilinear routing over candidate points (no buffers).
+* :mod:`repro.baselines.lttree` — LTTREE [To90]: LT-Tree type-I fanout
+  optimization in the logic domain (no wires).
+* :mod:`repro.baselines.van_ginneken` — [Gi90]: bottom-up buffer insertion
+  on a fixed routing tree.
+* :mod:`repro.baselines.flows` — the three experimental setups of
+  section IV (Flow I: LTTREE→PTREE, Flow II: PTREE→van Ginneken,
+  Flow III: MERLIN) behind one interface.
+"""
+
+from repro.baselines.ptree import PTreeResult, ptree_route
+from repro.baselines.lttree import FanoutNode, LTTreeResult, lttree_fanout
+from repro.baselines.van_ginneken import van_ginneken_insert
+from repro.baselines.flows import FlowResult, run_flow, run_all_flows
+
+__all__ = [
+    "PTreeResult",
+    "ptree_route",
+    "FanoutNode",
+    "LTTreeResult",
+    "lttree_fanout",
+    "van_ginneken_insert",
+    "FlowResult",
+    "run_flow",
+    "run_all_flows",
+]

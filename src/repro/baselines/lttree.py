@@ -1,0 +1,212 @@
+"""LTTREE [To90]: LT-Tree type-I fanout optimization.
+
+Fanout optimization works in the *logic* domain: sinks have loads and
+required times but no positions, and wires are free — the paper's Flow I
+runs this first and only afterwards routes each resulting fanout net with
+PTREE, which is exactly the sequential-flow weakness MERLIN removes.
+
+An LT-Tree of type I (Lemma 3 of the paper: the α = +∞, no-left-sibling
+special case of a Cα_Tree) is a buffer chain: every buffer drives a run of
+consecutive sinks plus at most one further buffer continuing the chain.
+For sinks ordered by criticality the optimal type-I tree is found by a
+simple right-to-left dynamic program over (load, required time, area)
+curves — polynomial, per [To90].
+
+``lttree_fanout`` returns an abstract :class:`FanoutNode` topology (no
+geometry); :mod:`repro.baselines.flows` embeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MerlinConfig
+from repro.curves.curve import CurveConfig, SolutionCurve
+from repro.geometry.point import Point
+from repro.net import Net
+from repro.orders.heuristics import required_time_order
+from repro.orders.order import Order
+from repro.tech.buffer import Buffer
+from repro.tech.technology import Technology
+
+
+@dataclass
+class FanoutNode:
+    """A node of the abstract fanout tree.
+
+    ``sink_indices`` are the sinks this stage drives directly;
+    ``child`` is the next buffer down the chain (None at the chain tail);
+    ``buffer`` is None only at the root (the net driver itself).
+    """
+
+    buffer: Optional[Buffer]
+    sink_indices: Tuple[int, ...]
+    child: Optional["FanoutNode"] = None
+
+    def all_sinks(self) -> List[int]:
+        sinks = list(self.sink_indices)
+        if self.child is not None:
+            sinks.extend(self.child.all_sinks())
+        return sinks
+
+    @property
+    def buffer_area(self) -> float:
+        area = self.buffer.area if self.buffer is not None else 0.0
+        if self.child is not None:
+            area += self.child.buffer_area
+        return area
+
+    @property
+    def depth(self) -> int:
+        """Number of buffer stages on the chain from here down."""
+        own = 0 if self.buffer is None else 1
+        return own + (self.child.depth if self.child is not None else 0)
+
+
+@dataclass
+class LTTreeResult:
+    """Outcome of LT-Tree fanout optimization."""
+
+    root: FanoutNode
+    #: Required time at the driver input (logic-domain, zero-wire model).
+    required_time: float
+    #: Load presented to the driver.
+    driver_load: float
+    #: Total buffer area.
+    buffer_area: float
+    #: The criticality order used.
+    order: Order
+
+
+@dataclass
+class _Entry:
+    """One DP curve point: chain suffix starting at position ``i``."""
+
+    load: float
+    required_time: float
+    area: float
+    buffer: Optional[Buffer]
+    direct_until: int          # stage drives positions [i, direct_until)
+    child_choice: Optional["_Entry"]
+
+
+def lttree_fanout(net: Net, tech: Technology,
+                  order: Optional[Order] = None,
+                  config: Optional[MerlinConfig] = None,
+                  max_direct: int = 12) -> LTTreeResult:
+    """Optimize the fanout tree of ``net`` as an LT-Tree type I.
+
+    Parameters
+    ----------
+    order:
+        Sink criticality order; defaults to ascending required time, per
+        the paper's Flow I setup ("the sink order for the LTTREE phase is
+        based on the required times of sinks").
+    max_direct:
+        Cap on sinks driven directly by one stage (keeps the DP quadratic
+        rather than letting stages grow unboundedly wide; generous enough
+        that the cap never binds on experiment-sized nets).
+    """
+    config = config or MerlinConfig()
+    order = order or required_time_order(net)
+    if len(order) != len(net):
+        raise ValueError("order size does not match the net")
+    buffers = list(tech.buffers if config.library_subset is None
+                   else tech.buffers.subset(config.library_subset))
+    n = len(net)
+    loads = [net.sink(order[i]).load for i in range(n)]
+    reqs = [net.sink(order[i]).required_time for i in range(n)]
+
+    # Prefix sums let a stage's direct-sink load/req be O(1).
+    # suffix[i] = curve of non-inferior entries for driving positions i..n-1.
+    suffix: List[List[_Entry]] = [[] for _ in range(n + 1)]
+    suffix[n] = [_Entry(0.0, float("inf"), 0.0, None, n, None)]
+
+    for i in range(n - 1, -1, -1):
+        entries: List[_Entry] = []
+        direct_load = 0.0
+        direct_req = float("inf")
+        for j in range(i + 1, min(n, i + max_direct) + 1):
+            direct_load += loads[j - 1]
+            direct_req = min(direct_req, reqs[j - 1])
+            children = suffix[j] if j < n else [None]
+            for child in children:
+                if child is None:
+                    total_load = direct_load
+                    total_req = direct_req
+                    child_area = 0.0
+                else:
+                    total_load = direct_load + child.load
+                    total_req = min(direct_req, child.required_time)
+                    child_area = child.area
+                for buffer in buffers:
+                    entry = _Entry(
+                        load=buffer.input_cap,
+                        required_time=total_req - tech.buffer_delay(
+                            buffer, total_load),
+                        area=child_area + buffer.area,
+                        buffer=buffer,
+                        direct_until=j,
+                        child_choice=child,
+                    )
+                    entries.append(entry)
+        suffix[i] = _prune(entries, config.curve)
+
+    # Root: the net driver drives the chain head directly (no root buffer),
+    # or, degenerately, all sinks with no buffers at all.
+    best_root: Optional[FanoutNode] = None
+    best_req = -float("inf")
+    best_load = 0.0
+    flat_load = sum(loads)
+    flat_req = min(reqs) - tech.driver_delay(
+        flat_load, net.driver_resistance, net.driver_intrinsic)
+    best_root = FanoutNode(buffer=None,
+                           sink_indices=tuple(order[i] for i in range(n)))
+    best_req = flat_req
+    best_load = flat_load
+
+    for entry in suffix[0]:
+        req = entry.required_time - tech.driver_delay(
+            entry.load, net.driver_resistance, net.driver_intrinsic)
+        if req > best_req:
+            best_req = req
+            best_load = entry.load
+            best_root = FanoutNode(buffer=None, sink_indices=(),
+                                   child=_materialize(entry, order))
+
+    return LTTreeResult(
+        root=best_root,
+        required_time=best_req,
+        driver_load=best_load,
+        buffer_area=best_root.buffer_area,
+        order=order,
+    )
+
+
+def _materialize(entry: _Entry, order: Order, start: int = 0) -> FanoutNode:
+    """Turn the winning DP entry chain into :class:`FanoutNode` objects."""
+    sinks = tuple(order[q] for q in range(start, entry.direct_until))
+    child = None
+    if entry.child_choice is not None:
+        child = _materialize(entry.child_choice, order, entry.direct_until)
+    return FanoutNode(buffer=entry.buffer, sink_indices=sinks, child=child)
+
+
+def _prune(entries: List[_Entry], config: CurveConfig) -> List[_Entry]:
+    """Keep the non-inferior entries (Definition 6 on the entry triples)."""
+    if not entries:
+        return entries
+    entries.sort(key=lambda e: (e.load, -e.required_time, e.area))
+    kept: List[_Entry] = []
+    for entry in entries:
+        if any(other.load <= entry.load
+               and other.area <= entry.area
+               and other.required_time >= entry.required_time
+               for other in kept):
+            continue
+        kept.append(entry)
+    if len(kept) > config.max_solutions:
+        kept.sort(key=lambda e: -e.required_time)
+        kept = kept[:config.max_solutions]
+    return kept

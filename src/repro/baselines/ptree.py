@@ -1,0 +1,99 @@
+"""PTREE [LCLH96]: fixed-order optimal routing-tree embedding.
+
+Given a sink order, PTREE finds the optimal embedding of the net into a
+candidate-point grid (classically the Hanan grid) by dynamic programming
+over contiguous sink runs, propagating two-dimensional non-inferior curves
+of load versus required time (total buffer area is identically zero — there
+are no buffers; that is what Flow II's separate insertion phase and the
+paper's unified *PTREE both improve on).
+
+The implementation reuses the *PTREE kernel with buffering disabled, which
+keeps the two code paths comparable in the benchmarks: the measured gap
+between Flow II/III and PTREE is algorithmic, not implementation accident.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import MerlinConfig
+from repro.core.star_ptree import PTreeContext
+from repro.curves.curve import SolutionCurve
+from repro.curves.ops import extend_solution
+from repro.curves.solution import DriverArm, Solution
+from repro.geometry.candidates import generate_candidates
+from repro.net import Net
+from repro.orders.order import Order
+from repro.orders.tsp import tsp_order
+from repro.routing.builder import build_tree
+from repro.routing.tree import RoutingTree
+from repro.tech.technology import Technology
+
+
+@dataclass
+class PTreeResult:
+    """Outcome of one PTREE run."""
+
+    tree: RoutingTree
+    solution: Solution
+    #: Final non-inferior curve at the driver (area is 0 throughout).
+    final_solutions: List[Solution]
+
+
+def ptree_route(net: Net, tech: Technology,
+                order: Optional[Order] = None,
+                config: Optional[MerlinConfig] = None) -> PTreeResult:
+    """Route ``net`` with PTREE in the given (default: TSP) sink order.
+
+    The returned tree is unbuffered; required time at the driver is
+    maximized over all embeddings consistent with the order.
+    """
+    config = config or MerlinConfig()
+    order = order or tsp_order(net)
+    if len(order) != len(net):
+        raise ValueError("order size does not match the net")
+
+    candidates = generate_candidates(
+        net.source, net.sink_positions,
+        strategy=config.candidate_strategy,
+        max_candidates=config.max_candidates,
+    )
+    if net.source not in candidates:
+        candidates.append(net.source)
+    context = PTreeContext(candidates, tech, config.curve,
+                           config.relocation_rounds, use_buffers=False,
+                           wire_widths=config.wire_width_options)
+
+    leaf_curves = []
+    for sink_index in order:
+        sink = net.sink(sink_index)
+        leaf_curves.append(context.sink_base_curves(
+            sink_index, sink.position, sink.load, sink.required_time))
+    final_curves = context.run(leaf_curves)
+
+    driver_curve = SolutionCurve(net.source, config.curve)
+    for curve in final_curves:
+        for solution in curve:
+            at_source = extend_solution(solution, net.source, tech)
+            delay = tech.driver_delay(
+                at_source.load,
+                drive_resistance=net.driver_resistance,
+                intrinsic=net.driver_intrinsic,
+            )
+            driver_curve.add(Solution(
+                root=net.source,
+                load=at_source.load,
+                required_time=at_source.required_time - delay,
+                area=at_source.area,
+                detail=DriverArm(at_source,
+                                 net.source.manhattan_to(solution.root)),
+            ))
+    driver_curve.prune()
+    finals = driver_curve.solutions
+    if not finals:
+        raise RuntimeError(f"net {net.name}: PTREE produced no solutions")
+    best = max(finals, key=lambda s: (s.required_time, -s.load))
+    return PTreeResult(tree=build_tree(net, best), solution=best,
+                       final_solutions=finals)

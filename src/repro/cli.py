@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate the paper's tables and ablations.
+
+Usage (after ``pip install -e .``)::
+
+    merlin-repro table1 [--quick] [--seed N]
+    merlin-repro table2 [--quick] [--seed N]
+    merlin-repro net --sinks N [--seed N]
+    merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
+
+``python -m repro ...`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import MerlinConfig
+from repro.tech.technology import default_technology
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="merlin-repro",
+        description="MERLIN (DAC 1999) reproduction experiment driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_t1 = sub.add_parser("table1", help="per-net Flow I/II/III comparison")
+    p_t1.add_argument("--quick", action="store_true",
+                      help="6-net subset instead of all 18")
+    p_t1.add_argument("--seed", type=int, default=1999)
+
+    p_t2 = sub.add_parser("table2", help="post-layout circuit comparison")
+    p_t2.add_argument("--quick", action="store_true",
+                      help="4-circuit subset instead of all 15")
+    p_t2.add_argument("--seed", type=int, default=1999)
+
+    p_net = sub.add_parser("net", help="optimize one synthetic net verbosely")
+    p_net.add_argument("--sinks", type=int, default=7)
+    p_net.add_argument("--seed", type=int, default=1)
+    p_net.add_argument("--dot", action="store_true",
+                       help="print the winning tree as Graphviz DOT")
+
+    p_ab = sub.add_parser("ablation", help="prose-claim ablations (E3-E8)")
+    p_ab.add_argument("which", choices=["candidates", "orders", "alpha",
+                                        "bubbling", "convergence", "curves"])
+    p_ab.add_argument("--sinks", type=int, default=6)
+    p_ab.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        return _run_table1(args)
+    if args.command == "table2":
+        return _run_table2(args)
+    if args.command == "net":
+        return _run_net(args)
+    return _run_ablation(args)
+
+
+def _run_table1(args) -> int:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    rows = run_table1(quick=args.quick, seed=args.seed)
+    print(format_table1(rows))
+    return 0
+
+
+def _run_table2(args) -> int:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    rows = run_table2(quick=args.quick, seed=args.seed)
+    print(format_table2(rows))
+    return 0
+
+
+def _run_net(args) -> int:
+    from repro.baselines.flows import ALL_FLOWS, run_flow
+    from repro.experiments.nets import make_experiment_net
+    from repro.routing.export import tree_to_dot
+
+    net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
+    tech = default_technology()
+    config = MerlinConfig().with_(max_iterations=3)
+    last = None
+    for flow in ALL_FLOWS:
+        result = run_flow(flow, net, tech, config=config)
+        print(f"{flow:22s} delay={result.delay:9.1f} ps  "
+              f"buffer_area={result.buffer_area:8.1f} um^2  "
+              f"runtime={result.runtime_s:7.2f} s  loops={result.loops}")
+        last = result
+    if args.dot and last is not None:
+        print(tree_to_dot(last.tree.simplified()))
+    return 0
+
+
+def _run_ablation(args) -> int:
+    from repro.experiments import ablations
+    from repro.experiments.nets import make_experiment_net
+
+    net = make_experiment_net(f"ablation_s{args.seed}", args.sinks, args.seed)
+    runners = {
+        "candidates": (ablations.candidate_ablation,
+                       "E3: candidate-location strategy"),
+        "orders": (ablations.initial_order_ablation,
+                   "E4: initial-order sensitivity"),
+        "alpha": (ablations.alpha_ablation, "E5: alpha sweep"),
+        "bubbling": (ablations.bubbling_ablation,
+                     "bubbling vs fixed order"),
+        "convergence": (ablations.convergence_trace,
+                        "E7: MERLIN cost trace"),
+        "curves": (ablations.curve_size_profile,
+                   "E8: curve size vs quantization"),
+    }
+    runner, title = runners[args.which]
+    rows = runner(net)
+    print(ablations.format_ablation(rows, title))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.grouping` — Cα_Tree grouping structures χ0–χ3,
+  ``STRETCH`` and ``SINK_SET`` (Figures 10 and 13), and the effective
+  leaf-order construction with *bubble out* (Figure 5).
+* :mod:`repro.core.star_ptree` — the buffered P-Tree (*PTREE) level router.
+* :mod:`repro.core.bubble_construct` — the inner optimization engine
+  (Figure 9).
+* :mod:`repro.core.merlin` — the outer local-neighborhood-search loop
+  (Figure 14).
+* :mod:`repro.core.objective` — the two problem variants over final curves.
+* :mod:`repro.core.config` — all tuning knobs in one dataclass.
+"""
+
+from repro.core.config import MerlinConfig
+from repro.core.objective import Objective
+from repro.core.bubble_construct import BubbleConstructResult, bubble_construct
+from repro.core.merlin import MerlinResult, merlin
+
+__all__ = [
+    "MerlinConfig",
+    "Objective",
+    "BubbleConstructResult",
+    "bubble_construct",
+    "MerlinResult",
+    "merlin",
+]

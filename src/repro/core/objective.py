@@ -1,0 +1,116 @@
+"""The two problem variants (section III.1).
+
+Variant I: maximize the required time at the driver subject to a total
+buffer area budget.  Variant II: minimize the total buffer area subject to
+a required-time floor.  Both are answered from the same final
+three-dimensional solution curve (the whole point of propagating the area
+axis), so an :class:`Objective` is just a selection rule over solutions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.curves.solution import Solution
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A selection rule over final solutions.
+
+    Exactly one of the two constructors should be used:
+
+    * :meth:`max_required_time` — variant I; ``area_budget`` may be
+      infinite for pure delay optimization.
+    * :meth:`min_area` — variant II with a required-time floor.
+    """
+
+    kind: str
+    area_budget: float = math.inf
+    required_time_floor: float = -math.inf
+    tradeoff_tolerance: float = 0.0
+
+    @classmethod
+    def max_required_time(cls, area_budget: float = math.inf) -> "Objective":
+        """Variant I: max required time s.t. total buffer area <= budget."""
+        if area_budget < 0:
+            raise ValueError("area budget must be non-negative")
+        return cls(kind="max_required_time", area_budget=area_budget)
+
+    @classmethod
+    def min_area(cls, required_time_floor: float) -> "Objective":
+        """Variant II: min total buffer area s.t. required time >= floor."""
+        return cls(kind="min_area", required_time_floor=required_time_floor)
+
+    @classmethod
+    def best_tradeoff(cls, tolerance: float = 25.0) -> "Objective":
+        """The paper's extraction rule: "the solution with the best
+        trade-off between required-time and total buffer area".
+
+        Selects the minimum-area solution whose required time is within
+        ``tolerance`` ps of the curve's best — i.e. spend area only where
+        it buys meaningful required time.  Unlike the two pure variants
+        this rule needs the whole curve (the best required time is only
+        known after seeing every solution), so pairwise :meth:`better`
+        comparisons are not defined for it; use :meth:`select`.
+        """
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        return cls(kind="best_tradeoff", tradeoff_tolerance=tolerance)
+
+    def feasible(self, solution: Solution) -> bool:
+        """True when ``solution`` satisfies this objective's constraint."""
+        if self.kind == "max_required_time":
+            return solution.area <= self.area_budget
+        if self.kind == "best_tradeoff":
+            return True
+        return solution.required_time >= self.required_time_floor
+
+    def better(self, a: Solution, b: Solution) -> bool:
+        """True when ``a`` is strictly preferable to ``b`` (both feasible)."""
+        if self.kind == "max_required_time":
+            return (a.required_time, -a.area, -a.load) > \
+                   (b.required_time, -b.area, -b.load)
+        if self.kind == "best_tradeoff":
+            raise ValueError(
+                "best_tradeoff is a whole-curve rule; use select()")
+        return (-a.area, a.required_time, -a.load) > \
+               (-b.area, b.required_time, -b.load)
+
+    def select(self, solutions: Iterable[Solution]) -> Optional[Solution]:
+        """Return the best feasible solution, or None when none qualifies.
+
+        For variant I with no feasible solution under the budget, None is
+        returned rather than silently relaxing the budget; callers decide
+        the fallback (MERLIN's flows fall back to the unconstrained best
+        and report the violation).
+        """
+        if self.kind == "best_tradeoff":
+            pool = list(solutions)
+            if not pool:
+                return None
+            best_req = max(s.required_time for s in pool)
+            floor = best_req - self.tradeoff_tolerance
+            qualified = [s for s in pool if s.required_time >= floor]
+            return min(qualified,
+                       key=lambda s: (s.area, -s.required_time, s.load))
+        best: Optional[Solution] = None
+        for solution in solutions:
+            if not self.feasible(solution):
+                continue
+            if best is None or self.better(solution, best):
+                best = solution
+        return best
+
+    def cost(self, solution: Solution) -> float:
+        """Scalar cost (lower is better) for convergence tracking.
+
+        MERLIN's Theorem 7 speaks of "the best cost strictly decreasing";
+        this maps the selected solution to that scalar: negative required
+        time for variant I, area for variant II.
+        """
+        if self.kind in ("max_required_time", "best_tradeoff"):
+            return -solution.required_time
+        return solution.area

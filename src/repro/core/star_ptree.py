@@ -1,0 +1,352 @@
+"""*PTREE: the buffered P-Tree dynamic program (section 3.2.3).
+
+Given an ordered list of *leaves* — sinks, or the virtual leaf of a nested
+sub-group — and a candidate-location set P, *PTREE computes, for every
+``p ∈ P``, the three-dimensional non-inferior solution curve of buffered
+rectilinear routing trees rooted at ``p`` that drive all leaves in order.
+It is the routing engine of every Cα_Tree hierarchy level inside
+BUBBLE_CONSTRUCT, and (run once over all sinks with the virtual leaf absent)
+also serves as a standalone buffered router.
+
+The recursion follows the paper:
+
+* base — every leaf provides a per-candidate base curve (for a sink: the
+  wire from the candidate to the pin, with or without a buffer; for a
+  sub-group: the group's Γ slice);
+* join — ``S_b(p,i,j) = min over u { S(p,i,u) + S(p,u+1,j) }``;
+* relocation — ``S(p,i,j) = min over p' { d(p,p') + S(p',i,j) }``,
+  implemented as a bounded number of relaxation passes (DESIGN.md
+  substitution #6);
+* buffering — each sub-solution root may be driven by any library buffer
+  (that is the ``*``); inferior options are pruned per Definition 6.
+
+This module is the library's hottest code path: tables are indexed by
+candidate *index*, wire resistances/capacitances between candidates are
+precomputed, per-buffer delays are precomputed as affine coefficients in
+the load (both shipped gate-delay models are affine in load, as Elmore-
+style models must be for this factorization; a custom non-affine model
+would need to drop this fast path), and solutions are only constructed
+after the cheap bucket pre-check :meth:`SolutionCurve.accept_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.curves.curve import CurveConfig, SolutionCurve
+from repro.curves.solution import (
+    Buffered,
+    Extend,
+    Join,
+    Solution,
+    sink_leaf_solution,
+)
+from repro.geometry.point import Point
+from repro.tech.buffer import Buffer
+from repro.tech.technology import Technology
+
+#: A leaf's base solutions, indexed by candidate index.
+LeafCurves = List[List[Solution]]
+
+#: Per-buffer precomputed parameters:
+#: (buffer, input_cap, area, delay_intercept, delay_slope).
+_BufferParams = Tuple[Buffer, float, float, float, float]
+
+
+class PTreeContext:
+    """Precomputed per-net state shared by every *PTREE invocation.
+
+    Holds the candidate set, the pairwise wire resistance/capacitance
+    matrices, the (possibly thinned) buffer list with per-buffer delay
+    coefficients, and the curve configuration.  BUBBLE_CONSTRUCT creates
+    one context per net and reuses it across all hierarchy levels and all
+    MERLIN iterations (the candidate set does not change between
+    iterations).
+    """
+
+    def __init__(self, candidates: Sequence[Point], tech: Technology,
+                 curve_config: CurveConfig, relocation_rounds: int = 1,
+                 use_buffers: bool = True,
+                 wire_widths: Sequence[float] = (1.0,)):
+        if not candidates:
+            raise ValueError("candidate set must not be empty")
+        if relocation_rounds < 0:
+            raise ValueError("relocation_rounds must be >= 0")
+        if not wire_widths or any(w <= 0 for w in wire_widths):
+            raise ValueError("wire_widths must be positive and non-empty")
+        self.candidates: List[Point] = list(candidates)
+        self.tech = tech
+        self.curve_config = curve_config
+        self.relocation_rounds = relocation_rounds
+        self.wire_widths: Tuple[float, ...] = tuple(wire_widths)
+        # With buffering disabled the DP degenerates to plain PTREE
+        # [LCLH96] — the routing baseline of Flows I and II.
+        buffers = list(tech.buffers) if use_buffers else []
+        self.buffer_params: List[_BufferParams] = [
+            _affine_params(b, tech) for b in buffers
+        ]
+        k = len(self.candidates)
+        self.wire_res: List[List[float]] = [[0.0] * k for _ in range(k)]
+        self.wire_cap: List[List[float]] = [[0.0] * k for _ in range(k)]
+        res_per_um = tech.wire.resistance_per_um
+        cap_per_um = tech.wire.capacitance_per_um
+        for i, a in enumerate(self.candidates):
+            for j, b in enumerate(self.candidates):
+                length = a.manhattan_to(b)
+                self.wire_res[i][j] = res_per_um * length
+                self.wire_cap[i][j] = cap_per_um * length
+
+    @property
+    def k(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def buffers(self) -> List[Buffer]:
+        return [params[0] for params in self.buffer_params]
+
+    def new_curves(self) -> List[SolutionCurve]:
+        """One empty curve per candidate."""
+        return [SolutionCurve(p, self.curve_config) for p in self.candidates]
+
+    # ------------------------------------------------------------------
+    # Base-curve construction
+    # ------------------------------------------------------------------
+
+    def sink_base_curves(self, sink_index: int, position: Point, load: float,
+                         required_time: float) -> LeafCurves:
+        """Per-candidate base curves for one sink (lines 1–4, Figure 9).
+
+        For every candidate ``p``: the direct wire from ``p`` to the pin,
+        optionally driven by each library buffer at ``p``; then the
+        relocation closure so multi-hop buffered paths to a distant sink
+        are available (cached once per net by the caller).
+        """
+        curves = self.new_curves()
+        tech = self.tech
+        pin = sink_leaf_solution(position, sink_index, load, required_time)
+        for idx, p in enumerate(self.candidates):
+            curve = curves[idx]
+            length = p.manhattan_to(position)
+            if length == 0.0:
+                curve.add(pin)
+                self._buffer_all(curve, (pin,))
+            else:
+                base_cap = tech.wire_cap(length)
+                base_res = tech.wire.resistance(length)
+                for width in self.wire_widths:
+                    cap = base_cap * width
+                    res = base_res / width
+                    direct = Solution(
+                        p, load + cap,
+                        required_time - res * (0.5 * cap + load),
+                        0.0, Extend(pin, length, width))
+                    curve.add(direct)
+                    self._buffer_all(curve, (direct,))
+            curve.prune()
+        self._relocate(curves)
+        return [curve.solutions for curve in curves]
+
+    # ------------------------------------------------------------------
+    # The DP proper
+    # ------------------------------------------------------------------
+
+    def run(self, leaf_curves: Sequence[LeafCurves]) -> List[SolutionCurve]:
+        """Run *PTREE over ``leaf_curves``; return final curves per candidate.
+
+        ``leaf_curves[i][c]`` is leaf ``i``'s base solution list at
+        candidate index ``c``.  Base curves must already be
+        relocation-closed (sink caches and Γ slices both are).
+
+        This standalone entry point recomputes every sub-range;
+        BUBBLE_CONSTRUCT instead drives :meth:`join_into` /
+        :meth:`finish_range` through its cross-level range memo
+        (Lemma 7 sharing).
+        """
+        count = len(leaf_curves)
+        if count == 0:
+            raise ValueError("*PTREE needs at least one leaf")
+        if count == 1:
+            return self._curves_from_lists(leaf_curves[0])
+
+        # table[(i, j)] = per-candidate solution lists for leaves i..j.
+        table: Dict[Tuple[int, int], List[List[Solution]]] = {}
+        for i, base in enumerate(leaf_curves):
+            table[(i, i)] = list(base)
+
+        result: Optional[List[SolutionCurve]] = None
+        for length in range(2, count + 1):
+            for i in range(count - length + 1):
+                j = i + length - 1
+                curves = self.new_curves()
+                for u in range(i, j):
+                    self.join_into(curves, table[(i, u)], table[(u + 1, j)])
+                self.finish_range(curves)
+                if length == count:
+                    result = curves
+                else:
+                    table[(i, j)] = [c.solutions for c in curves]
+        assert result is not None
+        return result
+
+    def active_indices(self, points: Sequence[Point],
+                       margin: float) -> List[int]:
+        """Candidate indices inside the bounding box of ``points`` + margin.
+
+        Restricting a sub-range's root candidates to the neighborhood of
+        its own pins is the classic pruning that keeps the DP's k² terms
+        affordable; roots outside the box are still reachable for enclosing
+        ranges through their own (larger) boxes plus root relocation.  The
+        returned list is never empty: when the margin excludes everything,
+        the nearest candidate to the box center is used.
+        """
+        if not points:
+            return list(range(self.k))
+        xmin = min(p.x for p in points) - margin
+        xmax = max(p.x for p in points) + margin
+        ymin = min(p.y for p in points) - margin
+        ymax = max(p.y for p in points) + margin
+        active = [i for i, c in enumerate(self.candidates)
+                  if xmin <= c.x <= xmax and ymin <= c.y <= ymax]
+        if not active:
+            center = Point(0.5 * (xmin + xmax), 0.5 * (ymin + ymax))
+            active = [min(range(self.k),
+                          key=lambda i: self.candidates[i].manhattan_to(center))]
+        return active
+
+    def join_into(self, curves: List[SolutionCurve], lefts: LeafCurves,
+                  rights: LeafCurves,
+                  active: Optional[List[int]] = None) -> None:
+        """Accumulate the cross-product join of two sub-ranges.
+
+        The ``S_b(p,i,j) = S(p,i,u) + S(p,u+1,j)`` step for one split
+        point ``u``: loads and areas add, required times take the minimum;
+        only bucket-improving combinations materialize a Solution.
+        """
+        indices = range(len(curves)) if active is None else active
+        for c in indices:
+            curve = curves[c]
+            left_list = lefts[c]
+            right_list = rights[c]
+            if not left_list or not right_list:
+                continue
+            accept_key = curve.accept_key
+            add_keyed = curve.add_keyed
+            root = curve.root
+            for a in left_list:
+                a_load = a.load
+                a_req = a.required_time
+                a_area = a.area
+                for b in right_list:
+                    load = a_load + b.load
+                    req = a_req if a_req < b.required_time else b.required_time
+                    area = a_area + b.area
+                    key = accept_key(load, req, area)
+                    if key is not None:
+                        add_keyed(key, Solution(root, load, req, area,
+                                                Join(a, b)))
+
+    def finish_range(self, curves: List[SolutionCurve],
+                     active: Optional[List[int]] = None) -> None:
+        """Post-join steps for one range: buffering, relocation, pruning."""
+        indices = range(len(curves)) if active is None else active
+        for c in indices:
+            curve = curves[c]
+            curve.prune()
+            self._buffer_all(curve, list(curve))
+            curve.prune()
+        self._relocate(curves, active)
+
+    # ------------------------------------------------------------------
+    # Kernel helpers
+    # ------------------------------------------------------------------
+
+    def _buffer_all(self, curve: SolutionCurve, solutions) -> None:
+        """Offer every library buffer at the root of each solution."""
+        accept_key = curve.accept_key
+        add_keyed = curve.add_keyed
+        root = curve.root
+        for s in solutions:
+            load = s.load
+            req = s.required_time
+            area = s.area
+            for buffer, input_cap, buf_area, d0, slope in self.buffer_params:
+                new_req = req - d0 - slope * load
+                new_area = area + buf_area
+                key = accept_key(input_cap, new_req, new_area)
+                if key is not None:
+                    add_keyed(key, Solution(root, input_cap, new_req,
+                                            new_area, Buffered(s, buffer)))
+
+    def _relocate(self, curves: List[SolutionCurve],
+                  active: Optional[List[int]] = None) -> None:
+        """Relaxation passes of ``S(p) = min{d(p,p') + S(p')}`` over P.
+
+        Targets are restricted to the active set; sources may be any
+        candidate holding solutions (so results computed inside a child's
+        tighter active box can migrate outward).
+        """
+        targets = list(range(len(curves))) if active is None else active
+        for _ in range(self.relocation_rounds):
+            snapshots = [list(curve) for curve in curves]
+            changed = False
+            for to_idx in targets:
+                curve = curves[to_idx]
+                root = curve.root
+                accept_key = curve.accept_key
+                add_keyed = curve.add_keyed
+                res_col = self.wire_res
+                cap_col = self.wire_cap
+                for frm_idx, snapshot in enumerate(snapshots):
+                    if frm_idx == to_idx or not snapshot:
+                        continue
+                    base_res = res_col[frm_idx][to_idx]
+                    base_cap = cap_col[frm_idx][to_idx]
+                    length = self.candidates[frm_idx].manhattan_to(root)
+                    for wire_width in self.wire_widths:
+                        res = base_res / wire_width
+                        cap = base_cap * wire_width
+                        half_self = 0.5 * cap
+                        for s in snapshot:
+                            load = s.load + cap
+                            req = s.required_time - res * (half_self + s.load)
+                            area = s.area
+                            moved: Optional[Solution] = None
+                            key = accept_key(load, req, area)
+                            if key is not None:
+                                moved = Solution(
+                                    root, load, req, area,
+                                    Extend(s, length, wire_width))
+                                add_keyed(key, moved)
+                                changed = True
+                            for (buffer, input_cap, buf_area, d0,
+                                 slope) in self.buffer_params:
+                                b_req = req - d0 - slope * load
+                                b_area = area + buf_area
+                                b_key = accept_key(input_cap, b_req, b_area)
+                                if b_key is not None:
+                                    if moved is None:
+                                        moved = Solution(
+                                            root, load, req, area,
+                                            Extend(s, length, wire_width))
+                                    add_keyed(b_key, Solution(
+                                        root, input_cap, b_req, b_area,
+                                        Buffered(moved, buffer)))
+                                    changed = True
+            for curve in curves:
+                curve.prune()
+            if not changed:
+                break
+
+    def _curves_from_lists(self, lists: LeafCurves) -> List[SolutionCurve]:
+        curves = self.new_curves()
+        for curve, solutions in zip(curves, lists):
+            curve.extend(solutions)
+            curve.prune()
+        return curves
+
+
+def _affine_params(buffer: Buffer, tech: Technology) -> _BufferParams:
+    """Probe the gate-delay model into affine (intercept, slope) form."""
+    d0 = tech.buffer_delay(buffer, 0.0)
+    d1 = tech.buffer_delay(buffer, 1.0)
+    return (buffer, buffer.input_cap, buffer.area, d0, d1 - d0)

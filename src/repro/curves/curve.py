@@ -1,0 +1,222 @@
+"""The :class:`SolutionCurve` container and its pruning rules."""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.curves.solution import Solution
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class CurveConfig:
+    """Quantization and capacity parameters for solution curves.
+
+    The paper's pseudo-polynomial bounds assume capacitances are mapped to
+    polynomially-bounded integers; ``load_step`` and ``area_step`` implement
+    that mapping (bucket widths in fF and um^2).  Within one
+    ``(load bucket, area bucket)`` cell only the best-required-time solution
+    is kept, which realizes the O(n·m·q) curve bound of Lemma 10.
+
+    ``max_solutions`` is a hard safety cap applied after Pareto pruning;
+    when it trips, solutions are thinned evenly along the area axis while
+    the three extreme points (best required time, min load, min area) are
+    always retained, so both objective variants keep their optima.
+    """
+
+    load_step: float = 1.0
+    area_step: float = 30.0
+    max_solutions: int = 64
+
+    def __post_init__(self) -> None:
+        if self.load_step <= 0 or self.area_step <= 0:
+            raise ValueError("quantization steps must be positive")
+        if self.max_solutions < 3:
+            raise ValueError("max_solutions must be >= 3")
+
+    def bucket(self, solution: Solution) -> Tuple[int, int]:
+        """Return the (load, area) quantization bucket of ``solution``."""
+        return (round(solution.load / self.load_step),
+                round(solution.area / self.area_step))
+
+
+class SolutionCurve:
+    """A set of mutually non-inferior solutions sharing one root location.
+
+    Insertion keeps the bucket invariant eagerly (cheap); full 3-D Pareto
+    pruning and the capacity cap are applied by :meth:`prune`, which the DP
+    calls once per table cell (lines 19–20 of BUBBLE_CONSTRUCT).
+
+    The ``accept_key``/``add_keyed`` pair is the hot-path API: the DP
+    computes candidate attribute triples arithmetically, asks
+    :meth:`accept_key` whether such a solution would survive the bucket
+    check, and only constructs the :class:`Solution` (and its traceback
+    record) when the answer is a key.
+    """
+
+    __slots__ = ("root", "config", "_by_bucket", "_pruned",
+                 "_inv_load", "_inv_area")
+
+    def __init__(self, root: Point, config: Optional[CurveConfig] = None):
+        self.root = root
+        self.config = config or CurveConfig()
+        self._by_bucket: Dict[Tuple[int, int], Solution] = {}
+        self._pruned = True
+        self._inv_load = 1.0 / self.config.load_step
+        self._inv_area = 1.0 / self.config.area_step
+
+    def __len__(self) -> int:
+        return len(self._by_bucket)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self._by_bucket.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_bucket)
+
+    @property
+    def solutions(self) -> List[Solution]:
+        """The current solutions, sorted by ascending load."""
+        return sorted(self._by_bucket.values(), key=Solution.key)
+
+    # ------------------------------------------------------------------
+    # Hot-path API
+    # ------------------------------------------------------------------
+
+    def accept_key(self, load: float, required_time: float,
+                   area: float) -> Optional[Tuple[int, int]]:
+        """Return the bucket key when a solution with these attributes
+        would be kept, else None (bucket incumbent is at least as good)."""
+        key = (round(load * self._inv_load), round(area * self._inv_area))
+        incumbent = self._by_bucket.get(key)
+        if incumbent is None or incumbent.required_time < required_time:
+            return key
+        return None
+
+    def add_keyed(self, key: Tuple[int, int], solution: Solution) -> None:
+        """Store ``solution`` under a key obtained from :meth:`accept_key`."""
+        self._by_bucket[key] = solution
+        self._pruned = False
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+
+    def would_accept(self, load: float, required_time: float,
+                     area: float) -> bool:
+        """Boolean form of :meth:`accept_key`."""
+        return self.accept_key(load, required_time, area) is not None
+
+    def add(self, solution: Solution) -> bool:
+        """Insert ``solution``; return True when it was kept.
+
+        Within its quantization bucket the solution must beat the incumbent
+        required time to be kept (ties keep the incumbent, matching "only
+        non-inferior solutions are stored").
+        """
+        if solution.root != self.root:
+            raise ValueError(
+                f"solution rooted at {solution.root} added to curve at {self.root}")
+        key = self.accept_key(solution.load, solution.required_time,
+                              solution.area)
+        if key is None:
+            return False
+        self.add_keyed(key, solution)
+        return True
+
+    def extend(self, solutions) -> int:
+        """Insert many solutions; return how many were kept."""
+        return sum(1 for s in solutions if self.add(s))
+
+    def prune(self) -> None:
+        """Remove 3-D dominated solutions and enforce the capacity cap."""
+        if self._pruned:
+            return
+        survivors = _pareto_prune(self._by_bucket)
+        if len(survivors) > self.config.max_solutions:
+            survivors = _thin(survivors, self.config.max_solutions)
+        self._by_bucket = dict(survivors)
+        self._pruned = True
+
+    def best_required_time(self) -> Optional[Solution]:
+        """Return the solution with the highest required time, if any."""
+        if not self._by_bucket:
+            return None
+        return max(self._by_bucket.values(),
+                   key=lambda s: (s.required_time, -s.area, -s.load))
+
+    def is_non_inferior_set(self) -> bool:
+        """True when no stored solution dominates another (test hook)."""
+        sols = list(self._by_bucket.values())
+        for i, a in enumerate(sols):
+            for j, b in enumerate(sols):
+                if i != j and a.dominates(b):
+                    return False
+        return True
+
+
+def _pareto_prune(by_bucket: Dict[Tuple[int, int], Solution]
+                  ) -> List[Tuple[Tuple[int, int], Solution]]:
+    """Drop bucket entries whose solution is 3-D dominated by another.
+
+    Sweep in ascending (load, area) order: every already-kept entry has
+    load no larger than the current one, so the current entry is dominated
+    iff some kept entry with ``area <= current.area`` has
+    ``required_time >= current.required_time``.  That query is answered by
+    a *staircase*: kept (area, best required time) pairs with areas strictly
+    increasing and prefix-maximal required times.  An entry processed
+    earlier can never be dominated by a later one (the later has larger
+    load, or equal load and larger area), so a single pass suffices —
+    O(s log s) instead of the pairwise O(s^2).
+    """
+    items = sorted(by_bucket.items(),
+                   key=lambda kv: (kv[1].load, kv[1].area,
+                                   -kv[1].required_time))
+    kept: List[Tuple[Tuple[int, int], Solution]] = []
+    stair_areas: List[float] = []    # ascending
+    stair_reqs: List[float] = []     # prefix-max of required times
+    for key, sol in items:
+        idx = bisect_right(stair_areas, sol.area)
+        if idx > 0 and stair_reqs[idx - 1] >= sol.required_time:
+            continue  # dominated
+        kept.append((key, sol))
+        # Insert into the staircase, preserving both invariants.
+        pos = bisect_right(stair_areas, sol.area)
+        stair_areas.insert(pos, sol.area)
+        best_before = stair_reqs[pos - 1] if pos > 0 else float("-inf")
+        stair_reqs.insert(pos, max(best_before, sol.required_time))
+        for later in range(pos + 1, len(stair_reqs)):
+            if stair_reqs[later] >= stair_reqs[later - 1]:
+                break
+            stair_reqs[later] = stair_reqs[later - 1]
+    return kept
+
+
+def _thin(items: List[Tuple[Tuple[int, int], Solution]], cap: int
+          ) -> List[Tuple[Tuple[int, int], Solution]]:
+    """Reduce ``items`` to ``cap`` entries, preserving the front's shape.
+
+    The input is already a 3-D Pareto front; the cap is enforced by
+    index-even sampling along the load-sorted front, which keeps points in
+    every load regime (what parent joins at different distances care
+    about) rather than clustering around one region.  The three extreme
+    points — best required time, minimum load, minimum area — are always
+    retained so both objective variants keep their optima.
+    """
+    by_req = max(items, key=lambda kv: kv[1].required_time)
+    by_load = min(items, key=lambda kv: kv[1].load)
+    by_area = min(items, key=lambda kv: kv[1].area)
+    forced = {id(kv[1]): kv for kv in (by_req, by_load, by_area)}
+    rest = [kv for kv in items if id(kv[1]) not in forced]
+    slots = cap - len(forced)
+    rest.sort(key=lambda kv: (kv[1].load, kv[1].required_time))
+    if slots <= 0:
+        picked = []
+    elif len(rest) <= slots:
+        picked = rest
+    else:
+        stride = len(rest) / slots
+        picked = [rest[int(i * stride)] for i in range(slots)]
+    return list(forced.values()) + picked

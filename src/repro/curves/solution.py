@@ -1,0 +1,162 @@
+"""Solutions and their traceback records.
+
+A :class:`Solution` is one point on a three-dimensional solution curve: a
+partial buffered routing structure summarized by the triple
+``(load, required_time, area)`` plus its root location.  The full structure
+is not materialized during the DP — instead each solution carries a small
+*detail* record (a tagged union over the construction steps below), and the
+winning solution's tree is rebuilt at extraction time by walking the detail
+graph (lines 21–22 of BUBBLE_CONSTRUCT).
+
+Solutions are created millions of times inside the dynamic programs, so
+they are plain ``__slots__`` classes with no validation in the constructor;
+:func:`check_solution` provides the invariant checks for tests and for the
+extraction path, where a malformed solution must not slip through silently.
+
+Detail records
+--------------
+``SinkLeaf``  — the bare sink pin (no wire yet).
+``Extend``    — a wire from the child's root up to a new root location.
+``Join``      — two sub-structures merged at a shared root location.
+``Buffered``  — a library buffer placed at the root, driving the child.
+``DriverArm`` — the net driver connected on top of the final structure.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.geometry.point import Point
+from repro.tech.buffer import Buffer
+
+
+class SinkLeaf:
+    """The sub-structure is a single sink pin, rooted at the pin itself."""
+
+    __slots__ = ("sink_index",)
+
+    def __init__(self, sink_index: int):
+        self.sink_index = sink_index
+
+
+class Extend:
+    """A wire of ``length`` um from ``child``'s root to the new root.
+
+    ``width`` is the wire-sizing multiplier (1.0 = minimum width): a wider
+    wire has proportionally lower resistance and higher capacitance, the
+    first-order sizing model of [LCLH96]'s simultaneous wire sizing.
+    """
+
+    __slots__ = ("child", "length", "width")
+
+    def __init__(self, child: "Solution", length: float,
+                 width: float = 1.0):
+        self.child = child
+        self.length = length
+        self.width = width
+
+
+class Join:
+    """Two sub-structures sharing the same root location."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "Solution", right: "Solution"):
+        self.left = left
+        self.right = right
+
+
+class Buffered:
+    """A buffer at the root driving ``child`` (rooted at the same point)."""
+
+    __slots__ = ("child", "buffer")
+
+    def __init__(self, child: "Solution", buffer: Buffer):
+        self.child = child
+        self.buffer = buffer
+
+
+class DriverArm:
+    """The net driver (source gate) driving the completed structure."""
+
+    __slots__ = ("child", "wire_length")
+
+    def __init__(self, child: "Solution", wire_length: float):
+        self.child = child
+        self.wire_length = wire_length
+
+
+Detail = Union[SinkLeaf, Extend, Join, Buffered, DriverArm]
+
+
+class Solution:
+    """One non-inferior point: a partial structure and its 3-D attributes.
+
+    Attributes
+    ----------
+    root:
+        The candidate location at which this structure presents its load.
+    load:
+        Capacitance (fF) seen by whatever will drive this structure.
+    required_time:
+        Required time (ps) at the root: the latest moment the signal may
+        arrive at ``root`` so that every sink underneath still meets its
+        own required time.  Larger is better.
+    area:
+        Total buffer area (um^2) used inside the structure.
+    detail:
+        Traceback record (see module docstring).
+    """
+
+    __slots__ = ("root", "load", "required_time", "area", "detail")
+
+    def __init__(self, root: Point, load: float, required_time: float,
+                 area: float, detail: Detail):
+        self.root = root
+        self.load = load
+        self.required_time = required_time
+        self.area = area
+        self.detail = detail
+
+    def key(self) -> Tuple[float, float, float]:
+        """Return the comparable attribute triple (load, -reqtime, area)."""
+        return (self.load, -self.required_time, self.area)
+
+    def dominates(self, other: "Solution") -> bool:
+        """Definition 6: True when ``other`` is inferior to ``self``.
+
+        ``self`` dominates when it is no worse on all three axes (lower or
+        equal load and area, higher or equal required time).  A solution
+        also dominates an attribute-identical one, so exactly one of a set
+        of ties survives pruning (insertion order decides which).
+        """
+        return (self.load <= other.load
+                and self.area <= other.area
+                and self.required_time >= other.required_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Solution(root={self.root}, load={self.load:.2f}fF, "
+                f"req={self.required_time:.2f}ps, area={self.area:.1f}um2, "
+                f"{type(self.detail).__name__})")
+
+
+def sink_leaf_solution(root: Point, sink_index: int, load: float,
+                       required_time: float, area: float = 0.0) -> Solution:
+    """Build the base-case solution for a bare sink pin."""
+    return Solution(root=root, load=load, required_time=required_time,
+                    area=area, detail=SinkLeaf(sink_index))
+
+
+def check_solution(solution: Solution) -> None:
+    """Validate basic invariants; raise :class:`ValueError` on violation.
+
+    Used by tests and by the extraction path — never inside the DP's hot
+    loops.
+    """
+    if solution.load < 0:
+        raise ValueError(f"negative load: {solution!r}")
+    if solution.area < 0:
+        raise ValueError(f"negative area: {solution!r}")
+    if not isinstance(solution.detail,
+                      (SinkLeaf, Extend, Join, Buffered, DriverArm)):
+        raise ValueError(f"unknown detail record on {solution!r}")

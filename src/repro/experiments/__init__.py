@@ -1,0 +1,32 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.nets` — the Table 1 net suite (18 seeded nets
+  named after the paper's source circuits).
+* :mod:`repro.experiments.circuits` — the Table 2 circuit suite (15 seeded
+  synthetic circuits with the paper's benchmark names).
+* :mod:`repro.experiments.table1` / :mod:`repro.experiments.table2` — the
+  harnesses that regenerate the two tables (per-net and post-layout
+  area/delay/runtime with Flow II/III ratios over Flow I).
+* :mod:`repro.experiments.ablations` — the prose-claim ablations (E3–E8 in
+  DESIGN.md): candidate-set choice, initial-order sensitivity, α sweep,
+  convergence traces, curve-size bounds.
+* :mod:`repro.experiments.reporting` — plain-text table rendering shared
+  by the CLI and the benchmarks.
+"""
+
+from repro.experiments.nets import table1_nets, make_experiment_net
+from repro.experiments.circuits import table2_circuits
+from repro.experiments.table1 import Table1Row, run_table1, format_table1
+from repro.experiments.table2 import Table2Row, run_table2, format_table2
+
+__all__ = [
+    "table1_nets",
+    "make_experiment_net",
+    "table2_circuits",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+]

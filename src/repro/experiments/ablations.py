@@ -1,0 +1,197 @@
+"""Ablations for the design claims made in the paper's prose (E3–E8).
+
+Each function returns plain dataclass rows so the CLI and benchmarks can
+render or assert on them.
+
+* :func:`candidate_ablation` — §III.1: the candidate-location strategy
+  barely matters as long as k grows with n.
+* :func:`initial_order_ablation` — §IV: MERLIN's result is nearly
+  independent of the initial sink order.
+* :func:`alpha_ablation` — §3.2.1: the effect of the branching bound α.
+* :func:`bubbling_ablation` — what the χ1–χ3 grouping structures buy over
+  a fixed-order construction (the paper's core claim).
+* :func:`convergence_trace` — Theorem 7: the best cost strictly decreases
+  across MERLIN iterations.
+* :func:`curve_size_profile` — Lemma 10: curve sizes stay bounded as the
+  quantization gets finer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bubble_construct import bubble_construct, make_context
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.curves.curve import CurveConfig
+from repro.geometry.candidates import CandidateStrategy
+from repro.net import Net
+from repro.orders.heuristics import projection_order, random_order
+from repro.orders.order import Order
+from repro.orders.tsp import tsp_order
+from repro.routing.evaluate import evaluate_tree
+from repro.tech.technology import Technology, default_technology
+
+
+@dataclass
+class AblationRow:
+    """One configuration's outcome in an ablation sweep."""
+
+    label: str
+    delay: float
+    buffer_area: float
+    runtime_s: float
+    detail: str = ""
+
+
+def candidate_ablation(net: Net, tech: Optional[Technology] = None,
+                       config: Optional[MerlinConfig] = None
+                       ) -> List[AblationRow]:
+    """E3: run MERLIN with each candidate-generation strategy."""
+    import time
+
+    tech = tech or default_technology()
+    config = config or MerlinConfig().with_(max_iterations=2)
+    rows: List[AblationRow] = []
+    for strategy in CandidateStrategy:
+        cfg = config.with_(candidate_strategy=strategy)
+        start = time.perf_counter()
+        result = merlin(net, tech, config=cfg)
+        runtime = time.perf_counter() - start
+        ev = evaluate_tree(result.tree, tech)
+        context = make_context(net, tech, cfg)
+        rows.append(AblationRow(
+            label=strategy.value, delay=ev.delay, buffer_area=ev.buffer_area,
+            runtime_s=runtime, detail=f"k={context.k}"))
+    return rows
+
+
+def initial_order_ablation(net: Net, tech: Optional[Technology] = None,
+                           config: Optional[MerlinConfig] = None
+                           ) -> List[AblationRow]:
+    """E4: run MERLIN from different initial sink orders."""
+    import time
+
+    tech = tech or default_technology()
+    config = config or MerlinConfig()
+    seeds = {
+        "tsp": tsp_order(net),
+        "tsp_reversed": tsp_order(net).reversed(),
+        "x_projection": projection_order(net, "x"),
+        "random_a": random_order(net, seed=11),
+        "random_b": random_order(net, seed=97),
+    }
+    rows: List[AblationRow] = []
+    for label, order in seeds.items():
+        start = time.perf_counter()
+        result = merlin(net, tech, config=config, initial_order=order)
+        runtime = time.perf_counter() - start
+        ev = evaluate_tree(result.tree, tech)
+        rows.append(AblationRow(
+            label=label, delay=ev.delay, buffer_area=ev.buffer_area,
+            runtime_s=runtime, detail=f"loops={result.iterations}"))
+    return rows
+
+
+def alpha_ablation(net: Net, tech: Optional[Technology] = None,
+                   config: Optional[MerlinConfig] = None,
+                   alphas: Optional[List[int]] = None) -> List[AblationRow]:
+    """E5: sweep the Cα_Tree branching bound."""
+    import time
+
+    tech = tech or default_technology()
+    config = config or MerlinConfig().with_(max_iterations=1)
+    alphas = alphas or [2, 3, 4, 6]
+    order = tsp_order(net)
+    rows: List[AblationRow] = []
+    for alpha in alphas:
+        cfg = config.with_(alpha=alpha)
+        start = time.perf_counter()
+        result = bubble_construct(net, order, tech, config=cfg)
+        runtime = time.perf_counter() - start
+        ev = evaluate_tree(result.tree, tech)
+        rows.append(AblationRow(
+            label=f"alpha={alpha}", delay=ev.delay,
+            buffer_area=ev.buffer_area, runtime_s=runtime,
+            detail=f"ranges={result.stats['ranges']}"))
+    return rows
+
+
+def bubbling_ablation(net: Net, tech: Optional[Technology] = None,
+                      config: Optional[MerlinConfig] = None
+                      ) -> List[AblationRow]:
+    """Core claim: neighborhood search vs fixed-order construction.
+
+    Runs BUBBLE_CONSTRUCT once with bubbling on and once with only the χ0
+    structure; with the χ-structures the result can only be equal or
+    better (the fixed-order space is a subset) — at extra runtime.
+    """
+    import time
+
+    tech = tech or default_technology()
+    config = config or MerlinConfig().with_(max_iterations=1)
+    order = tsp_order(net)
+    rows: List[AblationRow] = []
+    for label, enabled in (("bubbling_on", True), ("bubbling_off", False)):
+        cfg = config.with_(enable_bubbling=enabled)
+        start = time.perf_counter()
+        result = bubble_construct(net, order, tech, config=cfg)
+        runtime = time.perf_counter() - start
+        ev = evaluate_tree(result.tree, tech)
+        rows.append(AblationRow(
+            label=label, delay=ev.delay, buffer_area=ev.buffer_area,
+            runtime_s=runtime,
+            detail=f"order_out={list(result.order_out)}"))
+    return rows
+
+
+def convergence_trace(net: Net, tech: Optional[Technology] = None,
+                      config: Optional[MerlinConfig] = None
+                      ) -> List[AblationRow]:
+    """E7: per-iteration cost trace of one MERLIN run."""
+    tech = tech or default_technology()
+    config = config or MerlinConfig().with_(max_iterations=6)
+    result = merlin(net, tech, config=config)
+    rows = []
+    for index, cost in enumerate(result.cost_trace, start=1):
+        rows.append(AblationRow(
+            label=f"iteration_{index}", delay=cost, buffer_area=0.0,
+            runtime_s=0.0,
+            detail=f"order={list(result.order_trace[index - 1])}"))
+    return rows
+
+
+def curve_size_profile(net: Net, tech: Optional[Technology] = None,
+                       load_steps: Optional[List[float]] = None
+                       ) -> List[AblationRow]:
+    """E8: final-curve sizes as quantization (the paper's q) gets finer."""
+    import time
+
+    tech = tech or default_technology()
+    load_steps = load_steps or [8.0, 4.0, 2.0, 1.0]
+    order = tsp_order(net)
+    rows: List[AblationRow] = []
+    for step in load_steps:
+        cfg = MerlinConfig().with_(curve=CurveConfig(
+            load_step=step, area_step=60.0, max_solutions=48))
+        start = time.perf_counter()
+        result = bubble_construct(net, order, tech, config=cfg)
+        runtime = time.perf_counter() - start
+        rows.append(AblationRow(
+            label=f"load_step={step}",
+            delay=evaluate_tree(result.tree, tech).delay,
+            buffer_area=float(len(result.final_solutions)),
+            runtime_s=runtime,
+            detail=f"final_curve_size={len(result.final_solutions)}"))
+    return rows
+
+
+def format_ablation(rows: List[AblationRow], title: str) -> str:
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ["config", "delay(ps)", "buf_area", "runtime(s)", "detail"],
+        [[r.label, f"{r.delay:.1f}", f"{r.buffer_area:.0f}",
+          f"{r.runtime_s:.2f}", r.detail] for r in rows],
+        title=title)

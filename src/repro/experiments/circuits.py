@@ -1,0 +1,59 @@
+"""The Table 2 circuit suite.
+
+Fifteen seeded synthetic circuits carrying the paper's benchmark names
+(ISCAS-85 plus MCNC).  Shapes are scaled to pure-Python-friendly sizes
+(tens of gates rather than thousands — substitution #2 in DESIGN.md); the
+relative sizes between circuits loosely follow the paper's area column so
+bigger paper circuits are bigger here too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netlist.generator import CircuitSpec
+from repro.netlist.netlist import Netlist
+from repro.netlist.generator import generate_circuit
+
+#: (name, logic gates, levels, PIs, POs) — sizes loosely ranked like the
+#: paper's Table 2 area column.
+TABLE2_CIRCUIT_SHAPES: Tuple[Tuple[str, int, int, int, int], ...] = (
+    ("C1355", 30, 5, 8, 6),
+    ("C1908", 36, 6, 8, 6),
+    ("C2670", 40, 6, 10, 8),
+    ("C3540", 48, 7, 10, 8),
+    ("C432", 26, 5, 7, 5),
+    ("C6288", 60, 8, 10, 8),
+    ("C7552", 64, 8, 12, 10),
+    ("alu4", 36, 6, 8, 6),
+    ("b9", 20, 4, 6, 5),
+    ("dalu", 42, 6, 10, 8),
+    ("des", 64, 7, 12, 10),
+    ("duke2", 30, 5, 8, 6),
+    ("k2", 52, 7, 10, 8),
+    ("rot", 38, 6, 9, 7),
+    ("t481", 40, 6, 9, 7),
+)
+
+
+def table2_specs(quick: bool = False, seed: int = 1999,
+                 max_fanout: int = 7) -> List[CircuitSpec]:
+    """Circuit specs for the Table 2 run (or a 4-circuit quick subset)."""
+    shapes = TABLE2_CIRCUIT_SHAPES[::4] if quick else TABLE2_CIRCUIT_SHAPES
+    specs = []
+    for index, (name, gates, levels, pis, pos) in enumerate(shapes):
+        specs.append(CircuitSpec(
+            name=name,
+            primary_inputs=pis,
+            primary_outputs=pos,
+            logic_gates=gates,
+            levels=levels,
+            max_fanout=max_fanout,
+            seed=seed + 104729 * index,
+        ))
+    return specs
+
+
+def table2_circuits(quick: bool = False, seed: int = 1999) -> List[Netlist]:
+    """Generate the Table 2 circuits (deterministic in ``seed``)."""
+    return [generate_circuit(spec) for spec in table2_specs(quick, seed)]

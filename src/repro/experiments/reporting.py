@@ -1,0 +1,78 @@
+"""Plain-text table rendering shared by the CLI and benchmarks.
+
+The experiment harnesses return dataclass rows; this module turns them
+into fixed-width tables shaped like the paper's Tables 1 and 2 (absolute
+numbers for Flow I, ratios over Flow I for Flows II and III, and a closing
+averages row).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ratio(value: float, reference: float) -> float:
+    """``value / reference`` with a guard against degenerate references."""
+    if reference == 0:
+        return float("inf") if value > 0 else 1.0
+    return value / reference
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratio columns)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    product = 1.0
+    for v in positives:
+        product *= v
+    return product ** (1.0 / len(positives))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Mean over the *finite* values.
+
+    Ratio columns can contain ``inf`` when the reference flow used no
+    buffers at all (e.g. LTTREE legitimately inserting nothing on an easy
+    net); those rows carry no ratio information and are excluded, exactly
+    as a paper's "Average" row would silently do.
+    """
+    vals = [v for v in values if math.isfinite(v)]
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,125 @@
+"""Table 1: per-net buffer area, delay, and runtime for Flows I–III.
+
+For every net of the suite the three experimental setups run with the
+same technology and tuning configuration; Flow I reports absolute numbers
+and Flows II/III report ratios over Flow I — exactly the layout of the
+paper's Table 1 (plus MERLIN's convergence loop count).
+
+Expected shape (paper averages): Flow II area 0.71 / delay 0.81 /
+runtime 1.95; Flow III (MERLIN) area 0.88 / delay 0.46 / runtime 13.49.
+The reproduction must show MERLIN clearly best on delay with runtime far
+above the sequential flows; see EXPERIMENTS.md for measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.flows import FLOW_I, FLOW_II, FLOW_III, run_flow
+from repro.core.config import MerlinConfig
+from repro.core.objective import Objective
+from repro.experiments.nets import ExperimentNet, table1_nets
+from repro.experiments.reporting import (
+    arithmetic_mean,
+    format_table,
+    ratio,
+)
+from repro.tech.technology import Technology, default_technology
+
+
+@dataclass
+class Table1Row:
+    """One net's results in Table 1 layout."""
+
+    circuit: str
+    net_name: str
+    sinks: int
+    flow1_area: float
+    flow1_delay: float
+    flow1_runtime: float
+    flow2_area_ratio: float
+    flow2_delay_ratio: float
+    flow2_runtime_ratio: float
+    flow3_area_ratio: float
+    flow3_delay_ratio: float
+    flow3_runtime_ratio: float
+    loops: int
+
+
+def run_table1(quick: bool = False,
+               tech: Optional[Technology] = None,
+               config: Optional[MerlinConfig] = None,
+               objective: Optional[Objective] = None,
+               seed: int = 1999,
+               nets: Optional[List[ExperimentNet]] = None) -> List[Table1Row]:
+    """Run the Table 1 experiment; returns one row per net."""
+    tech = tech or default_technology()
+    config = config or MerlinConfig().with_(max_iterations=3)
+    # The paper extracts "the solution with the best trade-off between
+    # required-time and total buffer area"; pure required-time maximization
+    # would gorge on buffers and distort the area columns.
+    objective = objective or Objective.best_tradeoff(tolerance=25.0)
+    items = nets if nets is not None else table1_nets(quick=quick, seed=seed)
+    rows: List[Table1Row] = []
+    for item in items:
+        flow1 = run_flow(FLOW_I, item.net, tech, config, objective)
+        flow2 = run_flow(FLOW_II, item.net, tech, config, objective)
+        flow3 = run_flow(FLOW_III, item.net, tech, config, objective)
+        rows.append(Table1Row(
+            circuit=item.circuit,
+            net_name=item.name,
+            sinks=item.sinks,
+            flow1_area=flow1.buffer_area,
+            flow1_delay=flow1.delay,
+            flow1_runtime=flow1.runtime_s,
+            flow2_area_ratio=ratio(flow2.buffer_area, flow1.buffer_area),
+            flow2_delay_ratio=ratio(flow2.delay, flow1.delay),
+            flow2_runtime_ratio=ratio(flow2.runtime_s, flow1.runtime_s),
+            flow3_area_ratio=ratio(flow3.buffer_area, flow1.buffer_area),
+            flow3_delay_ratio=ratio(flow3.delay, flow1.delay),
+            flow3_runtime_ratio=ratio(flow3.runtime_s, flow1.runtime_s),
+            loops=flow3.loops,
+        ))
+    return rows
+
+
+def summarize_table1(rows: List[Table1Row]) -> dict:
+    """Average ratio columns (arithmetic, matching the paper's last row)."""
+    return {
+        "flow2_area": arithmetic_mean([r.flow2_area_ratio for r in rows]),
+        "flow2_delay": arithmetic_mean([r.flow2_delay_ratio for r in rows]),
+        "flow2_runtime": arithmetic_mean([r.flow2_runtime_ratio for r in rows]),
+        "flow3_area": arithmetic_mean([r.flow3_area_ratio for r in rows]),
+        "flow3_delay": arithmetic_mean([r.flow3_delay_ratio for r in rows]),
+        "flow3_runtime": arithmetic_mean([r.flow3_runtime_ratio for r in rows]),
+        "loops": arithmetic_mean([float(r.loops) for r in rows]),
+    }
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render rows plus the averages line, Table 1 style."""
+    headers = ["circuit", "net", "sinks",
+               "I:area", "I:delay", "I:time",
+               "II:area", "II:delay", "II:time",
+               "III:area", "III:delay", "III:time", "loops"]
+    body = [
+        [r.circuit, r.net_name, r.sinks,
+         f"{r.flow1_area:.0f}", f"{r.flow1_delay:.1f}", f"{r.flow1_runtime:.3f}",
+         f"{r.flow2_area_ratio:.2f}", f"{r.flow2_delay_ratio:.2f}",
+         f"{r.flow2_runtime_ratio:.2f}",
+         f"{r.flow3_area_ratio:.2f}", f"{r.flow3_delay_ratio:.2f}",
+         f"{r.flow3_runtime_ratio:.2f}", r.loops]
+        for r in rows
+    ]
+    summary = summarize_table1(rows)
+    body.append(
+        ["Average:", "", "", "", "", "",
+         f"{summary['flow2_area']:.2f}", f"{summary['flow2_delay']:.2f}",
+         f"{summary['flow2_runtime']:.2f}",
+         f"{summary['flow3_area']:.2f}", f"{summary['flow3_delay']:.2f}",
+         f"{summary['flow3_runtime']:.2f}", f"{summary['loops']:.1f}"])
+    return format_table(
+        headers, body,
+        title=("Table 1: per-net buffer area (um^2), delay (ps), runtime (s); "
+               "Flows II/III as ratios over Flow I"))

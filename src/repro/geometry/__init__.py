@@ -1,0 +1,31 @@
+"""Rectilinear (Manhattan) geometry primitives.
+
+This subpackage provides the geometric substrate of the library: points in
+the Manhattan metric, bounding boxes, the Hanan grid [Ha66], and the buffer
+candidate-location generators discussed in section III.1 of the paper (full
+Hanan points, reduced Hanan points, centers of mass of sink subsets).
+"""
+
+from repro.geometry.point import Point, manhattan
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.hanan import hanan_points, hanan_grid_lines
+from repro.geometry.candidates import (
+    CandidateStrategy,
+    full_hanan_candidates,
+    reduced_hanan_candidates,
+    center_of_mass_candidates,
+    generate_candidates,
+)
+
+__all__ = [
+    "Point",
+    "manhattan",
+    "BoundingBox",
+    "hanan_points",
+    "hanan_grid_lines",
+    "CandidateStrategy",
+    "full_hanan_candidates",
+    "reduced_hanan_candidates",
+    "center_of_mass_candidates",
+    "generate_candidates",
+]

@@ -1,0 +1,66 @@
+"""Axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"degenerate bounding box: ({self.xmin}, {self.ymin}) to "
+                f"({self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def of_points(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Return the smallest box containing ``points`` (non-empty)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of an empty point set is undefined")
+        return cls(
+            xmin=min(p.x for p in pts),
+            ymin=min(p.y for p in pts),
+            xmax=max(p.x for p in pts),
+            ymax=max(p.y for p in pts),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter wire length (HPWL), the classic net-length lower bound."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    def contains(self, p: Point) -> bool:
+        """Return True when ``p`` lies inside or on the border of the box."""
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.xmin - margin, self.ymin - margin,
+            self.xmax + margin, self.ymax + margin,
+        )

@@ -1,0 +1,49 @@
+"""The Hanan grid [Ha66].
+
+For a net with terminals ``T``, the Hanan grid is formed by the horizontal
+and vertical lines through every terminal; Hanan proved that some optimal
+rectilinear Steiner tree uses only the grid's intersection points.  The
+P-Tree family of algorithms ([LCLH96] and the paper's *PTREE) embeds
+routing trees into this grid, and the full set of Hanan points is one of the
+candidate-location choices discussed in section III.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+
+def hanan_grid_lines(terminals: Iterable[Point]) -> Tuple[List[float], List[float]]:
+    """Return the sorted, de-duplicated ``(xs, ys)`` grid lines of a net."""
+    pts = list(terminals)
+    if not pts:
+        raise ValueError("Hanan grid of an empty terminal set is undefined")
+    xs = sorted({p.x for p in pts})
+    ys = sorted({p.y for p in pts})
+    return xs, ys
+
+
+def hanan_points(terminals: Iterable[Point]) -> List[Point]:
+    """Return all Hanan grid points of the given terminals.
+
+    The result has ``len(xs) * len(ys)`` points (at most ``n**2`` for ``n``
+    distinct terminals) in row-major order, which is deterministic — the DP
+    tables iterate candidate locations in this order.
+    """
+    xs, ys = hanan_grid_lines(terminals)
+    return [Point(x, y) for y in ys for x in xs]
+
+
+def snap_to_grid(point: Point, xs: Sequence[float], ys: Sequence[float]) -> Point:
+    """Return the Hanan point nearest to ``point`` in the Manhattan metric.
+
+    Used by the reduced-Hanan candidate generator to legalize heuristic
+    locations (e.g. centers of mass) onto the grid.
+    """
+    if not xs or not ys:
+        raise ValueError("cannot snap to an empty grid")
+    best_x = min(xs, key=lambda x: abs(x - point.x))
+    best_y = min(ys, key=lambda y: abs(y - point.y))
+    return Point(best_x, best_y)

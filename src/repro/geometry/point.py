@@ -1,0 +1,78 @@
+"""Points in the rectilinear plane.
+
+The routing model is purely rectilinear: every connection between two points
+is an L-shaped (or straight) wire whose length equals the Manhattan distance
+between its endpoints.  The Elmore delay of such a wire depends only on its
+total length, so the library never needs to commit to a particular L-shape
+embedding until export time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point ``(x, y)`` in microns.
+
+    Points are hashable and totally ordered (lexicographically), which lets
+    them serve directly as dictionary keys in the dynamic-programming tables
+    indexed by candidate buffer locations.
+    """
+
+    x: float
+    y: float
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Return the Manhattan (L1) distance to ``other`` in microns."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:g}, {self.y:g})"
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Module-level convenience alias for :meth:`Point.manhattan_to`."""
+    return a.manhattan_to(b)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the arithmetic mean of ``points``.
+
+    Raises :class:`ValueError` when ``points`` is empty — an empty sink
+    subset has no center of mass and asking for one is a caller bug.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))
+
+
+def median_point(points: Iterable[Point]) -> Point:
+    """Return the coordinate-wise median of ``points``.
+
+    The coordinate-wise median minimizes total Manhattan distance to the
+    given points, which makes it the natural "center" for rectilinear
+    routing; used by the reduced-Hanan candidate generator.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("median of an empty point set is undefined")
+    xs = sorted(p.x for p in pts)
+    ys = sorted(p.y for p in pts)
+    mid = len(pts) // 2
+    if len(pts) % 2 == 1:
+        return Point(xs[mid], ys[mid])
+    return Point(0.5 * (xs[mid - 1] + xs[mid]), 0.5 * (ys[mid - 1] + ys[mid]))

@@ -1,0 +1,112 @@
+"""The net model: a driver and a set of sinks to be connected.
+
+This is the problem input of section III.1: the source position, and for
+every sink its position, capacitive load and required time.  Nets are
+immutable; algorithms communicate sink identity by index into
+:attr:`Net.sinks`, and sink *orders* (permutations over those indices) live
+in :mod:`repro.orders`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Sink:
+    """A net sink: ``s_i = (x, y, load, required_time)``.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and exported trees.
+    position:
+        Pin location (um).
+    load:
+        Input capacitance of the driven pin (fF).
+    required_time:
+        Latest time (ps) at which the signal may arrive; larger is less
+        critical.  Required times propagate upward through the tree as
+        ``r_parent = min(r_child - delay(parent -> child))``.
+    """
+
+    name: str
+    position: Point
+    load: float
+    required_time: float
+
+    def __post_init__(self) -> None:
+        if self.load < 0:
+            raise ValueError(f"sink {self.name}: load must be non-negative")
+
+
+@dataclass(frozen=True)
+class Net:
+    """A net: one driver (source) and ``n >= 1`` sinks.
+
+    The optional driver parameters override the technology defaults when
+    the net comes from a netlist whose driving gate is known.
+    """
+
+    name: str
+    source: Point
+    sinks: Tuple[Sink, ...]
+    driver_resistance: Optional[float] = None
+    driver_intrinsic: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name}: at least one sink required")
+        names = [s.name for s in self.sinks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"net {self.name}: sink names must be unique")
+
+    def __len__(self) -> int:
+        return len(self.sinks)
+
+    def __iter__(self) -> Iterator[Sink]:
+        return iter(self.sinks)
+
+    @property
+    def sink_positions(self) -> Tuple[Point, ...]:
+        return tuple(s.position for s in self.sinks)
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """Bounding box of all terminals (source included)."""
+        return BoundingBox.of_points([self.source, *self.sink_positions])
+
+    @property
+    def max_required_time(self) -> float:
+        return max(s.required_time for s in self.sinks)
+
+    @property
+    def min_required_time(self) -> float:
+        return min(s.required_time for s in self.sinks)
+
+    @property
+    def total_sink_load(self) -> float:
+        return sum(s.load for s in self.sinks)
+
+    def sink(self, index: int) -> Sink:
+        """Return the sink at 0-based ``index`` (paper's s_{index+1})."""
+        return self.sinks[index]
+
+
+def make_net(name: str, source_xy: Tuple[float, float],
+             sink_specs: Sequence[Tuple[float, float, float, float]]) -> Net:
+    """Convenience constructor from plain tuples.
+
+    ``sink_specs`` entries are ``(x, y, load, required_time)``; sinks are
+    named ``<net>_s<i>``.
+    """
+    sinks = tuple(
+        Sink(name=f"{name}_s{i}", position=Point(x, y), load=load,
+             required_time=req)
+        for i, (x, y, load, req) in enumerate(sink_specs)
+    )
+    return Net(name=name, source=Point(*source_xy), sinks=sinks)

@@ -1,0 +1,38 @@
+"""Gate-level netlist substrate for the Table 2 (full-flow) experiment.
+
+The paper's Table 2 measures post-layout area and delay of mapped
+benchmark circuits inside SIS.  Neither SIS nor the mapped ISCAS/MCNC
+netlists are available offline, so this subpackage provides the substitute
+flow (DESIGN.md substitution #2): a gate-level netlist IR, a synthetic
+seeded circuit generator with ISCAS-like shapes, a deterministic grid
+placement, a static timing analyzer, and a flow runner that optimizes every
+multi-sink net with one of the three experimental flows and reports
+circuit-level area/delay — the same quantities Table 2 tabulates.
+"""
+
+from repro.netlist.netlist import (
+    CellType,
+    Gate,
+    CircuitNet,
+    Netlist,
+    STANDARD_CELLS,
+)
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.netlist.placement import place_netlist
+from repro.netlist.sta import StaResult, run_sta
+from repro.netlist.flow_runner import CircuitFlowResult, run_circuit_flow
+
+__all__ = [
+    "CellType",
+    "Gate",
+    "CircuitNet",
+    "Netlist",
+    "STANDARD_CELLS",
+    "CircuitSpec",
+    "generate_circuit",
+    "place_netlist",
+    "StaResult",
+    "run_sta",
+    "CircuitFlowResult",
+    "run_circuit_flow",
+]

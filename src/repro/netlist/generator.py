@@ -1,0 +1,206 @@
+"""Synthetic combinational circuit generation.
+
+Produces seeded, layered DAG netlists with ISCAS-like shape parameters:
+a layer of primary inputs, several logic levels whose gates draw fanin from
+the previous few layers, and primary outputs tapping the last layers.
+Fanout distributions are skewed (most nets drive 1–3 sinks, a few drive
+many), which is what makes the Table 2 experiment meaningful — the flows
+only differ on multi-sink nets.
+
+The generator is deterministic in ``(spec, seed)``; the benchmark suite in
+:mod:`repro.experiments.circuits` instantiates specs named after the
+paper's circuits (C1355, dalu, ...) scaled to pure-Python-friendly sizes.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.netlist.netlist import (
+    STANDARD_CELLS,
+    CellType,
+    CircuitNet,
+    Gate,
+    Netlist,
+)
+
+#: Logic cells eligible for random instantiation (no pseudo-cells).
+_LOGIC_CELL_NAMES = ("INV", "NAND2", "NOR2", "NAND3", "AOI22", "XOR2")
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Shape parameters of a synthetic circuit."""
+
+    name: str
+    primary_inputs: int = 8
+    primary_outputs: int = 6
+    logic_gates: int = 40
+    levels: int = 6
+    #: Maximum sinks on any single net (bounds per-net optimizer cost).
+    max_fanout: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.primary_inputs < 1 or self.primary_outputs < 1:
+            raise ValueError("need at least one PI and one PO")
+        if self.logic_gates < self.levels:
+            raise ValueError("need at least one gate per level")
+        if self.max_fanout < 1:
+            raise ValueError("max_fanout must be >= 1")
+
+
+def generate_circuit(spec: CircuitSpec) -> Netlist:
+    """Generate the netlist described by ``spec`` (deterministic).
+
+    The name is folded into the seed via crc32 — NOT the built-in
+    ``hash``, whose per-process randomization would make "deterministic"
+    a lie across interpreter runs.
+    """
+    rng = random.Random(spec.seed ^ (zlib.crc32(spec.name.encode()) & 0xFFFF))
+    gates: List[Gate] = []
+    #: gate name -> level (PIs at level 0)
+    level_of: Dict[str, int] = {}
+
+    for i in range(spec.primary_inputs):
+        name = f"pi{i}"
+        gates.append(Gate(name, STANDARD_CELLS["__PI"]))
+        level_of[name] = 0
+
+    per_level = _split_levels(spec.logic_gates, spec.levels, rng)
+    for level, count in enumerate(per_level, start=1):
+        for i in range(count):
+            cell = STANDARD_CELLS[rng.choice(_LOGIC_CELL_NAMES)]
+            name = f"g{level}_{i}"
+            gates.append(Gate(name, cell))
+            level_of[name] = level
+
+    for i in range(spec.primary_outputs):
+        name = f"po{i}"
+        gates.append(Gate(name, STANDARD_CELLS["__PO"]))
+        level_of[name] = spec.levels + 1
+
+    # Wire fanins: every non-PI gate draws each input pin from a gate in a
+    # strictly earlier level (guarantees acyclicity), preferring recent
+    # levels so the DAG has ISCAS-like depth structure.
+    fanin_choice: Dict[str, List[str]] = {}
+    by_level: Dict[int, List[str]] = {}
+    for name, level in level_of.items():
+        by_level.setdefault(level, []).append(name)
+    for level in by_level.values():
+        level.sort()
+
+    for gate in gates:
+        if gate.is_primary_input:
+            continue
+        level = level_of[gate.name]
+        pins = max(1, gate.cell.inputs)
+        sources: List[str] = []
+        for _ in range(pins):
+            source_level = _pick_source_level(level, rng)
+            pool = by_level.get(source_level) or by_level[level - 1]
+            sources.append(rng.choice(pool))
+        fanin_choice[gate.name] = sources
+
+    # Invert fanins into nets (one net per driving gate), respecting the
+    # fanout cap by re-homing overflow sinks to a same-level alternative.
+    sinks_of: Dict[str, List[str]] = {g.name: [] for g in gates}
+    for sink_name, sources in fanin_choice.items():
+        for source in sources:
+            sinks_of[source].append(sink_name)
+
+    _enforce_fanout_cap(sinks_of, level_of, spec.max_fanout, rng)
+    _ensure_all_driven(sinks_of, gates, level_of, rng)
+    _ensure_all_drive(sinks_of, gates, level_of, rng)
+
+    nets = [
+        CircuitNet(name=f"n_{driver}", driver=driver,
+                   sinks=tuple(dict.fromkeys(sinks)))
+        for driver, sinks in sorted(sinks_of.items())
+        if sinks
+    ]
+    return Netlist(spec.name, gates, nets)
+
+
+def _split_levels(total: int, levels: int, rng: random.Random) -> List[int]:
+    """Distribute ``total`` gates over ``levels`` with mild randomness."""
+    base = [total // levels] * levels
+    for i in range(total - sum(base)):
+        base[i % levels] += 1
+    for _ in range(levels):
+        a, b = rng.randrange(levels), rng.randrange(levels)
+        if base[a] > 1:
+            shift = rng.randrange(0, max(1, base[a] // 3) + 1)
+            base[a] -= shift
+            base[b] += shift
+    return [max(1, c) for c in base]
+
+
+def _pick_source_level(level: int, rng: random.Random) -> int:
+    """Mostly the previous level, sometimes further back (shortcuts)."""
+    if level == 1 or rng.random() < 0.7:
+        return level - 1
+    return rng.randrange(0, level - 1) if level > 1 else 0
+
+
+def _enforce_fanout_cap(sinks_of: Dict[str, List[str]],
+                        level_of: Dict[str, int], cap: int,
+                        rng: random.Random) -> None:
+    """Re-home overflow sinks from oversubscribed drivers."""
+    for driver in sorted(sinks_of):
+        overflow = sinks_of[driver][cap:]
+        if not overflow:
+            continue
+        del sinks_of[driver][cap:]
+        donors = [d for d in sinks_of
+                  if d != driver
+                  and level_of[d] == level_of[driver]
+                  and len(sinks_of[d]) < cap]
+        for sink in overflow:
+            eligible = [d for d in donors
+                        if len(sinks_of[d]) < cap
+                        and level_of[d] < level_of[sink]
+                        and d != sink]
+            if eligible:
+                sinks_of[rng.choice(eligible)].append(sink)
+            else:
+                sinks_of[driver].append(sink)  # cap is best-effort
+
+
+def _ensure_all_driven(sinks_of: Dict[str, List[str]],
+                       gates: Sequence[Gate], level_of: Dict[str, int],
+                       rng: random.Random) -> None:
+    """Every non-PI gate must appear as a sink of some earlier-level net."""
+    driven = {sink for sinks in sinks_of.values() for sink in sinks}
+    for gate in gates:
+        if gate.is_primary_input or gate.name in driven:
+            continue
+        candidates = [d for d in sinks_of
+                      if level_of[d] < level_of[gate.name] and d != gate.name]
+        sinks_of[rng.choice(sorted(candidates))].append(gate.name)
+
+
+def _ensure_all_drive(sinks_of: Dict[str, List[str]],
+                      gates: Sequence[Gate], level_of: Dict[str, int],
+                      rng: random.Random) -> None:
+    """Every logic gate must drive something.
+
+    A dead-end gate would sit off every PO path, making its timing
+    unconstrained (and the STA's worst slack spuriously negative); real
+    netlists prune such gates, so the generator wires each one to a
+    later-level gate or primary output instead.
+    """
+    by_name = {g.name: g for g in gates}
+    for gate in gates:
+        if gate.is_primary_input or gate.is_primary_output:
+            continue
+        if sinks_of[gate.name]:
+            continue
+        later = sorted(
+            name for name, level in level_of.items()
+            if level > level_of[gate.name] and name != gate.name
+            and not by_name[name].is_primary_input)
+        sinks_of[gate.name].append(rng.choice(later))

@@ -1,0 +1,84 @@
+"""Netlist serialization.
+
+A minimal JSON interchange format for combinational netlists (the paper's
+flow lived inside SIS; this is the equivalent import/export seam so users
+can bring their own circuits to the Table 2 pipeline).
+
+Schema::
+
+    {
+      "name": "...",
+      "gates": [{"name": "...", "cell": "NAND2",
+                 "position": [x, y] | null}, ...],
+      "nets":  [{"name": "...", "driver": "...",
+                 "sinks": ["...", ...]}, ...]
+    }
+
+Cells are resolved against :data:`repro.netlist.netlist.STANDARD_CELLS`;
+unknown cell names are rejected rather than guessed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.geometry.point import Point
+from repro.netlist.netlist import (
+    STANDARD_CELLS,
+    CircuitNet,
+    Gate,
+    Netlist,
+)
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    """Serialize ``netlist`` (placement included when present)."""
+    return {
+        "name": netlist.name,
+        "gates": [
+            {
+                "name": gate.name,
+                "cell": gate.cell.name,
+                "position": (list(gate.position.as_tuple())
+                             if gate.position is not None else None),
+            }
+            for gate in netlist.gates.values()
+        ],
+        "nets": [
+            {"name": net.name, "driver": net.driver,
+             "sinks": list(net.sinks)}
+            for net in netlist.nets
+        ],
+    }
+
+
+def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
+    """Deserialize a netlist; validates structure via Netlist itself."""
+    gates = []
+    for entry in data["gates"]:
+        cell_name = entry["cell"]
+        if cell_name not in STANDARD_CELLS:
+            raise ValueError(f"unknown cell type: {cell_name!r}")
+        position = entry.get("position")
+        gates.append(Gate(
+            name=entry["name"],
+            cell=STANDARD_CELLS[cell_name],
+            position=Point(*position) if position is not None else None,
+        ))
+    nets = [
+        CircuitNet(name=entry["name"], driver=entry["driver"],
+                   sinks=tuple(entry["sinks"]))
+        for entry in data["nets"]
+    ]
+    return Netlist(data["name"], gates, nets)
+
+
+def save_netlist(netlist: Netlist, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(netlist_to_dict(netlist), handle, indent=2)
+
+
+def load_netlist(path: str) -> Netlist:
+    with open(path, "r", encoding="utf-8") as handle:
+        return netlist_from_dict(json.load(handle))

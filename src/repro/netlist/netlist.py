@@ -1,0 +1,181 @@
+"""The gate-level netlist intermediate representation.
+
+A :class:`Netlist` is a DAG of :class:`Gate` instances connected by
+:class:`CircuitNet` objects; primary inputs and outputs are modelled as
+pseudo-gates so the timing graph is uniform.  Combinational only — the
+paper's benchmarks are combinational ISCAS-85/MCNC circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A combinational standard cell.
+
+    Delay is the same affine-in-load form used for buffers; per-input
+    capacitance is uniform across pins (adequate for synthetic circuits).
+    """
+
+    name: str
+    inputs: int
+    input_cap: float          # fF per input pin
+    drive_resistance: float   # kOhm
+    intrinsic_delay: float    # ps
+    area: float               # um^2
+
+    def __post_init__(self) -> None:
+        if self.inputs < 0:
+            raise ValueError(f"{self.name}: inputs must be >= 0")
+        if self.input_cap < 0 or self.drive_resistance < 0:
+            raise ValueError(f"{self.name}: electrical params must be >= 0")
+
+
+#: A small synthetic standard-cell set with 0.35um-flavored magnitudes.
+STANDARD_CELLS: Dict[str, CellType] = {
+    cell.name: cell
+    for cell in (
+        CellType("INV", 1, input_cap=3.0, drive_resistance=6.5,
+                 intrinsic_delay=22.0, area=20.0),
+        CellType("NAND2", 2, input_cap=4.2, drive_resistance=7.8,
+                 intrinsic_delay=34.0, area=32.0),
+        CellType("NOR2", 2, input_cap=4.6, drive_resistance=8.6,
+                 intrinsic_delay=38.0, area=32.0),
+        CellType("NAND3", 3, input_cap=5.1, drive_resistance=9.0,
+                 intrinsic_delay=46.0, area=44.0),
+        CellType("AOI22", 4, input_cap=5.6, drive_resistance=9.8,
+                 intrinsic_delay=55.0, area=58.0),
+        CellType("XOR2", 2, input_cap=6.4, drive_resistance=9.2,
+                 intrinsic_delay=62.0, area=66.0),
+        # Pseudo-cells for the netlist boundary.
+        CellType("__PI", 0, input_cap=1.0, drive_resistance=2.0,
+                 intrinsic_delay=0.0, area=1.0),
+        CellType("__PO", 1, input_cap=9.0, drive_resistance=1.0,
+                 intrinsic_delay=0.0, area=1.0),
+    )
+}
+
+
+@dataclass
+class Gate:
+    """One placed cell instance (or a PI/PO pseudo-gate)."""
+
+    name: str
+    cell: CellType
+    position: Optional[Point] = None
+
+    @property
+    def is_primary_input(self) -> bool:
+        return self.cell.name == "__PI"
+
+    @property
+    def is_primary_output(self) -> bool:
+        return self.cell.name == "__PO"
+
+
+@dataclass
+class CircuitNet:
+    """A net: one driving gate and one or more sink gates.
+
+    ``sinks`` entries are gate names; each connection uses one input pin of
+    the sink gate (pin identity does not matter for timing here because
+    per-pin caps are uniform).
+    """
+
+    name: str
+    driver: str
+    sinks: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name}: must have at least one sink")
+        if self.driver in self.sinks:
+            raise ValueError(f"net {self.name}: combinational self-loop")
+
+
+class Netlist:
+    """A combinational netlist: gates plus driver-to-sinks nets."""
+
+    def __init__(self, name: str, gates: Sequence[Gate],
+                 nets: Sequence[CircuitNet]):
+        self.name = name
+        self.gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self.gates:
+                raise ValueError(f"duplicate gate name: {gate.name}")
+            self.gates[gate.name] = gate
+        self.nets: List[CircuitNet] = list(nets)
+        self._validate()
+        self._driver_net: Dict[str, CircuitNet] = {
+            net.driver: net for net in self.nets}
+        self._fanin: Dict[str, List[CircuitNet]] = {g: [] for g in self.gates}
+        for net in self.nets:
+            for sink in net.sinks:
+                self._fanin[sink].append(net)
+
+    def _validate(self) -> None:
+        drivers = [net.driver for net in self.nets]
+        if len(set(drivers)) != len(drivers):
+            raise ValueError("a gate drives more than one net")
+        for net in self.nets:
+            if net.driver not in self.gates:
+                raise ValueError(f"net {net.name}: unknown driver {net.driver}")
+            for sink in net.sinks:
+                if sink not in self.gates:
+                    raise ValueError(f"net {net.name}: unknown sink {sink}")
+        for gate in self.gates.values():
+            fanin = sum(1 for net in self.nets
+                        for sink in net.sinks if sink == gate.name)
+            if not gate.is_primary_input and fanin == 0:
+                raise ValueError(f"gate {gate.name} has no fanin")
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def primary_inputs(self) -> List[Gate]:
+        return [g for g in self.gates.values() if g.is_primary_input]
+
+    @property
+    def primary_outputs(self) -> List[Gate]:
+        return [g for g in self.gates.values() if g.is_primary_output]
+
+    @property
+    def logic_gates(self) -> List[Gate]:
+        return [g for g in self.gates.values()
+                if not (g.is_primary_input or g.is_primary_output)]
+
+    @property
+    def gate_area(self) -> float:
+        """Total placed cell area (pseudo-gates contribute ~nothing)."""
+        return sum(g.cell.area for g in self.logic_gates)
+
+    def net_driven_by(self, gate_name: str) -> Optional[CircuitNet]:
+        return self._driver_net.get(gate_name)
+
+    def fanin_nets(self, gate_name: str) -> List[CircuitNet]:
+        return self._fanin[gate_name]
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates in topological order (PIs first); raises on cycles."""
+        order: List[Gate] = []
+        indegree = {name: len(self._fanin[name]) for name in self.gates}
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        ready.sort()
+        while ready:
+            name = ready.pop()
+            order.append(self.gates[name])
+            net = self.net_driven_by(name)
+            if net is None:
+                continue
+            for sink in net.sinks:
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self.gates):
+            raise ValueError("netlist contains a combinational cycle")
+        return order

@@ -1,0 +1,114 @@
+"""Static timing analysis over a placed netlist.
+
+Forward pass: arrival times propagate from PIs through gates and nets;
+backward pass: required times propagate from POs.  Net delays are supplied
+by a pluggable ``net_delay`` function so the same STA runs both with crude
+pre-optimization estimates (star topology, no buffers) and with the exact
+per-sink delays of the optimized buffered routing trees.
+
+Timing convention (consistent with :mod:`repro.routing.evaluate`): a net's
+per-sink delay *includes* the driving gate's own delay (computed from the
+gate's drive parameters and the net's total load), so gate arrival times
+are defined at gate *inputs*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.netlist.netlist import CircuitNet, Gate, Netlist
+from repro.tech.technology import Technology
+
+#: Maps (net, sink gate name) -> delay in ps, inclusive of the driver gate.
+NetDelayFn = Callable[[CircuitNet, str], float]
+
+
+@dataclass
+class StaResult:
+    """Arrival/required times and the derived critical-path report."""
+
+    #: Arrival time (ps) at each gate's input (max over its pins).
+    arrival: Dict[str, float]
+    #: Required time (ps) at each gate's input.
+    required: Dict[str, float]
+    #: max over PO arrivals — the circuit delay the experiments report.
+    critical_delay: float
+    #: The timing target the required times were derived from.
+    target: float
+
+    def slack(self, gate_name: str) -> float:
+        return self.required[gate_name] - self.arrival[gate_name]
+
+    @property
+    def worst_slack(self) -> float:
+        return min((self.slack(g) for g in self.arrival), default=0.0)
+
+
+def star_net_delay(netlist: Netlist, tech: Technology) -> NetDelayFn:
+    """Pre-optimization estimate: direct source-to-sink wires, no buffers.
+
+    The driving gate sees the sum of all sink pin caps plus every direct
+    wire's capacitance; each sink additionally sees its own wire's Elmore
+    delay.  Crude, but exactly what a placement-stage timer would use, and
+    sufficient to derive the per-sink required times the optimizing flows
+    take as input.
+    """
+
+    def delay(net: CircuitNet, sink_name: str) -> float:
+        driver = netlist.gates[net.driver]
+        total_load = 0.0
+        for name in net.sinks:
+            sink_gate = netlist.gates[name]
+            length = driver.position.manhattan_to(sink_gate.position)
+            total_load += sink_gate.cell.input_cap + tech.wire_cap(length)
+        gate_delay = tech.driver_delay(
+            total_load,
+            drive_resistance=driver.cell.drive_resistance,
+            intrinsic=driver.cell.intrinsic_delay)
+        sink_gate = netlist.gates[sink_name]
+        length = driver.position.manhattan_to(sink_gate.position)
+        wire = tech.wire_delay(length, sink_gate.cell.input_cap)
+        return gate_delay + wire
+
+    return delay
+
+
+def run_sta(netlist: Netlist, tech: Technology,
+            net_delay: Optional[NetDelayFn] = None,
+            target: Optional[float] = None) -> StaResult:
+    """Run forward/backward STA; see module docstring for conventions.
+
+    ``target`` defaults to the computed critical delay, making the worst
+    slack exactly zero — the standard way to expose per-sink criticality
+    without an external constraint.
+    """
+    if net_delay is None:
+        net_delay = star_net_delay(netlist, tech)
+
+    order = netlist.topological_gates()
+    arrival: Dict[str, float] = {}
+    for gate in order:
+        fanin = netlist.fanin_nets(gate.name)
+        if not fanin:
+            arrival[gate.name] = 0.0
+            continue
+        arrival[gate.name] = max(
+            arrival[net.driver] + net_delay(net, gate.name) for net in fanin)
+
+    critical = max((arrival[g.name] for g in netlist.primary_outputs),
+                   default=0.0)
+    if target is None:
+        target = critical
+
+    required: Dict[str, float] = {}
+    for gate in reversed(order):
+        net = netlist.net_driven_by(gate.name)
+        if gate.is_primary_output or net is None:
+            required[gate.name] = target
+            continue
+        required[gate.name] = min(
+            required[sink] - net_delay(net, sink) for sink in net.sinks)
+
+    return StaResult(arrival=arrival, required=required,
+                     critical_delay=critical, target=target)

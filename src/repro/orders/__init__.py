@@ -1,0 +1,39 @@
+"""Sink orders, their neighborhoods, and initial-order heuristics.
+
+Implements Definitions 3–5 of the paper (orders, the neighborhood ``N(Π)``
+of orders whose every element moved at most one position, element swaps),
+Lemma 4 (every neighbor decomposes into non-overlapping adjacent swaps) and
+Theorem 1 (|N(Π)| is the Fibonacci number F(n+2)), plus the initial-order
+heuristics used by the experimental flows: the TSP order of [LCLH96] and a
+required-time order for LTTREE.
+"""
+
+from repro.orders.order import Order
+from repro.orders.neighborhood import (
+    neighborhood_size,
+    paper_theorem1_value,
+    fibonacci,
+    enumerate_neighborhood,
+    in_neighborhood,
+    swap_decomposition,
+)
+from repro.orders.tsp import tsp_order
+from repro.orders.heuristics import (
+    required_time_order,
+    random_order,
+    projection_order,
+)
+
+__all__ = [
+    "Order",
+    "neighborhood_size",
+    "paper_theorem1_value",
+    "fibonacci",
+    "enumerate_neighborhood",
+    "in_neighborhood",
+    "swap_decomposition",
+    "tsp_order",
+    "required_time_order",
+    "random_order",
+    "projection_order",
+]

@@ -1,0 +1,51 @@
+"""Non-TSP initial-order heuristics.
+
+``required_time_order`` is what the Flow I setup feeds LTTREE ("the sink
+order for the LTTREE phase is based on the required times of sinks");
+``projection_order`` and ``random_order`` support the initial-order
+sensitivity ablation (E4) — the paper reports MERLIN's result barely
+depends on the seed order, and the ablation reproduces that claim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net import Net
+from repro.orders.order import Order
+
+
+def required_time_order(net: Net) -> Order:
+    """Sinks by ascending required time (most critical first).
+
+    LT-Tree construction wants critical sinks near the root end of the
+    order; ties break on descending load then index for determinism.
+    """
+    ranked = sorted(
+        range(len(net.sinks)),
+        key=lambda i: (net.sink(i).required_time, -net.sink(i).load, i),
+    )
+    return Order.from_sequence(ranked)
+
+
+def projection_order(net: Net, axis: str = "x") -> Order:
+    """Sinks by their coordinate along ``axis`` ("x" or "y").
+
+    A crude geometric order — useful as a deliberately mediocre seed for
+    the sensitivity ablation.
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    key = (lambda i: (net.sink(i).position.x, net.sink(i).position.y, i)) \
+        if axis == "x" else \
+        (lambda i: (net.sink(i).position.y, net.sink(i).position.x, i))
+    return Order.from_sequence(sorted(range(len(net.sinks)), key=key))
+
+
+def random_order(net: Net, seed: Optional[int] = None) -> Order:
+    """A uniformly random order (seeded for reproducibility)."""
+    rng = random.Random(seed)
+    seq = list(range(len(net.sinks)))
+    rng.shuffle(seq)
+    return Order.from_sequence(seq)

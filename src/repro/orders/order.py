@@ -1,0 +1,78 @@
+"""Sink orders (Definition 3).
+
+An order Π on ``n`` sinks is a bijection from sink indices to positions.
+Internally an :class:`Order` stores the *sequence* view — ``seq[j]`` is the
+sink index occupying position ``j`` — because that is what the DP consumes;
+the functional view Π(i) (position of sink i) is available as
+:meth:`position_of`.  All indices and positions are 0-based; the paper's
+1-based examples map directly by subtracting one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Order:
+    """An immutable permutation of sink indices."""
+
+    seq: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sorted(self.seq) != list(range(len(self.seq))):
+            raise ValueError(f"{self.seq} is not a permutation of 0..{len(self.seq) - 1}")
+
+    @classmethod
+    def identity(cls, n: int) -> "Order":
+        """The order (s_1, s_2, ..., s_n)."""
+        if n < 1:
+            raise ValueError("an order needs at least one element")
+        return cls(tuple(range(n)))
+
+    @classmethod
+    def from_sequence(cls, seq: Sequence[int]) -> "Order":
+        return cls(tuple(seq))
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.seq)
+
+    def __getitem__(self, position: int) -> int:
+        """Return the sink index at ``position`` (0-based)."""
+        return self.seq[position]
+
+    def position_of(self, sink_index: int) -> int:
+        """Π(i): the position of sink ``sink_index`` (0-based)."""
+        return self.seq.index(sink_index)
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        """The functional view: ``positions[i]`` = Π(i)."""
+        inverse = [0] * len(self.seq)
+        for position, sink in enumerate(self.seq):
+            inverse[sink] = position
+        return tuple(inverse)
+
+    def swapped(self, position: int) -> "Order":
+        """Definition 5: swap the elements at ``position`` and ``position+1``."""
+        if not 0 <= position < len(self.seq) - 1:
+            raise ValueError(
+                f"swap position {position} out of range for n={len(self.seq)}")
+        seq = list(self.seq)
+        seq[position], seq[position + 1] = seq[position + 1], seq[position]
+        return Order(tuple(seq))
+
+    def reversed(self) -> "Order":
+        return Order(tuple(reversed(self.seq)))
+
+    def displacement_from(self, other: "Order") -> List[int]:
+        """Per-sink |Π(i) - Π'(i)| displacement vector."""
+        mine = self.positions
+        theirs = other.positions
+        if len(mine) != len(theirs):
+            raise ValueError("orders have different sizes")
+        return [abs(a - b) for a, b in zip(mine, theirs)]

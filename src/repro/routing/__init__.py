@@ -1,0 +1,40 @@
+"""Buffered rectilinear routing trees.
+
+The output of every construction algorithm in this library is a
+:class:`~repro.routing.tree.RoutingTree`: a rooted tree of source, buffer,
+Steiner and sink nodes whose edges are rectilinear wires.  This subpackage
+provides the tree IR, the Elmore-based evaluator (which must agree exactly
+with the DP's incremental bookkeeping — a key cross-check), reconstruction
+from solution-curve traceback records, structural validation, sink-order
+extraction (what MERLIN's outer loop feeds back), and export helpers.
+"""
+
+from repro.routing.tree import (
+    TreeNode,
+    SourceNode,
+    BufferNode,
+    SteinerNode,
+    SinkNode,
+    RoutingTree,
+)
+from repro.routing.builder import build_tree
+from repro.routing.evaluate import TreeEvaluation, evaluate_tree
+from repro.routing.sink_order import extract_sink_order
+from repro.routing.validate import validate_tree
+from repro.routing.export import tree_to_dict, tree_to_dot
+
+__all__ = [
+    "TreeNode",
+    "SourceNode",
+    "BufferNode",
+    "SteinerNode",
+    "SinkNode",
+    "RoutingTree",
+    "build_tree",
+    "TreeEvaluation",
+    "evaluate_tree",
+    "extract_sink_order",
+    "validate_tree",
+    "tree_to_dict",
+    "tree_to_dot",
+]

@@ -1,0 +1,72 @@
+"""Reconstruct a routing tree from a solution's traceback records.
+
+This implements lines 21–22 of BUBBLE_CONSTRUCT: after the DP picks the
+winning solution on the final curve, the buffered routing tree is retrieved
+by following the pointers (here: the nested ``detail`` records) stored while
+the solution curves were generated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.curves.solution import (
+    Buffered,
+    DriverArm,
+    Extend,
+    Join,
+    SinkLeaf,
+    Solution,
+)
+from repro.net import Net
+from repro.routing.tree import (
+    BufferNode,
+    RoutingTree,
+    SinkNode,
+    SourceNode,
+    SteinerNode,
+    TreeNode,
+)
+
+
+def build_tree(net: Net, solution: Solution) -> RoutingTree:
+    """Materialize ``solution`` into a :class:`RoutingTree` for ``net``.
+
+    When the outermost detail is a :class:`DriverArm` the returned tree is
+    rooted at a :class:`SourceNode`; otherwise a source node is synthesized
+    at the net's source position and wired to the solution root, so callers
+    always get a complete, evaluable tree.
+    """
+    if isinstance(solution.detail, DriverArm):
+        inner = _build(solution.detail.child)
+        root = SourceNode(net.source)
+        root.add_child(inner)
+    else:
+        root = SourceNode(net.source)
+        root.add_child(_build(solution))
+    return RoutingTree(net=net, root=root)
+
+
+def _build(solution: Solution) -> TreeNode:
+    """Recursively materialize one solution into a subtree node."""
+    detail = solution.detail
+    if isinstance(detail, SinkLeaf):
+        return SinkNode(solution.root, detail.sink_index)
+    if isinstance(detail, Extend):
+        node = SteinerNode(solution.root)
+        child = _build(detail.child)
+        child.upstream_width = detail.width
+        node.add_child(child)
+        return node
+    if isinstance(detail, Join):
+        node = SteinerNode(solution.root)
+        node.add_child(_build(detail.left))
+        node.add_child(_build(detail.right))
+        return node
+    if isinstance(detail, Buffered):
+        node = BufferNode(solution.root, detail.buffer)
+        node.add_child(_build(detail.child))
+        return node
+    if isinstance(detail, DriverArm):
+        raise ValueError("DriverArm may only appear at the outermost level")
+    raise TypeError(f"unknown detail record: {type(detail).__name__}")

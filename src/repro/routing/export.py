@@ -1,0 +1,73 @@
+"""Export routing trees to plain dictionaries and Graphviz DOT."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.routing.tree import (
+    BufferNode,
+    RoutingTree,
+    SinkNode,
+    SourceNode,
+    TreeNode,
+)
+
+
+def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
+    """Return a JSON-serializable description of ``tree``."""
+    return {
+        "net": tree.net.name,
+        "source": tree.net.source.as_tuple(),
+        "wire_length": tree.wire_length,
+        "buffer_area": tree.buffer_area,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "kind": node.kind,
+        "position": node.position.as_tuple(),
+    }
+    if isinstance(node, BufferNode):
+        entry["buffer"] = node.buffer.name
+    if isinstance(node, SinkNode):
+        entry["sink_index"] = node.sink_index
+    if node.children:
+        entry["children"] = [_node_to_dict(c) for c in node.children]
+    return entry
+
+
+def tree_to_dot(tree: RoutingTree) -> str:
+    """Return a Graphviz DOT rendering of ``tree`` (for debugging/docs)."""
+    lines: List[str] = [
+        "digraph routing_tree {",
+        '  rankdir="TB";',
+        '  node [fontname="monospace", fontsize=10];',
+    ]
+    counter = [0]
+
+    def emit(node: TreeNode) -> str:
+        name = f"n{counter[0]}"
+        counter[0] += 1
+        label = f"{node.kind}\\n({node.position.x:.0f},{node.position.y:.0f})"
+        shape = "ellipse"
+        if isinstance(node, SourceNode):
+            shape = "house"
+        elif isinstance(node, BufferNode):
+            shape = "invtriangle"
+            label = f"{node.buffer.name}\\n({node.position.x:.0f},{node.position.y:.0f})"
+        elif isinstance(node, SinkNode):
+            shape = "box"
+            label = (f"{tree.net.sink(node.sink_index).name}\\n"
+                     f"({node.position.x:.0f},{node.position.y:.0f})")
+        lines.append(f'  {name} [label="{label}", shape={shape}];')
+        for child in node.children:
+            child_name = emit(child)
+            length = node.edge_length(child)
+            lines.append(f'  {name} -> {child_name} [label="{length:.0f}um"];')
+        return name
+
+    emit(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

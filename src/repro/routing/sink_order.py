@@ -1,0 +1,39 @@
+"""Sink-order extraction from a routing tree.
+
+A depth-first traversal of any P-Tree/Cα_Tree-structured tree, visiting
+children left to right, meets the sinks in the tree's sink order (the paper
+phrases the same fact as a *reverse* DFS for its mirrored child convention).
+MERLIN's outer loop (line 7, ``SINK_ORDER(R)``) extracts this order after
+every inner optimization and feeds it to the next iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.routing.tree import RoutingTree, SinkNode, TreeNode
+
+
+def extract_sink_order(tree: RoutingTree) -> List[int]:
+    """Return sink indices (0-based) in tree order.
+
+    Raises :class:`ValueError` when a sink appears more than once or is
+    missing — either indicates a malformed tree, and silently returning a
+    non-permutation would corrupt the outer search.
+    """
+    order: List[int] = []
+    _collect(tree.root, order)
+    expected = set(range(len(tree.net.sinks)))
+    if len(order) != len(expected) or set(order) != expected:
+        raise ValueError(
+            f"tree sink traversal {order} is not a permutation of "
+            f"{sorted(expected)}")
+    return order
+
+
+def _collect(node: TreeNode, order: List[int]) -> None:
+    if isinstance(node, SinkNode):
+        order.append(node.sink_index)
+        return
+    for child in node.children:
+        _collect(child, order)

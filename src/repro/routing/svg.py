@@ -1,0 +1,103 @@
+"""SVG rendering of buffered routing trees.
+
+Produces a self-contained SVG picture of a routing tree in its placement
+region: rectilinear (L-shaped) wires, the driver, buffers as triangles,
+sinks as squares, Steiner points as dots.  No external dependencies — the
+file writes plain SVG markup — so exported layouts can be viewed in any
+browser and embedded in documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.geometry.bbox import BoundingBox
+from repro.routing.tree import (
+    BufferNode,
+    RoutingTree,
+    SinkNode,
+    SourceNode,
+    TreeNode,
+)
+
+_STYLE = (
+    "text { font-family: monospace; font-size: 11px; fill: #333; }"
+    ".wire { stroke: #4878a8; stroke-width: 2; fill: none; }"
+    ".source { fill: #c03028; }"
+    ".buffer { fill: #e8a33d; stroke: #8a5a00; }"
+    ".sink { fill: #3a7d44; }"
+    ".steiner { fill: #888; }"
+)
+
+
+def tree_to_svg(tree: RoutingTree, width: float = 640.0,
+                margin: float = 40.0, labels: bool = True) -> str:
+    """Render ``tree`` as an SVG document string.
+
+    The viewport is fitted to the net's bounding box; ``width`` fixes the
+    output width in pixels and the height follows the aspect ratio.
+    """
+    if width <= 2 * margin:
+        raise ValueError("width must exceed twice the margin")
+    positions = [node.position for node in tree.walk()]
+    box = BoundingBox.of_points(positions).expanded(1.0)
+    scale = (width - 2 * margin) / max(box.width, 1e-9)
+    height = max(box.height * scale, 1.0) + 2 * margin
+
+    def sx(x: float) -> float:
+        return margin + (x - box.xmin) * scale
+
+    def sy(y: float) -> float:
+        # SVG's y grows downward; flip so the layout reads naturally.
+        return height - margin - (y - box.ymin) * scale
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f"<style>{_STYLE}</style>",
+        f'<rect width="100%" height="100%" fill="#fcfcf8"/>',
+    ]
+
+    # Wires first (under the markers): L-shaped, horizontal leg first.
+    for node in tree.walk():
+        for child in node.children:
+            x0, y0 = sx(node.position.x), sy(node.position.y)
+            x1, y1 = sx(child.position.x), sy(child.position.y)
+            parts.append(
+                f'<polyline class="wire" '
+                f'points="{x0:.1f},{y0:.1f} {x1:.1f},{y0:.1f} '
+                f'{x1:.1f},{y1:.1f}"/>')
+
+    for node in tree.walk():
+        parts.append(_marker(node, sx(node.position.x), sy(node.position.y),
+                             tree, labels))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(tree: RoutingTree, path: str, **kwargs) -> None:
+    """Render ``tree`` and write it to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tree_to_svg(tree, **kwargs))
+
+
+def _marker(node: TreeNode, x: float, y: float, tree: RoutingTree,
+            labels: bool) -> str:
+    if isinstance(node, SourceNode):
+        shape = (f'<circle class="source" cx="{x:.1f}" cy="{y:.1f}" r="7"/>')
+        label = tree.net.name
+    elif isinstance(node, BufferNode):
+        shape = (f'<polygon class="buffer" points="'
+                 f'{x - 7:.1f},{y - 6:.1f} {x - 7:.1f},{y + 6:.1f} '
+                 f'{x + 7:.1f},{y:.1f}"/>')
+        label = node.buffer.name
+    elif isinstance(node, SinkNode):
+        shape = (f'<rect class="sink" x="{x - 5:.1f}" y="{y - 5:.1f}" '
+                 f'width="10" height="10"/>')
+        label = tree.net.sink(node.sink_index).name
+    else:
+        shape = f'<circle class="steiner" cx="{x:.1f}" cy="{y:.1f}" r="3"/>'
+        label = ""
+    if labels and label:
+        shape += (f'<text x="{x + 9:.1f}" y="{y - 7:.1f}">{label}</text>')
+    return shape

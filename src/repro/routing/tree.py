@@ -1,0 +1,169 @@
+"""The routing-tree intermediate representation.
+
+A tree node sits at a point; the edge from a node to each child is an
+L-shaped rectilinear wire whose length is the Manhattan distance between
+their positions (zero-length edges occur where the DP joined structures at
+a shared candidate point and are harmless).  Child order is meaningful: a
+left-to-right depth-first traversal visits the sinks in the tree's sink
+order, which is what MERLIN extracts between iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.geometry.point import Point
+from repro.net import Net
+from repro.tech.buffer import Buffer
+
+
+class TreeNode:
+    """Base class for routing-tree nodes.
+
+    ``upstream_width`` is the sizing multiplier of the wire from this
+    node's parent down to it (1.0 = minimum width); set by the builder
+    when the winning solution used wire sizing.
+    """
+
+    __slots__ = ("position", "children", "upstream_width")
+
+    def __init__(self, position: Point, children: Optional[List["TreeNode"]] = None):
+        self.position = position
+        self.children: List[TreeNode] = list(children or [])
+        self.upstream_width = 1.0
+
+    def add_child(self, child: "TreeNode") -> "TreeNode":
+        self.children.append(child)
+        return child
+
+    def edge_length(self, child: "TreeNode") -> float:
+        """Wire length (um) of the edge from this node to ``child``."""
+        return self.position.manhattan_to(child.position)
+
+    def walk(self) -> Iterator["TreeNode"]:
+        """Pre-order depth-first traversal (children left to right)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}@{self.position}<{len(self.children)} children>"
+
+
+class SourceNode(TreeNode):
+    """The net driver; always the tree root, always exactly one in a tree."""
+
+    __slots__ = ()
+
+
+class BufferNode(TreeNode):
+    """A library buffer inserted at a candidate location."""
+
+    __slots__ = ("buffer",)
+
+    def __init__(self, position: Point, buffer: Buffer,
+                 children: Optional[List[TreeNode]] = None):
+        super().__init__(position, children)
+        self.buffer = buffer
+
+
+class SteinerNode(TreeNode):
+    """A branching or via point with no cell."""
+
+    __slots__ = ()
+
+
+class SinkNode(TreeNode):
+    """A leaf: one of the net's sinks.  Never has children."""
+
+    __slots__ = ("sink_index",)
+
+    def __init__(self, position: Point, sink_index: int):
+        super().__init__(position, children=None)
+        self.sink_index = sink_index
+
+    def add_child(self, child: TreeNode) -> TreeNode:
+        raise TypeError("sink nodes are leaves and cannot have children")
+
+
+@dataclass
+class RoutingTree:
+    """A complete buffered routing tree for a net.
+
+    ``root`` is normally a :class:`SourceNode`; partial trees (used in
+    tests and by the flow glue) may be rooted elsewhere.
+    """
+
+    net: Net
+    root: TreeNode
+
+    def walk(self) -> Iterator[TreeNode]:
+        return self.root.walk()
+
+    @property
+    def buffer_nodes(self) -> List[BufferNode]:
+        return [n for n in self.walk() if isinstance(n, BufferNode)]
+
+    @property
+    def sink_nodes(self) -> List[SinkNode]:
+        return [n for n in self.walk() if isinstance(n, SinkNode)]
+
+    @property
+    def buffer_area(self) -> float:
+        """Total inserted buffer area (um^2)."""
+        return sum(n.buffer.area for n in self.buffer_nodes)
+
+    @property
+    def wire_length(self) -> float:
+        """Total routed wire length (um)."""
+        total = 0.0
+        for node in self.walk():
+            for child in node.children:
+                total += node.edge_length(child)
+        return total
+
+    def simplified(self) -> "RoutingTree":
+        """Return a copy with pass-through Steiner nodes collapsed.
+
+        A Steiner node with exactly one child and a zero-length edge to its
+        parent (or a single-child chain) adds nothing; collapsing them makes
+        exported trees readable.  Evaluation results are unchanged because
+        Elmore delay of concatenated wire segments with no intermediate
+        load only differs across segmentations when a segment boundary
+        carries load — and pass-through Steiner points carry none.
+        """
+        return RoutingTree(net=self.net, root=_simplify(self.root))
+
+
+def _simplify(node: TreeNode) -> TreeNode:
+    children = [_simplify(c) for c in node.children]
+    # Collapse pass-through Steiner children that sit at the same position
+    # as this node or have exactly one child and no branching role.
+    flattened: List[TreeNode] = []
+    for child in children:
+        if (isinstance(child, SteinerNode) and len(child.children) == 1
+                and node.position.manhattan_to(child.position) == 0.0):
+            flattened.append(child.children[0])
+        else:
+            flattened.append(child)
+    clone = _clone_without_children(node)
+    clone.children = flattened
+    clone.upstream_width = node.upstream_width
+    return clone
+
+
+def _clone_without_children(node: TreeNode) -> TreeNode:
+    if isinstance(node, BufferNode):
+        return BufferNode(node.position, node.buffer)
+    if isinstance(node, SinkNode):
+        return SinkNode(node.position, node.sink_index)
+    if isinstance(node, SourceNode):
+        return SourceNode(node.position)
+    return SteinerNode(node.position)

@@ -1,0 +1,96 @@
+"""Structural validation of routing trees.
+
+The checks here are invariants every construction algorithm must satisfy,
+independent of quality: exactly one source at the root, every sink reached
+exactly once at its pin position, sinks are leaves, no node is shared
+between branches (it is a tree, not a DAG), and buffer fanouts are sane.
+Validation is cheap and runs inside the integration tests and (optionally)
+at the end of every flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.routing.tree import (
+    BufferNode,
+    RoutingTree,
+    SinkNode,
+    SourceNode,
+    TreeNode,
+)
+
+
+class TreeValidationError(AssertionError):
+    """Raised when a routing tree violates a structural invariant."""
+
+
+def validate_tree(tree: RoutingTree, max_buffer_fanout: int = 0) -> None:
+    """Validate ``tree``; raise :class:`TreeValidationError` on violation.
+
+    Parameters
+    ----------
+    tree:
+        The tree to check.
+    max_buffer_fanout:
+        When positive, additionally assert that no buffer node drives more
+        than this many buffer/sink descendants reachable without passing
+        through another buffer — the Cα_Tree branching bound α.
+    """
+    net = tree.net
+    problems: List[str] = []
+
+    if not isinstance(tree.root, SourceNode):
+        problems.append(f"root is {tree.root.kind}, expected SourceNode")
+    if tree.root.position != net.source:
+        problems.append(
+            f"root at {tree.root.position}, net source at {net.source}")
+
+    seen_ids: Set[int] = set()
+    seen_sinks: List[int] = []
+    for node in tree.walk():
+        if id(node) in seen_ids:
+            problems.append(f"node {node!r} appears in multiple branches")
+            continue
+        seen_ids.add(id(node))
+        if isinstance(node, SourceNode) and node is not tree.root:
+            problems.append("interior SourceNode found")
+        if isinstance(node, SinkNode):
+            seen_sinks.append(node.sink_index)
+            if node.children:
+                problems.append(f"sink {node.sink_index} has children")
+            sink = net.sink(node.sink_index)
+            if node.position != sink.position:
+                problems.append(
+                    f"sink {node.sink_index} placed at {node.position}, "
+                    f"pin is at {sink.position}")
+
+    expected = list(range(len(net.sinks)))
+    if sorted(seen_sinks) != expected:
+        problems.append(
+            f"sink coverage {sorted(seen_sinks)} != expected {expected}")
+
+    if max_buffer_fanout > 0:
+        for node in tree.walk():
+            if isinstance(node, (BufferNode, SourceNode)):
+                fanout = _stage_fanout(node)
+                if fanout > max_buffer_fanout:
+                    problems.append(
+                        f"{node.kind} at {node.position} drives {fanout} "
+                        f"stage loads > alpha={max_buffer_fanout}")
+
+    if problems:
+        raise TreeValidationError("; ".join(problems))
+
+
+def _stage_fanout(node: TreeNode) -> int:
+    """Count sinks/buffers reachable from ``node`` without crossing a buffer."""
+    count = 0
+    stack = list(node.children)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (BufferNode, SinkNode)):
+            count += 1
+            continue
+        stack.extend(current.children)
+    return count

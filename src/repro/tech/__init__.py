@@ -1,0 +1,32 @@
+"""Technology modelling: buffers, wires, and delay equations.
+
+The paper's experiments use an industrial 0.35um standard-cell library with
+34 buffers, a 4-parameter gate delay equation [LSP98] and the Elmore wire
+delay [El48].  This subpackage implements all three from scratch, plus a
+synthetic-library generator with realistic 0.35um magnitudes (the industrial
+library itself is proprietary — see DESIGN.md substitution #3).
+"""
+
+from repro.tech.buffer import Buffer, BufferLibrary
+from repro.tech.wire import WireParasitics
+from repro.tech.delay import (
+    GateDelayModel,
+    LinearGateDelay,
+    FourParameterGateDelay,
+    elmore_wire_delay,
+)
+from repro.tech.library import make_library
+from repro.tech.technology import Technology, default_technology
+
+__all__ = [
+    "Buffer",
+    "BufferLibrary",
+    "WireParasitics",
+    "GateDelayModel",
+    "LinearGateDelay",
+    "FourParameterGateDelay",
+    "elmore_wire_delay",
+    "make_library",
+    "Technology",
+    "default_technology",
+]

@@ -1,0 +1,109 @@
+"""Buffer cells and buffer libraries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A non-inverting buffer cell.
+
+    Attributes
+    ----------
+    name:
+        Unique cell name, e.g. ``"BUF_X4"``.
+    input_cap:
+        Capacitance presented at the buffer input (fF).  This is the load a
+        buffered sub-solution exposes to its driver — the "load" axis of the
+        three-dimensional solution curves.
+    drive_resistance:
+        Equivalent output resistance (kOhm) used by both the linear and the
+        four-parameter delay models.
+    intrinsic_delay:
+        Load-independent delay component (ps).
+    area:
+        Cell area (um^2); summed into the "total buffer area" axis of the
+        solution curves.
+    """
+
+    name: str
+    input_cap: float
+    drive_resistance: float
+    intrinsic_delay: float
+    area: float
+
+    def __post_init__(self) -> None:
+        if self.input_cap <= 0:
+            raise ValueError(f"{self.name}: input_cap must be positive")
+        if self.drive_resistance <= 0:
+            raise ValueError(f"{self.name}: drive_resistance must be positive")
+        if self.intrinsic_delay < 0:
+            raise ValueError(f"{self.name}: intrinsic_delay must be >= 0")
+        if self.area <= 0:
+            raise ValueError(f"{self.name}: area must be positive")
+
+
+class BufferLibrary:
+    """An ordered, indexable collection of :class:`Buffer` cells.
+
+    The library corresponds to the paper's ``B = {b_1, ..., b_m}``.  Cells
+    are kept sorted by ascending area so iteration order is deterministic
+    and so heuristics that want "the smallest buffer that works" can scan
+    in order.
+    """
+
+    def __init__(self, buffers: Iterable[Buffer]):
+        cells = sorted(buffers, key=lambda b: (b.area, b.name))
+        if not cells:
+            raise ValueError("a buffer library must contain at least one cell")
+        names = [b.name for b in cells]
+        if len(set(names)) != len(names):
+            raise ValueError("buffer names must be unique")
+        self._cells: List[Buffer] = cells
+        self._by_name = {b.name: b for b in cells}
+
+    def __iter__(self) -> Iterator[Buffer]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> Buffer:
+        return self._cells[index]
+
+    def by_name(self, name: str) -> Buffer:
+        """Return the cell called ``name`` (KeyError when absent)."""
+        return self._by_name[name]
+
+    @property
+    def cells(self) -> Sequence[Buffer]:
+        """The cells in ascending-area order (read-only view)."""
+        return tuple(self._cells)
+
+    @property
+    def smallest(self) -> Buffer:
+        return self._cells[0]
+
+    @property
+    def largest(self) -> Buffer:
+        return self._cells[-1]
+
+    def subset(self, count: int) -> "BufferLibrary":
+        """Return a library of ``count`` cells spread evenly across sizes.
+
+        The pseudo-polynomial DP cost grows linearly in the library size
+        ``m``; experiments that do not need all 34 drive strengths thin the
+        library with this method while keeping the full size range (the
+        smallest and largest cells are always retained).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count >= len(self._cells):
+            return BufferLibrary(self._cells)
+        if count == 1:
+            return BufferLibrary([self._cells[len(self._cells) // 2]])
+        stride = (len(self._cells) - 1) / (count - 1)
+        picked = [self._cells[round(i * stride)] for i in range(count)]
+        return BufferLibrary(dict.fromkeys(picked))

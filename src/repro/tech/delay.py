@@ -1,0 +1,111 @@
+"""Delay models: Elmore wires and gate delay equations.
+
+Two gate-delay models are provided:
+
+* :class:`LinearGateDelay` — the classic ``d = intrinsic + R_drive * C_load``
+  switch-level model used by van Ginneken [Gi90] and most buffered-routing
+  dynamic programs.
+* :class:`FourParameterGateDelay` — the paper evaluates gates with a
+  4-parameter delay equation [LSP98]; the exact equation is not reproduced
+  in the DAC text, so we implement the standard 4-term form
+  ``d = k0 + k1*C_load + k2*S_in + k3*C_load*S_in`` with a *nominal* input
+  slew.  Using a fixed nominal slew keeps the required-time recursion a
+  function of downstream state only, which the dynamic-programming
+  formulation (and its pruning correctness, Lemma 9) requires.
+
+Both models are monotone non-decreasing in the load, which is what the
+non-inferior-curve machinery relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro import units
+from repro.tech.buffer import Buffer
+from repro.tech.wire import WireParasitics
+
+
+def elmore_wire_delay(wire: WireParasitics, length: float,
+                      downstream_cap: float) -> float:
+    """Elmore delay (ps) of a wire segment.
+
+    The segment is modelled as a single lumped pi-stage: total resistance
+    ``R = r*L`` sees half its own capacitance plus everything downstream,
+    giving ``d = R * (C_wire/2 + C_down)`` — the standard distributed-RC
+    Elmore approximation [El48].
+    """
+    if length < 0:
+        raise ValueError("wire length must be non-negative")
+    if downstream_cap < 0:
+        raise ValueError("downstream capacitance must be non-negative")
+    resistance = wire.resistance(length)
+    self_cap = wire.capacitance(length)
+    return resistance * (0.5 * self_cap + downstream_cap)
+
+
+class GateDelayModel(abc.ABC):
+    """Interface for computing the delay of a driving cell."""
+
+    @abc.abstractmethod
+    def buffer_delay(self, buffer: Buffer, load: float) -> float:
+        """Delay (ps) through ``buffer`` driving ``load`` fF."""
+
+    @abc.abstractmethod
+    def driver_delay(self, drive_resistance: float, intrinsic: float,
+                     load: float) -> float:
+        """Delay (ps) through a net driver with the given parameters."""
+
+
+@dataclass(frozen=True)
+class LinearGateDelay(GateDelayModel):
+    """``d = intrinsic + R_drive * C_load`` — the switch-level RC model."""
+
+    def buffer_delay(self, buffer: Buffer, load: float) -> float:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        return buffer.intrinsic_delay + buffer.drive_resistance * load
+
+    def driver_delay(self, drive_resistance: float, intrinsic: float,
+                     load: float) -> float:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        return intrinsic + drive_resistance * load
+
+
+@dataclass(frozen=True)
+class FourParameterGateDelay(GateDelayModel):
+    """4-parameter delay equation of [LSP98] with a nominal input slew.
+
+    ``d = k0 + k1*C + k2*S + k3*C*S`` where ``C`` is the load and ``S`` the
+    input slew.  Per cell, the coefficients are derived from the cell's
+    physical parameters: ``k0 = intrinsic``, ``k1 = R_drive``, and the slew
+    terms scale with the configured sensitivities.  A single nominal slew is
+    used for every evaluation (see module docstring for why).
+    """
+
+    nominal_slew: float = units.DEFAULT_NOMINAL_SLEW
+    slew_sensitivity: float = 0.12
+    cross_sensitivity: float = 0.0008
+
+    def __post_init__(self) -> None:
+        if self.nominal_slew < 0:
+            raise ValueError("nominal_slew must be non-negative")
+
+    def buffer_delay(self, buffer: Buffer, load: float) -> float:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        return (buffer.intrinsic_delay
+                + buffer.drive_resistance * load
+                + self.slew_sensitivity * self.nominal_slew
+                + self.cross_sensitivity * self.nominal_slew * load)
+
+    def driver_delay(self, drive_resistance: float, intrinsic: float,
+                     load: float) -> float:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        return (intrinsic
+                + drive_resistance * load
+                + self.slew_sensitivity * self.nominal_slew
+                + self.cross_sensitivity * self.nominal_slew * load)

@@ -1,0 +1,117 @@
+"""Buffer-library and technology I/O.
+
+Industrial flows keep cell libraries in external files; this module
+serializes :class:`BufferLibrary` and :class:`Technology` objects to a
+plain JSON schema so users can drop in their own characterized buffers
+instead of the synthetic library.
+
+Schema::
+
+    {
+      "wire": {"resistance_per_um": ..., "capacitance_per_um": ...},
+      "driver": {"resistance": ..., "intrinsic": ...},
+      "gate_delay": {"model": "linear"} |
+                    {"model": "four_parameter", "nominal_slew": ...,
+                     "slew_sensitivity": ..., "cross_sensitivity": ...},
+      "buffers": [
+        {"name": "...", "input_cap": ..., "drive_resistance": ...,
+         "intrinsic_delay": ..., "area": ...}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.tech.buffer import Buffer, BufferLibrary
+from repro.tech.delay import FourParameterGateDelay, LinearGateDelay
+from repro.tech.technology import Technology
+from repro.tech.wire import WireParasitics
+
+
+def library_to_dict(library: BufferLibrary) -> list:
+    """Serialize a buffer library to plain data."""
+    return [
+        {
+            "name": b.name,
+            "input_cap": b.input_cap,
+            "drive_resistance": b.drive_resistance,
+            "intrinsic_delay": b.intrinsic_delay,
+            "area": b.area,
+        }
+        for b in library
+    ]
+
+
+def library_from_dict(data: list) -> BufferLibrary:
+    """Deserialize a buffer library; raises ValueError on bad entries."""
+    if not isinstance(data, list):
+        raise ValueError("buffer library data must be a list")
+    return BufferLibrary(Buffer(**entry) for entry in data)
+
+
+def technology_to_dict(tech: Technology) -> Dict[str, Any]:
+    """Serialize a complete technology bundle."""
+    gate: Dict[str, Any]
+    if isinstance(tech.gate_delay, FourParameterGateDelay):
+        gate = {
+            "model": "four_parameter",
+            "nominal_slew": tech.gate_delay.nominal_slew,
+            "slew_sensitivity": tech.gate_delay.slew_sensitivity,
+            "cross_sensitivity": tech.gate_delay.cross_sensitivity,
+        }
+    elif isinstance(tech.gate_delay, LinearGateDelay):
+        gate = {"model": "linear"}
+    else:
+        raise ValueError(
+            f"cannot serialize gate delay model "
+            f"{type(tech.gate_delay).__name__}")
+    return {
+        "wire": {
+            "resistance_per_um": tech.wire.resistance_per_um,
+            "capacitance_per_um": tech.wire.capacitance_per_um,
+        },
+        "driver": {
+            "resistance": tech.driver_resistance,
+            "intrinsic": tech.driver_intrinsic,
+        },
+        "gate_delay": gate,
+        "buffers": library_to_dict(tech.buffers),
+    }
+
+
+def technology_from_dict(data: Dict[str, Any]) -> Technology:
+    """Deserialize a technology bundle (inverse of technology_to_dict)."""
+    gate_data = data.get("gate_delay", {"model": "linear"})
+    model = gate_data.get("model")
+    if model == "linear":
+        gate_delay = LinearGateDelay()
+    elif model == "four_parameter":
+        gate_delay = FourParameterGateDelay(
+            nominal_slew=gate_data["nominal_slew"],
+            slew_sensitivity=gate_data["slew_sensitivity"],
+            cross_sensitivity=gate_data["cross_sensitivity"],
+        )
+    else:
+        raise ValueError(f"unknown gate delay model: {model!r}")
+    return Technology(
+        wire=WireParasitics(**data["wire"]),
+        buffers=library_from_dict(data["buffers"]),
+        gate_delay=gate_delay,
+        driver_resistance=data["driver"]["resistance"],
+        driver_intrinsic=data["driver"]["intrinsic"],
+    )
+
+
+def save_technology(tech: Technology, path: str) -> None:
+    """Write ``tech`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(technology_to_dict(tech), handle, indent=2)
+
+
+def load_technology(path: str) -> Technology:
+    """Read a technology bundle from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return technology_from_dict(json.load(handle))

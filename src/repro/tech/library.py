@@ -1,0 +1,60 @@
+"""Synthetic buffer-library generation.
+
+The paper uses an industrial 0.35um CMOS library containing 34 buffers.
+That library is proprietary, so :func:`make_library` synthesizes one with
+the same cardinality and realistic magnitudes: drive strengths spread
+geometrically from a minimum-size to a ~30x buffer, with
+
+* input capacitance growing linearly with drive strength,
+* drive resistance shrinking inversely with drive strength,
+* intrinsic delay growing slowly (larger cells have more internal stages),
+* area growing linearly with drive strength.
+
+These scaling laws are the standard first-order CMOS sizing relations, so
+the synthetic library exercises exactly the same area/delay trade-offs the
+dynamic program explores with a real library.
+"""
+
+from __future__ import annotations
+
+from repro.tech.buffer import Buffer, BufferLibrary
+
+#: Parameters of the smallest (1x) synthetic buffer.
+_BASE_INPUT_CAP = 2.4        # fF
+_BASE_DRIVE_RESISTANCE = 8.0  # kOhm
+_BASE_INTRINSIC = 36.0        # ps
+_BASE_AREA = 28.0             # um^2
+#: Drive-strength ratio between the largest and smallest cell.
+_MAX_STRENGTH = 30.0
+
+
+def make_library(size: int = 34) -> BufferLibrary:
+    """Return a synthetic buffer library with ``size`` cells.
+
+    Cells are named ``BUF_X<strength>`` with strengths spread geometrically
+    over ``[1, 30]``; ``size=34`` reproduces the paper's library cardinality.
+    """
+    if size < 1:
+        raise ValueError("library size must be >= 1")
+    cells = []
+    for i in range(size):
+        if size == 1:
+            strength = 1.0
+        else:
+            strength = _MAX_STRENGTH ** (i / (size - 1))
+        cells.append(Buffer(
+            name=f"BUF_X{strength:.2f}",
+            input_cap=_BASE_INPUT_CAP * strength,
+            drive_resistance=_BASE_DRIVE_RESISTANCE / strength,
+            # Larger buffers need internal pre-drivers: intrinsic delay grows
+            # roughly with the logarithm of the strength.
+            intrinsic_delay=_BASE_INTRINSIC * (1.0 + 0.35 * _log2(strength)),
+            area=_BASE_AREA * strength,
+        ))
+    return BufferLibrary(cells)
+
+
+def _log2(x: float) -> float:
+    import math
+
+    return math.log2(x) if x > 0 else 0.0

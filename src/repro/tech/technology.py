@@ -1,0 +1,67 @@
+"""The :class:`Technology` bundle: everything delay-related in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro import units
+from repro.tech.buffer import BufferLibrary
+from repro.tech.delay import (
+    FourParameterGateDelay,
+    GateDelayModel,
+    elmore_wire_delay,
+)
+from repro.tech.library import make_library
+from repro.tech.wire import WireParasitics
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process technology: wire parasitics, buffer library, delay models.
+
+    Every algorithm in the library takes a :class:`Technology` rather than
+    loose parameters, so an experiment can swap the library, the wire stack
+    or the gate delay equation in one place.
+    """
+
+    wire: WireParasitics
+    buffers: BufferLibrary
+    gate_delay: GateDelayModel
+    #: Output resistance (kOhm) and intrinsic delay (ps) of a net driver
+    #: when the netlist does not specify one.
+    driver_resistance: float = units.DEFAULT_DRIVER_RESISTANCE
+    driver_intrinsic: float = units.DEFAULT_DRIVER_INTRINSIC
+
+    def wire_delay(self, length: float, downstream_cap: float) -> float:
+        """Elmore delay (ps) of a wire of ``length`` um; see tech.delay."""
+        return elmore_wire_delay(self.wire, length, downstream_cap)
+
+    def wire_cap(self, length: float) -> float:
+        """Capacitance (fF) a wire of ``length`` um adds to its driver."""
+        return self.wire.capacitance(length)
+
+    def buffer_delay(self, buffer, load: float) -> float:
+        """Delay (ps) through ``buffer`` driving ``load`` fF."""
+        return self.gate_delay.buffer_delay(buffer, load)
+
+    def driver_delay(self, load: float,
+                     drive_resistance: Optional[float] = None,
+                     intrinsic: Optional[float] = None) -> float:
+        """Delay (ps) through the net driver for ``load`` fF."""
+        resistance = self.driver_resistance if drive_resistance is None else drive_resistance
+        base = self.driver_intrinsic if intrinsic is None else intrinsic
+        return self.gate_delay.driver_delay(resistance, base, load)
+
+    def with_buffers(self, buffers: BufferLibrary) -> "Technology":
+        """Return a copy using a different buffer library."""
+        return replace(self, buffers=buffers)
+
+
+def default_technology(library_size: int = 34) -> Technology:
+    """Return the default synthetic 0.35um technology used by experiments."""
+    return Technology(
+        wire=WireParasitics(),
+        buffers=make_library(library_size),
+        gate_delay=FourParameterGateDelay(),
+    )

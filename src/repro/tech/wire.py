@@ -1,0 +1,35 @@
+"""Wire parasitics for the distributed-RC Elmore model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class WireParasitics:
+    """Per-unit-length wire parasitics.
+
+    Attributes
+    ----------
+    resistance_per_um:
+        Series resistance per micron (kOhm/um).
+    capacitance_per_um:
+        Capacitance to ground per micron (fF/um).
+    """
+
+    resistance_per_um: float = units.DEFAULT_WIRE_RESISTANCE
+    capacitance_per_um: float = units.DEFAULT_WIRE_CAPACITANCE
+
+    def __post_init__(self) -> None:
+        if self.resistance_per_um < 0 or self.capacitance_per_um < 0:
+            raise ValueError("wire parasitics must be non-negative")
+
+    def resistance(self, length: float) -> float:
+        """Total series resistance (kOhm) of a wire of ``length`` microns."""
+        return self.resistance_per_um * length
+
+    def capacitance(self, length: float) -> float:
+        """Total capacitance (fF) of a wire of ``length`` microns."""
+        return self.capacitance_per_um * length

@@ -1,0 +1,55 @@
+"""Unit conventions used throughout the library.
+
+All physical quantities are plain floats in a single consistent unit system
+chosen so that resistance times capacitance is directly a time:
+
+==============  =========  =======================================
+Quantity        Unit       Notes
+==============  =========  =======================================
+distance        micron     rectilinear (Manhattan) metric
+capacitance     femtofarad sink loads, wire cap, buffer input caps
+resistance      kiloohm    drive and wire resistance
+time            picosecond kOhm * fF = ps exactly
+area            um^2       buffer cell areas
+==============  =========  =======================================
+
+The module also provides the default 0.35um-process magnitudes used by the
+synthetic technology (see :mod:`repro.tech.library`).  They are chosen so
+that, per the paper's Table 1 setup, the interconnect delay across a net
+bounding box is comparable to a gate delay.
+"""
+
+from __future__ import annotations
+
+#: Wire sheet resistance per micron of routed length (kOhm/um).
+#: 0.075 Ohm/um is typical for a 0.35um-process metal-3 wire.
+DEFAULT_WIRE_RESISTANCE = 7.5e-5
+
+#: Wire capacitance per micron of routed length (fF/um).
+DEFAULT_WIRE_CAPACITANCE = 0.15
+
+#: Default driver (net source) output resistance (kOhm).
+DEFAULT_DRIVER_RESISTANCE = 2.0
+
+#: Default driver intrinsic delay (ps).
+DEFAULT_DRIVER_INTRINSIC = 60.0
+
+#: Nominal input slew used by the four-parameter gate delay model (ps).
+DEFAULT_NOMINAL_SLEW = 80.0
+
+#: Characteristic bounding-box side (um) at which the Elmore delay of a
+#: corner-to-corner wire roughly equals one mid-strength buffer delay.
+#: Used by the synthetic net generator to size net bounding boxes.
+GATE_EQUIVALENT_BOX_SIDE = 2000.0
+
+
+def wire_delay_scale(resistance_per_um: float = DEFAULT_WIRE_RESISTANCE,
+                     capacitance_per_um: float = DEFAULT_WIRE_CAPACITANCE) -> float:
+    """Return the quadratic Elmore coefficient ``r*c/2`` in ps/um^2.
+
+    The Elmore delay of an unbuffered wire of length ``L`` driving zero load
+    is ``(r*c/2) * L**2``; this constant is handy for sizing synthetic
+    workloads so wire delay matches gate delay, as the paper's experimental
+    setup prescribes.
+    """
+    return 0.5 * resistance_per_um * capacitance_per_um

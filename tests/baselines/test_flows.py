@@ -1,0 +1,88 @@
+"""Tests for repro.baselines.flows (the three experimental setups)."""
+
+import pytest
+
+from repro.baselines.flows import (
+    ALL_FLOWS,
+    FLOW_I,
+    FLOW_II,
+    FLOW_III,
+    run_all_flows,
+    run_flow,
+)
+from repro.core.config import MerlinConfig
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+class TestRunFlow:
+    @pytest.mark.parametrize("flow", ALL_FLOWS)
+    def test_each_flow_produces_valid_evaluated_tree(self, flow):
+        net = build_net(5, seed=1)
+        result = run_flow(flow, net, TECH, config=CFG)
+        validate_tree(result.tree)
+        assert result.runtime_s >= 0.0
+        assert result.delay > 0.0
+        assert result.evaluation.sink_arrivals.keys() == set(range(5))
+
+    def test_unknown_flow_rejected(self):
+        net = build_net(3, seed=2)
+        with pytest.raises(ValueError, match="unknown flow"):
+            run_flow("flow4_magic", net, TECH, config=CFG)
+
+    def test_flow1_embeds_lttree_buffers(self):
+        """Flow I's tree must contain the chain buffers it planned."""
+        from repro.baselines.lttree import lttree_fanout
+
+        net = build_net(8, seed=3)
+        planned = lttree_fanout(net, TECH, config=CFG)
+        result = run_flow(FLOW_I, net, TECH, config=CFG)
+        assert len(result.tree.buffer_nodes) == planned.root.depth
+
+    def test_flow2_runs_ptree_then_insertion(self):
+        net = build_net(5, seed=4)
+        result = run_flow(FLOW_II, net, TECH, config=CFG)
+        validate_tree(result.tree)
+
+    def test_flow3_reports_loops(self):
+        net = build_net(4, seed=5)
+        result = run_flow(FLOW_III, net, TECH,
+                          config=CFG.with_(max_iterations=3))
+        assert 1 <= result.loops <= 3
+        assert "cost_trace" in result.extra
+
+    def test_sequential_flows_report_single_loop(self):
+        net = build_net(4, seed=6)
+        for flow in (FLOW_I, FLOW_II):
+            assert run_flow(flow, net, TECH, config=CFG).loops == 1
+
+
+class TestRunAllFlows:
+    def test_returns_all_three(self):
+        net = build_net(4, seed=7)
+        results = run_all_flows(net, TECH, config=CFG)
+        assert set(results) == set(ALL_FLOWS)
+
+    def test_buffered_flows_beat_flow1_on_typical_nets(self):
+        """The headline shape: unified/buffered routing beats naive
+        LTTREE-then-route on delay, on a majority of nets."""
+        wins_ii = wins_iii = total = 0
+        for seed in (1, 2, 3):
+            net = build_net(6, seed=seed)
+            results = run_all_flows(net, TECH, config=CFG)
+            total += 1
+            if results[FLOW_II].delay < results[FLOW_I].delay:
+                wins_ii += 1
+            if results[FLOW_III].delay < results[FLOW_I].delay:
+                wins_iii += 1
+        assert wins_ii >= 2
+        assert wins_iii >= 2
+
+    def test_all_flows_drive_all_sinks(self):
+        net = build_net(5, seed=9)
+        for result in run_all_flows(net, TECH, config=CFG).values():
+            assert sorted(result.evaluation.sink_arrivals) == list(range(5))

@@ -1,0 +1,136 @@
+"""Tests for repro.baselines.lttree (LT-Tree type-I fanout optimization)."""
+
+import pytest
+
+from repro.baselines.lttree import FanoutNode, lttree_fanout
+from repro.core.config import MerlinConfig
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.orders.heuristics import required_time_order
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+def chain_stages(root: FanoutNode):
+    """Walk the buffer chain from the root stage to the tail."""
+    stages = [root]
+    while stages[-1].child is not None:
+        stages.append(stages[-1].child)
+    return stages
+
+
+class TestTopology:
+    def test_covers_all_sinks_exactly_once(self):
+        net = build_net(6, seed=1)
+        result = lttree_fanout(net, TECH, config=CFG)
+        assert sorted(result.root.all_sinks()) == list(range(6))
+
+    def test_chain_structure(self):
+        """LT-Tree type I: internal nodes form a chain (Lemma 2/3)."""
+        net = build_net(8, seed=2)
+        result = lttree_fanout(net, TECH, config=CFG)
+        for stage in chain_stages(result.root)[1:]:
+            assert stage.buffer is not None
+
+    def test_root_stage_has_no_buffer(self):
+        net = build_net(5, seed=3)
+        result = lttree_fanout(net, TECH, config=CFG)
+        assert result.root.buffer is None
+
+    def test_buffer_area_accumulates(self):
+        net = build_net(7, seed=4)
+        result = lttree_fanout(net, TECH, config=CFG)
+        manual = sum(stage.buffer.area
+                     for stage in chain_stages(result.root)
+                     if stage.buffer is not None)
+        assert result.buffer_area == pytest.approx(manual)
+        assert result.root.buffer_area == pytest.approx(manual)
+
+    def test_depth_counts_buffers(self):
+        net = build_net(6, seed=5)
+        result = lttree_fanout(net, TECH, config=CFG)
+        assert result.root.depth == len(chain_stages(result.root)) - 1
+
+
+class TestOptimization:
+    def test_heavy_fanout_gets_buffers(self):
+        """Driving 30 heavy sinks directly is clearly worse than a chain."""
+        sinks = tuple(
+            Sink(f"s{i}", Point(0, 0), load=60.0, required_time=1000.0)
+            for i in range(30)
+        )
+        net = Net("heavy", Point(0, 0), sinks)
+        result = lttree_fanout(net, TECH, config=CFG)
+        assert result.root.depth >= 1
+        flat_delay = TECH.driver_delay(net.total_sink_load)
+        assert result.required_time > 1000.0 - flat_delay
+
+    def test_light_fanout_stays_flat(self):
+        """Two tiny sinks: a buffer can only add delay."""
+        sinks = (
+            Sink("a", Point(0, 0), load=3.0, required_time=1000.0),
+            Sink("b", Point(0, 0), load=3.0, required_time=1000.0),
+        )
+        net = Net("light", Point(0, 0), sinks)
+        result = lttree_fanout(net, TECH, config=CFG)
+        assert result.root.depth == 0
+        assert result.buffer_area == 0.0
+
+    def test_critical_sinks_close_to_driver(self):
+        """Non-critical sinks are pushed deeper down the chain."""
+        sinks = (
+            Sink("critical", Point(0, 0), load=20.0, required_time=100.0),
+            *[Sink(f"slack{i}", Point(0, 0), load=20.0, required_time=2000.0)
+              for i in range(12)],
+        )
+        net = Net("mix", Point(0, 0), sinks)
+        result = lttree_fanout(net, TECH, config=CFG)
+        stages = chain_stages(result.root)
+        if len(stages) > 1:
+            critical_depth = next(
+                depth for depth, stage in enumerate(stages)
+                if 0 in stage.sink_indices)
+            slack_depths = [depth for depth, stage in enumerate(stages)
+                            for s in stage.sink_indices if s != 0]
+            assert critical_depth <= max(slack_depths)
+
+    def test_required_time_is_logic_domain_consistent(self):
+        """Recomputing the chain's required time matches the DP's value."""
+        net = build_net(5, seed=7)
+        result = lttree_fanout(net, TECH, config=CFG)
+
+        def stage_req(stage):
+            direct = [net.sink(i) for i in stage.sink_indices]
+            load = sum(s.load for s in direct)
+            req = min((s.required_time for s in direct),
+                      default=float("inf"))
+            if stage.child is not None:
+                load += stage.child.buffer.input_cap
+                req = min(req, stage_req(stage.child))
+            if stage.buffer is None:
+                return req - TECH.driver_delay(
+                    load, net.driver_resistance, net.driver_intrinsic)
+            return req - TECH.buffer_delay(stage.buffer, load)
+
+        assert stage_req(result.root) == pytest.approx(
+            result.required_time, abs=1e-6)
+
+    def test_custom_order_respected(self):
+        net = build_net(5, seed=8)
+        order = required_time_order(net)
+        result = lttree_fanout(net, TECH, order=order, config=CFG)
+        # Sinks appear in criticality order along the chain.
+        flattened = result.root.all_sinks()
+        positions = {sink: flattened.index(sink) for sink in flattened}
+        for earlier, later in zip(list(order), list(order)[1:]):
+            assert positions[earlier] < positions[later]
+
+    def test_wrong_order_size_rejected(self):
+        net = build_net(4, seed=9)
+        from repro.orders.order import Order
+
+        with pytest.raises(ValueError):
+            lttree_fanout(net, TECH, order=Order.identity(5), config=CFG)

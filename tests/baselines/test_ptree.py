@@ -1,0 +1,87 @@
+"""Tests for repro.baselines.ptree (PTREE of [LCLH96])."""
+
+import pytest
+
+from repro.baselines.ptree import ptree_route
+from repro.core.config import MerlinConfig
+from repro.orders.order import Order
+from repro.orders.tsp import tsp_order
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.sink_order import extract_sink_order
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+class TestPtreeRoute:
+    def test_produces_valid_unbuffered_tree(self):
+        net = build_net(5, seed=1)
+        result = ptree_route(net, TECH, config=CFG)
+        validate_tree(result.tree)
+        assert result.tree.buffer_nodes == []
+        assert result.solution.area == 0.0
+
+    def test_respects_given_order(self):
+        net = build_net(5, seed=2)
+        order = Order.from_sequence([4, 2, 0, 3, 1])
+        result = ptree_route(net, TECH, order=order, config=CFG)
+        assert extract_sink_order(result.tree) == list(order)
+
+    def test_default_order_is_tsp(self):
+        net = build_net(5, seed=3)
+        explicit = ptree_route(net, TECH, order=tsp_order(net), config=CFG)
+        default = ptree_route(net, TECH, config=CFG)
+        assert extract_sink_order(default.tree) == \
+            extract_sink_order(explicit.tree)
+
+    def test_dp_matches_evaluator(self):
+        net = build_net(4, seed=4)
+        result = ptree_route(net, TECH, config=CFG)
+        ev = evaluate_tree(result.tree, TECH)
+        assert ev.required_time_at_driver == pytest.approx(
+            result.solution.required_time, abs=1e-6)
+        assert ev.buffer_area == 0.0
+
+    def test_wrong_order_size_rejected(self):
+        net = build_net(3, seed=5)
+        with pytest.raises(ValueError):
+            ptree_route(net, TECH, order=Order.identity(4), config=CFG)
+
+    def test_single_sink(self):
+        net = build_net(1, seed=6)
+        result = ptree_route(net, TECH, config=CFG)
+        validate_tree(result.tree)
+
+    def test_beats_star_routing_on_clustered_sinks(self):
+        """A Steiner tree shares trunk wire that a star pays repeatedly."""
+        from repro.geometry.point import Point
+        from repro.net import Net, Sink
+        from repro.routing.tree import RoutingTree, SinkNode, SourceNode
+
+        sinks = tuple(
+            Sink(f"s{i}", Point(2000.0, 100.0 * i), load=10.0,
+                 required_time=1000.0)
+            for i in range(4)
+        )
+        net = Net("cluster", Point(0, 0), sinks)
+        routed = ptree_route(net, TECH, config=CFG)
+        star_root = SourceNode(net.source)
+        for i, sink in enumerate(sinks):
+            star_root.add_child(SinkNode(sink.position, i))
+        star = evaluate_tree(RoutingTree(net=net, root=star_root), TECH)
+        tree_ev = evaluate_tree(routed.tree, TECH)
+        assert tree_ev.wire_length < star.wire_length
+        assert tree_ev.required_time_at_driver > \
+            star.required_time_at_driver
+
+    def test_final_curve_sorted_non_inferior(self):
+        net = build_net(4, seed=8)
+        result = ptree_route(net, TECH, config=CFG)
+        finals = result.final_solutions
+        for i, a in enumerate(finals):
+            for j, b in enumerate(finals):
+                if i != j:
+                    assert not (a.dominates(b) and a.key() != b.key())

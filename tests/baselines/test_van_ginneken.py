@@ -1,0 +1,107 @@
+"""Tests for repro.baselines.van_ginneken."""
+
+import pytest
+
+from repro.baselines.ptree import ptree_route
+from repro.baselines.van_ginneken import van_ginneken_insert, _split_points
+from repro.core.config import MerlinConfig
+from repro.core.objective import Objective
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+def routed(net):
+    return ptree_route(net, TECH, config=CFG).tree
+
+
+class TestInsertion:
+    def test_valid_tree_out(self):
+        net = build_net(5, seed=1)
+        result = van_ginneken_insert(routed(net), TECH, config=CFG)
+        validate_tree(result.tree)
+
+    def test_never_worse_than_unbuffered(self):
+        """The unbuffered tree is one point of the DP's solution space."""
+        net = build_net(5, seed=2)
+        tree = routed(net)
+        before = evaluate_tree(tree, TECH)
+        result = van_ginneken_insert(tree, TECH, config=CFG)
+        after = evaluate_tree(result.tree, TECH)
+        assert after.required_time_at_driver >= \
+            before.required_time_at_driver - 1e-6
+
+    def test_dp_matches_evaluator(self):
+        net = build_net(4, seed=3)
+        result = van_ginneken_insert(routed(net), TECH, config=CFG)
+        lib = TECH.buffers.subset(CFG.library_subset)
+        ev = evaluate_tree(result.tree, TECH.with_buffers(lib))
+        assert ev.required_time_at_driver == pytest.approx(
+            result.solution.required_time, abs=1e-6)
+        assert ev.buffer_area == pytest.approx(result.solution.area)
+
+    def test_long_heavy_net_gets_buffers(self):
+        sinks = tuple(
+            Sink(f"s{i}", Point(9000.0 + 200.0 * i, 0.0), load=80.0,
+                 required_time=3000.0)
+            for i in range(4)
+        )
+        net = Net("long", Point(0, 0), sinks)
+        result = van_ginneken_insert(routed(net), TECH, config=CFG)
+        assert len(result.tree.buffer_nodes) >= 1
+
+    def test_rejects_already_buffered_tree(self):
+        net = build_net(4, seed=4)
+        result = van_ginneken_insert(routed(net), TECH, config=CFG)
+        if result.tree.buffer_nodes:
+            with pytest.raises(ValueError, match="unbuffered"):
+                van_ginneken_insert(result.tree, TECH, config=CFG)
+
+    def test_parameter_validation(self):
+        net = build_net(3, seed=5)
+        tree = routed(net)
+        with pytest.raises(ValueError):
+            van_ginneken_insert(tree, TECH, config=CFG, segment_length=0)
+        with pytest.raises(ValueError):
+            van_ginneken_insert(tree, TECH, config=CFG,
+                                max_segments_per_edge=0)
+
+    def test_area_objective_prefers_fewer_buffers(self):
+        net = build_net(5, seed=6)
+        tree = routed(net)
+        delay_focused = van_ginneken_insert(tree, TECH, config=CFG)
+        floor = delay_focused.solution.required_time - 300.0
+        area_focused = van_ginneken_insert(
+            tree, TECH, config=CFG, objective=Objective.min_area(floor))
+        assert area_focused.solution.area <= delay_focused.solution.area
+
+
+class TestSplitPoints:
+    def test_no_points_for_short_edge(self):
+        assert _split_points(Point(0, 0), Point(50, 0), 400.0, 4) == []
+
+    def test_points_lie_on_l_path(self):
+        points = _split_points(Point(0, 0), Point(300, 400), 100.0, 8)
+        assert points, "long edge must split"
+        for p in points:
+            on_horizontal = p.y == 0.0 and 0.0 <= p.x <= 300.0
+            on_vertical = p.x == 300.0 and 0.0 <= p.y <= 400.0
+            assert on_horizontal or on_vertical
+
+    def test_segment_cap_respected(self):
+        points = _split_points(Point(0, 0), Point(5000, 0), 100.0, 4)
+        assert len(points) == 3  # 4 segments -> 3 interior points
+
+    def test_distances_are_even(self):
+        points = _split_points(Point(0, 0), Point(800, 0), 400.0, 8)
+        xs = [p.x for p in points]
+        assert xs == [400.0]
+
+    def test_zero_length_edge(self):
+        assert _split_points(Point(5, 5), Point(5, 5), 100.0, 4) == []

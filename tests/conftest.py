@@ -1,0 +1,70 @@
+"""Shared fixtures: deterministic nets, technologies, small configs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.tech.technology import Technology, default_technology
+
+
+def build_net(n_sinks: int, seed: int, box: float = 1500.0,
+              name: str = "tnet") -> Net:
+    """A seeded random net; the workhorse of the DP tests."""
+    rng = random.Random(seed)
+    sinks = tuple(
+        Sink(
+            name=f"{name}_s{i}",
+            position=Point(rng.uniform(0.0, box), rng.uniform(0.0, box)),
+            load=rng.uniform(4.0, 40.0),
+            required_time=rng.uniform(700.0, 1100.0),
+        )
+        for i in range(n_sinks)
+    )
+    return Net(name=name, source=Point(0.0, 0.0), sinks=sinks)
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    """Full default technology (34-buffer synthetic library)."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def small_tech() -> Technology:
+    """Technology thinned to 4 buffers — faster DP tests."""
+    full = default_technology()
+    return full.with_buffers(full.buffers.subset(4))
+
+
+@pytest.fixture()
+def test_config() -> MerlinConfig:
+    """Smallest meaningful DP knobs (see MerlinConfig.test_preset)."""
+    return MerlinConfig.test_preset()
+
+
+@pytest.fixture()
+def tiny_net() -> Net:
+    """Two sinks, hand-placed: easy to reason about by hand."""
+    return Net(
+        name="tiny",
+        source=Point(0.0, 0.0),
+        sinks=(
+            Sink("a", Point(400.0, 0.0), load=10.0, required_time=500.0),
+            Sink("b", Point(0.0, 600.0), load=20.0, required_time=650.0),
+        ),
+    )
+
+
+@pytest.fixture()
+def small_net() -> Net:
+    return build_net(4, seed=42)
+
+
+@pytest.fixture()
+def medium_net() -> Net:
+    return build_net(6, seed=7)

@@ -1,0 +1,76 @@
+"""Tests for repro.core.annealing (the SA extension)."""
+
+import pytest
+
+from repro.core.annealing import annealed_merlin
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.core.objective import Objective
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+class TestAnnealedMerlin:
+    def test_produces_valid_tree(self):
+        net = build_net(4, seed=1)
+        result = annealed_merlin(net, TECH, config=CFG, iterations=3,
+                                 seed=7)
+        validate_tree(result.best.tree)
+        assert result.iterations == 3
+        assert len(result.cost_trace) == 4  # initial + 3 proposals
+
+    def test_deterministic_in_seed(self):
+        net = build_net(4, seed=2)
+        a = annealed_merlin(net, TECH, config=CFG, iterations=3, seed=5)
+        b = annealed_merlin(net, TECH, config=CFG, iterations=3, seed=5)
+        assert a.cost_trace == b.cost_trace
+
+    def test_best_tracks_minimum_cost(self):
+        net = build_net(4, seed=3)
+        objective = Objective.max_required_time()
+        result = annealed_merlin(net, TECH, config=CFG,
+                                 objective=objective, iterations=4, seed=1)
+        assert objective.cost(result.best.solution) == \
+            pytest.approx(min(result.cost_trace))
+
+    def test_not_worse_than_single_descent_start(self):
+        """SA starts from the same first BUBBLE_CONSTRUCT run, so its best
+        can never be worse than that starting point."""
+        net = build_net(5, seed=4)
+        result = annealed_merlin(net, TECH, config=CFG, iterations=4,
+                                 seed=2)
+        assert min(result.cost_trace) == \
+            pytest.approx(-result.best.solution.required_time)
+        assert -result.best.solution.required_time <= \
+            result.cost_trace[0] + 1e-9
+
+    def test_acceptance_counters_consistent(self):
+        net = build_net(4, seed=5)
+        result = annealed_merlin(net, TECH, config=CFG, iterations=5,
+                                 seed=3)
+        assert 0 <= result.uphill_moves <= result.accepted_moves <= 5
+
+    def test_parameter_validation(self):
+        net = build_net(3, seed=6)
+        with pytest.raises(ValueError):
+            annealed_merlin(net, TECH, config=CFG, iterations=0)
+        with pytest.raises(ValueError):
+            annealed_merlin(net, TECH, config=CFG, cooling=0.0)
+        with pytest.raises(ValueError):
+            annealed_merlin(net, TECH, config=CFG, start_temperature=-1.0)
+
+    def test_comparable_to_greedy_merlin(self):
+        """On small nets both searches should find similar quality; SA is
+        allowed a modest deficit because its budget is tiny here."""
+        net = build_net(5, seed=7)
+        greedy = merlin(net, TECH, config=CFG)
+        annealed = annealed_merlin(net, TECH, config=CFG, iterations=4,
+                                   seed=9)
+        greedy_req = greedy.best.solution.required_time
+        sa_req = annealed.best.solution.required_time
+        scale = abs(greedy_req) + 100.0
+        assert sa_req >= greedy_req - 0.5 * scale

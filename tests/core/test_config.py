@@ -1,0 +1,47 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.geometry.candidates import CandidateStrategy
+
+
+class TestMerlinConfig:
+    def test_default_preset_is_valid(self):
+        cfg = MerlinConfig()
+        assert cfg.alpha >= 2
+        assert cfg.curve.max_solutions >= 3
+
+    def test_paper_preset_matches_table1_setup(self):
+        cfg = MerlinConfig.paper_preset()
+        assert cfg.alpha == 15
+        assert cfg.candidate_strategy is CandidateStrategy.FULL_HANAN
+        assert cfg.max_candidates is None
+        assert cfg.library_subset is None  # all 34 buffers
+
+    def test_test_preset_is_smaller_than_default(self):
+        test, default = MerlinConfig.test_preset(), MerlinConfig()
+        assert test.alpha <= default.alpha
+        assert test.curve.max_solutions <= default.curve.max_solutions
+
+    def test_alpha_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            MerlinConfig(alpha=1)
+
+    def test_negative_relocation_rejected(self):
+        with pytest.raises(ValueError):
+            MerlinConfig(relocation_rounds=-1)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            MerlinConfig(max_iterations=0)
+
+    def test_with_replaces_fields(self):
+        cfg = MerlinConfig().with_(alpha=6, enable_bubbling=False)
+        assert cfg.alpha == 6
+        assert not cfg.enable_bubbling
+        assert MerlinConfig().alpha == 4  # original defaults untouched
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            MerlinConfig().alpha = 9

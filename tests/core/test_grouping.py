@@ -1,0 +1,169 @@
+"""Tests for repro.core.grouping (χ structures, SINK_SET, bubble out)."""
+
+import pytest
+
+from repro.core.grouping import (
+    Group,
+    child_sizes,
+    enumerate_groups,
+    level_plan,
+    make_group,
+    stretch,
+)
+
+
+class TestStretch:
+    def test_figure_10_values(self):
+        assert stretch(0) == 0
+        assert stretch(1) == 1
+        assert stretch(2) == 1
+        assert stretch(3) == 2
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            stretch(4)
+
+
+class TestMakeGroup:
+    def test_chi0_members_are_contiguous(self):
+        group = make_group(r=5, size=3, e=0, n=10)
+        assert group.member_positions == (3, 4, 5)
+        assert group.left_hole is None and group.right_hole is None
+
+    def test_chi1_right_bubble(self):
+        """Figure 13 case 1: skip s_{R-1}."""
+        group = make_group(r=5, size=3, e=1, n=10)
+        assert group.span_left == 2
+        assert group.member_positions == (2, 3, 5)
+        assert group.right_hole == 4
+
+    def test_chi2_left_bubble(self):
+        """Figure 13 case 2: skip s_{R-L'+2}."""
+        group = make_group(r=5, size=3, e=2, n=10)
+        assert group.span_left == 2
+        assert group.member_positions == (2, 4, 5)
+        assert group.left_hole == 3
+
+    def test_chi3_both_bubbles(self):
+        """Figure 13 case 3: skip both border-adjacent positions."""
+        group = make_group(r=5, size=2, e=3, n=10)
+        assert group.span_left == 2
+        assert group.member_positions == (2, 5)
+        assert group.left_hole == 3 and group.right_hole == 4
+
+    def test_single_sink_chi1_spans_two_positions(self):
+        """The adjacent-swap mechanism: {s_r} occupying [r-1, r]."""
+        group = make_group(r=4, size=1, e=1, n=10)
+        assert group.member_positions == (4,)
+        assert group.right_hole == 3
+
+    def test_single_sink_chi3_invalid(self):
+        """χ3 with one sink would need two colliding holes."""
+        assert make_group(r=4, size=1, e=3, n=10) is None
+
+    def test_span_out_of_range_invalid(self):
+        assert make_group(r=1, size=3, e=0, n=10) is None
+        assert make_group(r=12, size=3, e=0, n=10) is None
+        assert make_group(r=2, size=2, e=3, n=10) is None  # span_left < 0
+
+    def test_member_count_equals_size(self):
+        for e in range(4):
+            for size in range(1, 5):
+                group = make_group(r=7, size=size, e=e, n=12)
+                if group is not None:
+                    assert len(group.member_positions) == size
+
+
+class TestEnumerateGroups:
+    def test_all_valid(self):
+        for group in enumerate_groups(8, 3):
+            assert group.span_left >= 0
+            assert group.r < 8
+            assert len(group.member_positions) == 3
+
+    def test_bubbling_disabled_restricts_to_chi0(self):
+        groups = enumerate_groups(8, 3, enable_bubbling=False)
+        assert all(g.e == 0 for g in groups)
+        assert len(groups) == 6  # r in 2..7
+
+    def test_full_size_group_only_chi0(self):
+        groups = enumerate_groups(5, 5)
+        assert len(groups) == 1
+        assert groups[0].e == 0 and groups[0].r == 4
+
+
+class TestChildSizes:
+    def test_alpha_bound(self):
+        """Level fanout = (L - l) sinks + 1 virtual leaf <= alpha."""
+        sizes = child_sizes(parent_size=7, alpha=4)
+        assert list(sizes) == [4, 5, 6]
+        for l in sizes:
+            assert (7 - l) + 1 <= 4
+
+    def test_small_parent_allows_single_sink_child(self):
+        assert list(child_sizes(3, alpha=4)) == [1, 2]
+
+
+class TestLevelPlan:
+    def test_plain_nesting(self):
+        parent = make_group(r=5, size=4, e=0, n=10)   # positions 2..5
+        child = make_group(r=4, size=2, e=0, n=10)    # positions 3..4
+        plan = level_plan(parent, child)
+        assert plan is not None
+        assert plan.leaves == (("sink", 2), ("group", None), ("sink", 5))
+
+    def test_right_bubble_out(self):
+        """Figure 5: the hole sink re-appears right after the group."""
+        parent = make_group(r=5, size=4, e=0, n=10)   # positions 2..5
+        child = make_group(r=4, size=2, e=1, n=10)    # span 2..4, hole at 3
+        plan = level_plan(parent, child)
+        assert plan is not None
+        assert plan.leaves == (("group", None), ("sink", 3), ("sink", 5))
+
+    def test_left_bubble_out(self):
+        parent = make_group(r=5, size=4, e=0, n=10)   # positions 2..5
+        child = make_group(r=5, size=2, e=2, n=10)    # span 3..5, hole at 4
+        plan = level_plan(parent, child)
+        assert plan is not None
+        assert plan.leaves == (("sink", 2), ("sink", 4), ("group", None))
+
+    def test_child_escaping_parent_span_rejected(self):
+        parent = make_group(r=5, size=3, e=0, n=10)   # 3..5
+        child = make_group(r=6, size=2, e=0, n=10)    # 5..6: escapes right
+        assert level_plan(parent, child) is None
+
+    def test_child_member_not_in_parent_rejected(self):
+        """Figure 12: incompatible grouping structures are skipped."""
+        parent = make_group(r=5, size=3, e=1, n=10)   # members 2,3,5 hole 4
+        child = make_group(r=4, size=2, e=0, n=10)    # members 3,4
+        assert level_plan(parent, child) is None      # 4 not in parent
+
+    def test_child_as_large_as_parent_rejected(self):
+        parent = make_group(r=5, size=3, e=0, n=10)
+        child = make_group(r=5, size=3, e=0, n=10)
+        assert level_plan(parent, child) is None
+
+    def test_shared_hole_bubbles_out_twice(self):
+        """A child hole that is also a parent hole defers to the
+        grandparent level and is not routed here."""
+        parent = make_group(r=5, size=3, e=1, n=10)   # members 2,3,5 hole 4
+        child = make_group(r=5, size=2, e=1, n=10)    # members 3,5 hole 4
+        plan = level_plan(parent, child)
+        assert plan is not None
+        # position 4 belongs to neither: it bubbles past both borders.
+        assert plan.leaves == (("sink", 2), ("group", None))
+
+    def test_adjacent_swap_via_single_sink_chi1(self):
+        """The l=1, χ1 construction that realizes plain adjacent swaps."""
+        parent = make_group(r=4, size=2, e=0, n=10)   # positions 3..4
+        child = make_group(r=4, size=1, e=1, n=10)    # member 4, hole 3
+        plan = level_plan(parent, child)
+        assert plan is not None
+        assert plan.leaves == (("group", None), ("sink", 3))
+
+    def test_virtual_index(self):
+        parent = make_group(r=5, size=4, e=0, n=10)
+        child = make_group(r=4, size=2, e=0, n=10)
+        plan = level_plan(parent, child)
+        assert plan.virtual_index == 1
+        assert plan.sink_positions == (2, 5)

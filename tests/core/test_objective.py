@@ -1,0 +1,119 @@
+"""Tests for repro.core.objective (the two problem variants)."""
+
+import math
+
+import pytest
+
+from repro.core.objective import Objective
+from repro.curves.solution import SinkLeaf, Solution
+from repro.geometry.point import Point
+
+P = Point(0, 0)
+
+
+def sol(load=10.0, req=100.0, area=0.0):
+    return Solution(P, load, req, area, SinkLeaf(0))
+
+
+class TestVariantI:
+    """Maximize required time subject to an area budget."""
+
+    def test_picks_best_required_time(self):
+        objective = Objective.max_required_time()
+        best = objective.select([sol(req=100), sol(req=300), sol(req=200)])
+        assert best.required_time == 300
+
+    def test_area_budget_filters(self):
+        objective = Objective.max_required_time(area_budget=50)
+        best = objective.select([sol(req=300, area=100), sol(req=100, area=20)])
+        assert best.required_time == 100
+
+    def test_no_feasible_returns_none(self):
+        objective = Objective.max_required_time(area_budget=5)
+        assert objective.select([sol(area=100)]) is None
+
+    def test_tie_breaks_on_smaller_area(self):
+        objective = Objective.max_required_time()
+        best = objective.select([sol(req=100, area=50), sol(req=100, area=10)])
+        assert best.area == 10
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Objective.max_required_time(area_budget=-1)
+
+    def test_cost_is_negated_required_time(self):
+        objective = Objective.max_required_time()
+        assert objective.cost(sol(req=123)) == -123
+
+
+class TestVariantII:
+    """Minimize area subject to a required-time floor."""
+
+    def test_picks_min_area_above_floor(self):
+        objective = Objective.min_area(required_time_floor=150)
+        best = objective.select([
+            sol(req=100, area=10),   # infeasible
+            sol(req=200, area=80),
+            sol(req=160, area=40),
+        ])
+        assert best.area == 40
+
+    def test_no_feasible_returns_none(self):
+        objective = Objective.min_area(required_time_floor=1000)
+        assert objective.select([sol(req=100)]) is None
+
+    def test_tie_breaks_on_better_required_time(self):
+        objective = Objective.min_area(required_time_floor=0)
+        best = objective.select([sol(req=10, area=40), sol(req=90, area=40)])
+        assert best.required_time == 90
+
+    def test_cost_is_area(self):
+        objective = Objective.min_area(required_time_floor=0)
+        assert objective.cost(sol(area=55)) == 55
+
+
+class TestBestTradeoff:
+    """The paper's extraction rule: near-best required time, least area."""
+
+    def test_picks_cheapest_within_tolerance(self):
+        objective = Objective.best_tradeoff(tolerance=20.0)
+        best = objective.select([
+            sol(req=100, area=500),   # best req, expensive
+            sol(req=85, area=50),     # within 20 ps, much cheaper
+            sol(req=50, area=0),      # too slow
+        ])
+        assert best.area == 50
+
+    def test_zero_tolerance_degenerates_to_max_req(self):
+        objective = Objective.best_tradeoff(tolerance=0.0)
+        best = objective.select([sol(req=100, area=500), sol(req=85, area=0)])
+        assert best.required_time == 100
+
+    def test_everything_is_feasible(self):
+        objective = Objective.best_tradeoff()
+        assert objective.feasible(sol(req=-1e9, area=1e9))
+
+    def test_pairwise_better_undefined(self):
+        objective = Objective.best_tradeoff()
+        with pytest.raises(ValueError, match="whole-curve"):
+            objective.better(sol(), sol())
+
+    def test_select_empty_returns_none(self):
+        assert Objective.best_tradeoff().select([]) is None
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            Objective.best_tradeoff(tolerance=-1.0)
+
+    def test_cost_is_negated_required_time(self):
+        objective = Objective.best_tradeoff()
+        assert objective.cost(sol(req=77)) == -77
+
+
+class TestGenericBehaviour:
+    def test_select_empty_returns_none(self):
+        assert Objective.max_required_time().select([]) is None
+
+    def test_unbounded_budget_accepts_everything(self):
+        objective = Objective.max_required_time()
+        assert objective.feasible(sol(area=1e12))

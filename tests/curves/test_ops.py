@@ -1,0 +1,108 @@
+"""Tests for repro.curves.ops: the three DP combinators."""
+
+import pytest
+
+from repro.curves.ops import (
+    buffer_solution,
+    buffered_options,
+    extend_curve,
+    extend_solution,
+    join_curves,
+    join_solutions,
+)
+from repro.curves.solution import Buffered, Extend, Join, sink_leaf_solution
+from repro.geometry.point import Point
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+A = Point(0, 0)
+B = Point(100, 0)
+
+
+def leaf(load=10.0, req=500.0, at=A, idx=0):
+    return sink_leaf_solution(at, idx, load, req)
+
+
+class TestExtend:
+    def test_extend_adds_wire_cap_and_delay(self):
+        s = extend_solution(leaf(), B, TECH)
+        wire_cap = TECH.wire_cap(100.0)
+        wire_delay = TECH.wire_delay(100.0, 10.0)
+        assert s.root == B
+        assert s.load == pytest.approx(10.0 + wire_cap)
+        assert s.required_time == pytest.approx(500.0 - wire_delay)
+        assert s.area == 0.0
+        assert isinstance(s.detail, Extend)
+        assert s.detail.length == 100.0
+
+    def test_extend_to_same_point_is_identity(self):
+        s = leaf()
+        assert extend_solution(s, A, TECH) is s
+
+    def test_extend_never_improves(self):
+        s = extend_solution(leaf(), B, TECH)
+        assert s.required_time < 500.0
+        assert s.load > 10.0
+
+    def test_extend_curve_is_lazy_and_complete(self):
+        extended = list(extend_curve([leaf(), leaf(load=20)], B, TECH))
+        assert len(extended) == 2
+        assert all(e.root == B for e in extended)
+
+
+class TestJoin:
+    def test_join_adds_loads_and_areas_takes_min_req(self):
+        a = leaf(load=10, req=500)
+        b = leaf(load=20, req=400, idx=1)
+        joined = join_solutions(a, b)
+        assert joined.load == 30
+        assert joined.required_time == 400
+        assert isinstance(joined.detail, Join)
+
+    def test_join_requires_same_root(self):
+        with pytest.raises(ValueError):
+            join_solutions(leaf(at=A), leaf(at=B, idx=1))
+
+    def test_join_curves_cross_product(self):
+        lefts = [leaf(load=1), leaf(load=2)]
+        rights = [leaf(load=10, idx=1), leaf(load=20, idx=1),
+                  leaf(load=30, idx=1)]
+        joined = list(join_curves(lefts, rights))
+        assert len(joined) == 6
+        assert {j.load for j in joined} == {11, 21, 31, 12, 22, 32}
+
+
+class TestBuffering:
+    def test_buffer_collapses_load_to_input_cap(self):
+        buf = TECH.buffers.smallest
+        s = buffer_solution(leaf(load=300.0), buf, TECH)
+        assert s.load == buf.input_cap
+        assert s.area == buf.area
+        assert s.required_time == pytest.approx(
+            500.0 - TECH.buffer_delay(buf, 300.0))
+        assert isinstance(s.detail, Buffered)
+
+    def test_buffered_options_includes_original(self):
+        options = buffered_options(leaf(), TECH)
+        assert len(options) == len(TECH.buffers) + 1
+        assert options[0] is not None and options[0].detail.sink_index == 0
+
+    def test_buffered_options_can_exclude_original(self):
+        options = buffered_options(leaf(), TECH, include_unbuffered=False)
+        assert len(options) == len(TECH.buffers)
+        assert all(isinstance(o.detail, Buffered) for o in options)
+
+    def test_buffering_huge_load_pays_off_upstream(self):
+        """Decoupling: upstream of a buffer, the load is tiny.
+
+        Driving 500 fF through 12 mm of wire unbuffered costs
+        R_wire * (C_wire/2 + 500) ≈ 1260 ps; paying the largest buffer's
+        ~240 ps and driving only its ~72 fF input cap costs ≈ 1115 ps.
+        """
+        heavy = leaf(load=500.0)
+        buf = TECH.buffers.largest
+        buffered = buffer_solution(heavy, buf, TECH)
+        far = Point(12000, 0)
+        unbuffered_far = extend_solution(heavy, far, TECH)
+        buffered_far = extend_solution(buffered, far, TECH)
+        assert buffered_far.required_time > unbuffered_far.required_time

@@ -1,0 +1,89 @@
+"""Tests for repro.curves.solution."""
+
+import pytest
+
+from repro.curves.solution import (
+    Buffered,
+    Extend,
+    Join,
+    SinkLeaf,
+    Solution,
+    check_solution,
+    sink_leaf_solution,
+)
+from repro.geometry.point import Point
+from repro.tech.buffer import Buffer
+
+P = Point(0, 0)
+BUF = Buffer("B", input_cap=5.0, drive_resistance=2.0,
+             intrinsic_delay=40.0, area=30.0)
+
+
+def sol(load=10.0, req=100.0, area=0.0):
+    return Solution(P, load, req, area, SinkLeaf(0))
+
+
+class TestDominance:
+    """Definition 6: σ1 dominates σ2 iff no worse on all three axes."""
+
+    def test_strictly_better_dominates(self):
+        assert sol(5, 200, 0).dominates(sol(10, 100, 30))
+
+    def test_equal_attributes_dominate(self):
+        assert sol().dominates(sol())
+
+    def test_better_req_worse_load_is_incomparable(self):
+        a = sol(load=5, req=100)
+        b = sol(load=10, req=200)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_area_axis_matters(self):
+        cheap = sol(area=0)
+        pricey = sol(area=100)
+        assert cheap.dominates(pricey)
+        assert not pricey.dominates(cheap)
+
+    def test_key_orders_by_load_then_req_desc(self):
+        a, b = sol(load=1, req=5), sol(load=1, req=9)
+        assert b.key() < a.key()
+
+
+class TestDetails:
+    def test_sink_leaf_solution(self):
+        s = sink_leaf_solution(P, 3, 12.0, 900.0)
+        assert isinstance(s.detail, SinkLeaf)
+        assert s.detail.sink_index == 3
+        assert s.area == 0.0
+
+    def test_detail_nesting(self):
+        inner = sink_leaf_solution(P, 0, 5.0, 100.0)
+        wired = Solution(Point(10, 0), 6.0, 90.0, 0.0, Extend(inner, 10.0))
+        buffered = Solution(Point(10, 0), BUF.input_cap, 50.0, BUF.area,
+                            Buffered(wired, BUF))
+        assert buffered.detail.child is wired
+        assert wired.detail.child is inner
+
+    def test_join_detail_holds_both_children(self):
+        a = sink_leaf_solution(P, 0, 5.0, 100.0)
+        b = sink_leaf_solution(P, 1, 7.0, 120.0)
+        joined = Solution(P, 12.0, 100.0, 0.0, Join(a, b))
+        assert joined.detail.left is a
+        assert joined.detail.right is b
+
+
+class TestCheckSolution:
+    def test_valid_passes(self):
+        check_solution(sol())
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            check_solution(Solution(P, -1.0, 0.0, 0.0, SinkLeaf(0)))
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            check_solution(Solution(P, 1.0, 0.0, -5.0, SinkLeaf(0)))
+
+    def test_bogus_detail_rejected(self):
+        with pytest.raises(ValueError):
+            check_solution(Solution(P, 1.0, 0.0, 0.0, "not a detail"))

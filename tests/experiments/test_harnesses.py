@@ -1,0 +1,135 @@
+"""Smoke tests for the Table 1/2 harnesses and ablations (tiny workloads).
+
+The full experiments run from the CLI/benchmarks; these tests verify the
+harness plumbing — row shapes, ratio columns, formatting — on minimal
+inputs so the suite stays fast.
+"""
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.experiments.ablations import (
+    alpha_ablation,
+    bubbling_ablation,
+    convergence_trace,
+    format_ablation,
+    initial_order_ablation,
+)
+from repro.experiments.nets import ExperimentNet, make_experiment_net
+from repro.experiments.table1 import (
+    format_table1,
+    run_table1,
+    summarize_table1,
+)
+from repro.experiments.table2 import (
+    format_table2,
+    run_table2,
+    summarize_table2,
+)
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset().with_(max_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def mini_table1_rows():
+    nets = [
+        ExperimentNet(circuit="C432",
+                      net=make_experiment_net("net1", 4, seed=1),
+                      paper_sinks=16),
+        ExperimentNet(circuit="C1355",
+                      net=make_experiment_net("net4", 5, seed=2),
+                      paper_sinks=9),
+    ]
+    return run_table1(tech=TECH, config=CFG, nets=nets)
+
+
+@pytest.fixture(scope="module")
+def mini_table2_rows():
+    spec = CircuitSpec(name="mini", primary_inputs=3, primary_outputs=2,
+                       logic_gates=8, levels=3, max_fanout=3, seed=5)
+    return run_table2(tech=TECH, config=CFG,
+                      circuits=[generate_circuit(spec)])
+
+
+class TestTable1Harness:
+    def test_row_per_net(self, mini_table1_rows):
+        assert [r.net_name for r in mini_table1_rows] == ["net1", "net4"]
+
+    def test_flow1_absolute_columns_positive(self, mini_table1_rows):
+        for row in mini_table1_rows:
+            assert row.flow1_delay > 0
+            assert row.flow1_runtime > 0
+
+    def test_ratio_columns_positive(self, mini_table1_rows):
+        for row in mini_table1_rows:
+            assert row.flow2_delay_ratio > 0
+            assert row.flow3_delay_ratio > 0
+            assert row.loops >= 1
+
+    def test_summary_averages(self, mini_table1_rows):
+        summary = summarize_table1(mini_table1_rows)
+        import statistics
+
+        assert summary["flow3_delay"] == pytest.approx(statistics.mean(
+            r.flow3_delay_ratio for r in mini_table1_rows))
+
+    def test_format_contains_average_row(self, mini_table1_rows):
+        text = format_table1(mini_table1_rows)
+        assert "Average:" in text
+        assert "net1" in text
+
+
+class TestTable2Harness:
+    def test_single_circuit_row(self, mini_table2_rows):
+        assert len(mini_table2_rows) == 1
+        row = mini_table2_rows[0]
+        assert row.circuit == "mini"
+        assert row.flow1_delay > 0
+        assert row.nets_optimized >= 1
+
+    def test_format(self, mini_table2_rows):
+        text = format_table2(mini_table2_rows)
+        assert "mini" in text and "Average:" in text
+
+    def test_summary_keys(self, mini_table2_rows):
+        summary = summarize_table2(mini_table2_rows)
+        assert set(summary) == {
+            "flow2_area", "flow2_delay", "flow2_runtime",
+            "flow3_area", "flow3_delay", "flow3_runtime"}
+
+
+class TestAblations:
+    NET = make_experiment_net("ab", 4, seed=9)
+
+    def test_alpha_ablation_rows(self):
+        rows = alpha_ablation(self.NET, tech=TECH,
+                              config=CFG.with_(max_iterations=1),
+                              alphas=[2, 3])
+        assert [r.label for r in rows] == ["alpha=2", "alpha=3"]
+        assert all(r.delay > 0 for r in rows)
+
+    def test_bubbling_ablation_rows(self):
+        rows = bubbling_ablation(self.NET, tech=TECH,
+                                 config=CFG.with_(max_iterations=1))
+        assert {r.label for r in rows} == {"bubbling_on", "bubbling_off"}
+
+    def test_initial_order_ablation_rows(self):
+        rows = initial_order_ablation(self.NET, tech=TECH, config=CFG)
+        assert len(rows) == 5
+        labels = {r.label for r in rows}
+        assert "tsp" in labels and "random_a" in labels
+
+    def test_convergence_trace_rows(self):
+        rows = convergence_trace(self.NET, tech=TECH, config=CFG)
+        assert rows
+        assert rows[0].label == "iteration_1"
+
+    def test_format_ablation(self):
+        rows = alpha_ablation(self.NET, tech=TECH,
+                              config=CFG.with_(max_iterations=1),
+                              alphas=[2])
+        text = format_ablation(rows, "alpha sweep")
+        assert "alpha sweep" in text and "alpha=2" in text

@@ -1,0 +1,52 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    ratio,
+)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.50" in text and "bb" in text
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_alignment_widths(self):
+        text = format_table(["col"], [["short"], ["a much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("a much longer cell")
+
+
+class TestStats:
+    def test_ratio(self):
+        assert ratio(2.0, 4.0) == 0.5
+
+    def test_ratio_zero_reference(self):
+        assert ratio(5.0, 0.0) == float("inf")
+        assert ratio(0.0, 0.0) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0

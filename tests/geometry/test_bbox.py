@@ -1,0 +1,42 @@
+"""Tests for repro.geometry.bbox."""
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([Point(1, 5), Point(4, 2), Point(3, 3)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (1, 2, 4, 5)
+
+    def test_of_single_point_is_degenerate_but_valid(self):
+        box = BoundingBox.of_points([Point(2, 2)])
+        assert box.width == 0 and box.height == 0
+
+    def test_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BoundingBox.of_points([])
+
+    def test_invalid_extents_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(5, 0, 4, 10)
+
+    def test_half_perimeter(self):
+        box = BoundingBox(0, 0, 3, 4)
+        assert box.half_perimeter == 7.0
+
+    def test_center(self):
+        assert BoundingBox(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_contains_border_points(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(2, 2))
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(2.001, 1))
+
+    def test_expanded(self):
+        box = BoundingBox(1, 1, 2, 2).expanded(1)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 3, 3)

@@ -1,0 +1,94 @@
+"""Tests for repro.geometry.candidates."""
+
+import pytest
+
+from repro.geometry.candidates import (
+    CandidateStrategy,
+    center_of_mass_candidates,
+    full_hanan_candidates,
+    generate_candidates,
+    reduced_hanan_candidates,
+)
+from repro.geometry.hanan import hanan_points
+from repro.geometry.point import Point
+
+SOURCE = Point(0, 0)
+SINKS = [Point(100, 50), Point(20, 300), Point(400, 120), Point(250, 280)]
+
+
+class TestFullHanan:
+    def test_matches_hanan_points(self):
+        assert full_hanan_candidates(SOURCE, SINKS) == \
+            hanan_points([SOURCE, *SINKS])
+
+    def test_grows_quadratically(self):
+        candidates = full_hanan_candidates(SOURCE, SINKS)
+        assert len(candidates) == 25  # 5 distinct xs * 5 distinct ys
+
+
+class TestReducedHanan:
+    def test_linear_size(self):
+        candidates = reduced_hanan_candidates(SOURCE, SINKS)
+        # n + O(1), far below the 25 full Hanan points.
+        assert len(SINKS) < len(candidates) <= len(SINKS) + 7
+
+    def test_contains_all_terminals(self):
+        candidates = set(reduced_hanan_candidates(SOURCE, SINKS))
+        for terminal in [SOURCE, *SINKS]:
+            assert terminal in candidates
+
+    def test_candidates_lie_on_hanan_grid(self):
+        grid = set(hanan_points([SOURCE, *SINKS]))
+        for c in reduced_hanan_candidates(SOURCE, SINKS):
+            assert c in grid
+
+    def test_no_duplicates(self):
+        candidates = reduced_hanan_candidates(SOURCE, SINKS)
+        assert len(candidates) == len(set(candidates))
+
+    def test_rejects_bad_per_sink(self):
+        with pytest.raises(ValueError):
+            reduced_hanan_candidates(SOURCE, SINKS, per_sink=0)
+
+
+class TestCenterOfMass:
+    def test_contains_terminals(self):
+        candidates = set(center_of_mass_candidates(SOURCE, SINKS))
+        for terminal in [SOURCE, *SINKS]:
+            assert terminal in candidates
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            center_of_mass_candidates(SOURCE, SINKS, window=0)
+
+    def test_single_sink(self):
+        candidates = center_of_mass_candidates(SOURCE, [Point(10, 10)])
+        assert Point(10, 10) in candidates
+
+
+class TestGenerateCandidates:
+    def test_each_strategy_produces_candidates(self):
+        for strategy in CandidateStrategy:
+            candidates = generate_candidates(SOURCE, SINKS, strategy=strategy)
+            assert candidates
+
+    def test_max_candidates_cap(self):
+        candidates = generate_candidates(
+            SOURCE, SINKS, strategy=CandidateStrategy.FULL_HANAN,
+            max_candidates=6)
+        assert len(candidates) <= 6
+
+    def test_cap_keeps_no_duplicates(self):
+        candidates = generate_candidates(
+            SOURCE, SINKS, strategy=CandidateStrategy.FULL_HANAN,
+            max_candidates=9)
+        assert len(candidates) == len(set(candidates))
+
+    def test_empty_sinks_rejected(self):
+        with pytest.raises(ValueError):
+            generate_candidates(SOURCE, [])
+
+    def test_deterministic(self):
+        a = generate_candidates(SOURCE, SINKS)
+        b = generate_candidates(SOURCE, SINKS)
+        assert a == b

@@ -1,0 +1,49 @@
+"""Tests for repro.geometry.hanan."""
+
+import pytest
+
+from repro.geometry.hanan import hanan_grid_lines, hanan_points, snap_to_grid
+from repro.geometry.point import Point
+
+
+class TestHananGrid:
+    def test_grid_lines_sorted_and_deduped(self):
+        xs, ys = hanan_grid_lines(
+            [Point(3, 1), Point(1, 1), Point(3, 5), Point(1, 5)])
+        assert xs == [1, 3]
+        assert ys == [1, 5]
+
+    def test_point_count_is_product_of_lines(self):
+        terminals = [Point(0, 0), Point(2, 3), Point(5, 1)]
+        points = hanan_points(terminals)
+        assert len(points) == 9  # 3 xs * 3 ys
+
+    def test_terminals_are_hanan_points(self):
+        terminals = [Point(0, 0), Point(2, 3), Point(5, 1)]
+        points = set(hanan_points(terminals))
+        for t in terminals:
+            assert t in points
+
+    def test_collinear_terminals_collapse(self):
+        points = hanan_points([Point(0, 0), Point(5, 0), Point(9, 0)])
+        assert len(points) == 3
+
+    def test_empty_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            hanan_points([])
+
+    def test_deterministic_order(self):
+        terminals = [Point(1, 1), Point(0, 0)]
+        assert hanan_points(terminals) == hanan_points(terminals)
+
+
+class TestSnapToGrid:
+    def test_snaps_to_nearest_lines(self):
+        assert snap_to_grid(Point(1.4, 2.9), [0, 3], [0, 3]) == Point(0, 3)
+
+    def test_snap_on_grid_is_identity(self):
+        assert snap_to_grid(Point(3, 0), [0, 3], [0, 3]) == Point(3, 0)
+
+    def test_snap_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            snap_to_grid(Point(0, 0), [], [1])

@@ -1,0 +1,67 @@
+"""Tests for repro.geometry.point."""
+
+import pytest
+
+from repro.geometry.point import Point, centroid, manhattan, median_point
+
+
+class TestPoint:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7.0
+
+    def test_manhattan_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 4.5)
+        assert a.manhattan_to(b) == b.manhattan_to(a)
+
+    def test_manhattan_to_self_is_zero(self):
+        p = Point(2.5, 7.0)
+        assert p.manhattan_to(p) == 0.0
+
+    def test_module_level_alias(self):
+        assert manhattan(Point(0, 0), Point(1, 1)) == 2.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert {Point(1, 2), Point(1, 2)} == {Point(1, 2)}
+
+    def test_points_order_lexicographically(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_as_tuple(self):
+        assert Point(3.0, 4.0).as_tuple() == (3.0, 4.0)
+
+
+class TestCentroid:
+    def test_centroid_of_one_point(self):
+        assert centroid([Point(5, 7)]) == Point(5, 7)
+
+    def test_centroid_averages(self):
+        assert centroid([Point(0, 0), Point(2, 4)]) == Point(1, 2)
+
+    def test_centroid_rejects_empty(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestMedianPoint:
+    def test_median_odd_count(self):
+        pts = [Point(0, 0), Point(10, 10), Point(2, 8)]
+        assert median_point(pts) == Point(2, 8)
+
+    def test_median_even_count_averages_middle(self):
+        pts = [Point(0, 0), Point(4, 4), Point(2, 2), Point(10, 10)]
+        assert median_point(pts) == Point(3, 3)
+
+    def test_median_minimizes_manhattan_sum(self):
+        pts = [Point(0, 0), Point(1, 9), Point(8, 2), Point(3, 3), Point(5, 5)]
+        med = median_point(pts)
+        total = sum(med.manhattan_to(p) for p in pts)
+        for candidate in pts:
+            assert total <= sum(candidate.manhattan_to(p) for p in pts) + 1e-9
+
+    def test_median_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median_point([])

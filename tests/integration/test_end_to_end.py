@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    MerlinConfig,
+    Objective,
+    default_technology,
+    evaluate_tree,
+    merlin,
+)
+from repro.baselines.flows import ALL_FLOWS, FLOW_III, run_all_flows
+from repro.routing.export import tree_to_dict
+from repro.routing.sink_order import extract_sink_order
+from repro.routing.validate import validate_tree
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+class TestPublicApi:
+    """The README quick-start path, exercised as a test."""
+
+    def test_quickstart_shape(self):
+        from repro import Net, Point, Sink
+
+        net = Net("demo", source=Point(0, 0), sinks=(
+            Sink("a", Point(900, 300), load=12.0, required_time=900.0),
+            Sink("b", Point(300, 1200), load=20.0, required_time=880.0),
+        ))
+        result = merlin(net, TECH, config=CFG)
+        assert result.iterations >= 1
+        validate_tree(result.tree)
+        ev = evaluate_tree(result.tree, TECH)
+        assert ev.delay > 0
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestCrossComponentConsistency:
+    @pytest.mark.parametrize("seed", [3, 14])
+    def test_merlin_result_reevaluates_identically(self, seed):
+        """DP bookkeeping == tree evaluator == exported structure."""
+        net = build_net(5, seed=seed)
+        result = merlin(net, TECH, config=CFG)
+        lib = TECH.buffers.subset(CFG.library_subset)
+        ev = evaluate_tree(result.tree, TECH.with_buffers(lib))
+        assert ev.required_time_at_driver == pytest.approx(
+            result.best.solution.required_time, abs=1e-6)
+        exported = tree_to_dict(result.tree)
+        assert exported["buffer_area"] == pytest.approx(ev.buffer_area)
+
+    def test_simplified_tree_same_metrics(self):
+        net = build_net(5, seed=4)
+        result = merlin(net, TECH, config=CFG)
+        tree = result.tree
+        simplified = tree.simplified()
+        ev_full = evaluate_tree(tree, TECH)
+        ev_simple = evaluate_tree(simplified, TECH)
+        assert ev_simple.required_time_at_driver == pytest.approx(
+            ev_full.required_time_at_driver, abs=1e-6)
+        assert extract_sink_order(simplified) == extract_sink_order(tree)
+
+    def test_all_flows_agree_on_problem_semantics(self):
+        """Same net, same technology: every flow's evaluation covers the
+        same sinks with finite arrivals."""
+        net = build_net(5, seed=6)
+        results = run_all_flows(net, TECH, config=CFG)
+        assert set(results) == set(ALL_FLOWS)
+        for result in results.values():
+            assert sorted(result.evaluation.sink_arrivals) == \
+                list(range(5))
+            for arrival in result.evaluation.sink_arrivals.values():
+                assert 0.0 < arrival < 1e7
+
+
+class TestVariantConsistency:
+    def test_variant2_floor_from_variant1_solution(self):
+        """Classic workflow: find best delay, then minimize area at a
+        slightly relaxed floor — area must drop (or stay) while the floor
+        holds."""
+        net = build_net(5, seed=8)
+        best = merlin(net, TECH, config=CFG)
+        floor = best.best.solution.required_time - 150.0
+        economical = merlin(net, TECH, config=CFG,
+                            objective=Objective.min_area(floor))
+        assert economical.best.solution.area <= \
+            best.best.solution.area + 1e-9
+        if economical.best.constraint_met:
+            assert economical.best.solution.required_time >= floor - 1e-9
+
+
+class TestCircuitLevel:
+    def test_flow3_on_small_circuit(self):
+        from repro.netlist.flow_runner import run_circuit_flow
+        from repro.netlist.generator import CircuitSpec, generate_circuit
+
+        spec = CircuitSpec(name="e2e", primary_inputs=3, primary_outputs=2,
+                           logic_gates=8, levels=3, max_fanout=3, seed=1)
+        result = run_circuit_flow(generate_circuit(spec), FLOW_III, TECH,
+                                  CFG.with_(max_iterations=2))
+        assert result.critical_delay > 0
+        assert result.total_loops >= result.nets_optimized

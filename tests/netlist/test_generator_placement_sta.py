@@ -1,0 +1,156 @@
+"""Tests for repro.netlist generator, placement, and STA."""
+
+import pytest
+
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.netlist.placement import place_netlist
+from repro.netlist.sta import run_sta, star_net_delay
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+SPEC = CircuitSpec(name="unit", primary_inputs=5, primary_outputs=4,
+                   logic_gates=20, levels=4, max_fanout=5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    netlist = generate_circuit(SPEC)
+    place_netlist(netlist)
+    return netlist
+
+
+class TestGenerator:
+    def test_gate_counts(self, circuit):
+        assert len(circuit.primary_inputs) == 5
+        assert len(circuit.primary_outputs) == 4
+        assert len(circuit.logic_gates) == 20
+
+    def test_deterministic(self):
+        a = generate_circuit(SPEC)
+        b = generate_circuit(SPEC)
+        assert [n.name for n in a.nets] == [n.name for n in b.nets]
+        assert [n.sinks for n in a.nets] == [n.sinks for n in b.nets]
+
+    def test_different_seeds_differ(self):
+        other = generate_circuit(CircuitSpec(
+            name="unit", primary_inputs=5, primary_outputs=4,
+            logic_gates=20, levels=4, max_fanout=5, seed=8))
+        base = generate_circuit(SPEC)
+        assert [n.sinks for n in base.nets] != [n.sinks for n in other.nets]
+
+    def test_acyclic(self, circuit):
+        circuit.topological_gates()  # raises on cycles
+
+    def test_every_logic_gate_driven(self, circuit):
+        driven = {s for net in circuit.nets for s in net.sinks}
+        for gate in circuit.logic_gates:
+            assert gate.name in driven
+
+    def test_no_dead_end_logic_gates(self, circuit):
+        """Dead-end gates would sit off every PO path and make the STA's
+        worst slack spuriously negative (regression: generator once left
+        them behind under certain hash seeds)."""
+        drivers = {net.driver for net in circuit.nets}
+        for gate in circuit.logic_gates:
+            assert gate.name in drivers
+
+    def test_seed_is_hash_randomization_proof(self):
+        """The generator seed must not involve the built-in ``hash``:
+        circuits have to be identical across interpreter processes."""
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.netlist.generator import CircuitSpec, "
+            "generate_circuit\n"
+            "c = generate_circuit(CircuitSpec(name='unit', "
+            "primary_inputs=5, primary_outputs=4, logic_gates=20, "
+            "levels=4, max_fanout=5, seed=7))\n"
+            "print(sorted((n.driver, n.sinks) for n in c.nets))\n"
+        )
+        outputs = set()
+        for hash_seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+    def test_fanout_mostly_capped(self, circuit):
+        over = [n for n in circuit.nets if len(n.sinks) > SPEC.max_fanout]
+        assert len(over) <= max(1, len(circuit.nets) // 10)
+
+    def test_multi_sink_nets_exist(self, circuit):
+        """Without multi-sink nets Table 2 would be vacuous."""
+        assert any(len(n.sinks) >= 2 for n in circuit.nets)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CircuitSpec(name="x", primary_inputs=0)
+        with pytest.raises(ValueError):
+            CircuitSpec(name="x", logic_gates=2, levels=5)
+
+
+class TestPlacement:
+    def test_every_gate_placed(self, circuit):
+        for gate in circuit.gates.values():
+            assert gate.position is not None
+
+    def test_pis_on_left_edge(self, circuit):
+        xs = {g.position.x for g in circuit.primary_inputs}
+        assert xs == {0.0}
+
+    def test_deepest_po_right_of_logic(self, circuit):
+        """The deepest logic gate's fanout can only be POs, so the
+        rightmost PO column sits past the rightmost logic column."""
+        po_x = max(g.position.x for g in circuit.primary_outputs)
+        logic_x = max(g.position.x for g in circuit.logic_gates)
+        assert po_x > logic_x
+
+    def test_deterministic(self):
+        a = place_netlist(generate_circuit(SPEC))
+        b = place_netlist(generate_circuit(SPEC))
+        for name in a.gates:
+            assert a.gates[name].position == b.gates[name].position
+
+
+class TestSta:
+    def test_arrival_monotone_along_paths(self, circuit):
+        sta = run_sta(circuit, TECH)
+        for net in circuit.nets:
+            for sink in net.sinks:
+                assert sta.arrival[sink] > sta.arrival[net.driver] - 1e-9
+
+    def test_worst_slack_zero_at_default_target(self, circuit):
+        sta = run_sta(circuit, TECH)
+        assert sta.worst_slack == pytest.approx(0.0, abs=1e-6)
+
+    def test_required_times_respect_target(self, circuit):
+        sta = run_sta(circuit, TECH, target=50000.0)
+        for po in circuit.primary_outputs:
+            assert sta.required[po.name] == 50000.0
+
+    def test_critical_delay_is_max_po_arrival(self, circuit):
+        sta = run_sta(circuit, TECH)
+        assert sta.critical_delay == pytest.approx(
+            max(sta.arrival[g.name] for g in circuit.primary_outputs))
+
+    def test_custom_net_delay_function(self, circuit):
+        constant = run_sta(circuit, TECH,
+                           net_delay=lambda net, sink: 100.0)
+        # Critical delay = 100 * depth of the deepest PO path.
+        assert constant.critical_delay % 100.0 == pytest.approx(0.0)
+
+    def test_star_delay_positive_and_load_aware(self, circuit):
+        delay = star_net_delay(circuit, TECH)
+        for net in circuit.nets[:5]:
+            for sink in net.sinks:
+                assert delay(net, sink) > 0.0
+
+    def test_pi_arrivals_zero(self, circuit):
+        sta = run_sta(circuit, TECH)
+        for pi in circuit.primary_inputs:
+            assert sta.arrival[pi.name] == 0.0

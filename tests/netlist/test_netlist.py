@@ -1,0 +1,119 @@
+"""Tests for repro.netlist.netlist."""
+
+import pytest
+
+from repro.netlist.netlist import (
+    STANDARD_CELLS,
+    CellType,
+    CircuitNet,
+    Gate,
+    Netlist,
+)
+
+
+def tiny_netlist():
+    """pi0 -> g1 -> {g2, po0}; g2 -> po1."""
+    gates = [
+        Gate("pi0", STANDARD_CELLS["__PI"]),
+        Gate("g1", STANDARD_CELLS["INV"]),
+        Gate("g2", STANDARD_CELLS["INV"]),
+        Gate("po0", STANDARD_CELLS["__PO"]),
+        Gate("po1", STANDARD_CELLS["__PO"]),
+    ]
+    nets = [
+        CircuitNet("n0", "pi0", ("g1",)),
+        CircuitNet("n1", "g1", ("g2", "po0")),
+        CircuitNet("n2", "g2", ("po1",)),
+    ]
+    return Netlist("tiny", gates, nets)
+
+
+class TestCellTypes:
+    def test_standard_cells_well_formed(self):
+        for cell in STANDARD_CELLS.values():
+            assert cell.input_cap >= 0
+            assert cell.area > 0
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("bad", inputs=-1, input_cap=1, drive_resistance=1,
+                     intrinsic_delay=1, area=1)
+
+
+class TestNetlistValidation:
+    def test_tiny_netlist_builds(self):
+        netlist = tiny_netlist()
+        assert len(netlist.gates) == 5
+        assert len(netlist.nets) == 3
+
+    def test_duplicate_gate_rejected(self):
+        gates = [Gate("a", STANDARD_CELLS["__PI"]),
+                 Gate("a", STANDARD_CELLS["INV"]),
+                 Gate("b", STANDARD_CELLS["INV"])]
+        with pytest.raises(ValueError, match="duplicate"):
+            Netlist("bad", gates, [CircuitNet("n", "a", ("b",))])
+
+    def test_unknown_driver_rejected(self):
+        gates = [Gate("pi", STANDARD_CELLS["__PI"]),
+                 Gate("g", STANDARD_CELLS["INV"])]
+        with pytest.raises(ValueError, match="unknown driver"):
+            Netlist("bad", gates, [CircuitNet("n", "ghost", ("g",)),
+                                   CircuitNet("n2", "pi", ("g",))])
+
+    def test_gate_without_fanin_rejected(self):
+        gates = [Gate("pi", STANDARD_CELLS["__PI"]),
+                 Gate("floating", STANDARD_CELLS["INV"])]
+        with pytest.raises(ValueError, match="no fanin"):
+            Netlist("bad", gates, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CircuitNet("n", "g", ("g",))
+
+    def test_multiple_nets_per_driver_rejected(self):
+        gates = [Gate("pi", STANDARD_CELLS["__PI"]),
+                 Gate("g", STANDARD_CELLS["INV"])]
+        nets = [CircuitNet("n1", "pi", ("g",)),
+                CircuitNet("n2", "pi", ("g",))]
+        with pytest.raises(ValueError, match="more than one net"):
+            Netlist("bad", gates, nets)
+
+
+class TestQueries:
+    def test_boundary_classification(self):
+        netlist = tiny_netlist()
+        assert [g.name for g in netlist.primary_inputs] == ["pi0"]
+        assert {g.name for g in netlist.primary_outputs} == {"po0", "po1"}
+        assert {g.name for g in netlist.logic_gates} == {"g1", "g2"}
+
+    def test_gate_area_excludes_pseudo_cells(self):
+        netlist = tiny_netlist()
+        assert netlist.gate_area == pytest.approx(
+            2 * STANDARD_CELLS["INV"].area)
+
+    def test_net_driven_by(self):
+        netlist = tiny_netlist()
+        assert netlist.net_driven_by("g1").name == "n1"
+        assert netlist.net_driven_by("po0") is None
+
+    def test_fanin_nets(self):
+        netlist = tiny_netlist()
+        assert [n.name for n in netlist.fanin_nets("g2")] == ["n1"]
+
+    def test_topological_order(self):
+        netlist = tiny_netlist()
+        order = [g.name for g in netlist.topological_gates()]
+        assert order.index("pi0") < order.index("g1")
+        assert order.index("g1") < order.index("g2")
+        assert order.index("g2") < order.index("po1")
+
+    def test_cycle_detected(self):
+        gates = [Gate("pi", STANDARD_CELLS["__PI"]),
+                 Gate("a", STANDARD_CELLS["INV"]),
+                 Gate("b", STANDARD_CELLS["INV"])]
+        nets = [CircuitNet("np", "pi", ("a",)),
+                CircuitNet("na", "a", ("b",)),
+                CircuitNet("nb", "b", ("a",))]
+        netlist = Netlist("cyclic", gates, nets)
+        with pytest.raises(ValueError, match="cycle"):
+            netlist.topological_gates()

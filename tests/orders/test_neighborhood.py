@@ -1,0 +1,134 @@
+"""Tests for repro.orders.neighborhood (Definition 4, Lemma 4, Theorem 1)."""
+
+import pytest
+
+from repro.orders.neighborhood import (
+    enumerate_neighborhood,
+    fibonacci,
+    in_neighborhood,
+    neighborhood_size,
+    paper_theorem1_value,
+    swap_decomposition,
+)
+from repro.orders.order import Order
+
+
+class TestFibonacci:
+    def test_small_values(self):
+        assert [fibonacci(k) for k in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci(-1)
+
+    def test_binet_agreement(self):
+        """The paper's closed form always yields an integer (Theorem 1)."""
+        import math
+
+        phi = (1 + math.sqrt(5)) / 2
+        psi = (1 - math.sqrt(5)) / 2
+        for k in range(2, 25):
+            binet = (phi ** k - psi ** k) / math.sqrt(5)
+            assert round(binet) == fibonacci(k)
+
+
+class TestNeighborhoodSize:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_matches_exhaustive_enumeration(self, n):
+        """Ground truth: count all Π' with max displacement <= 1."""
+        import itertools
+
+        base = Order.identity(n)
+        count = 0
+        for perm in itertools.permutations(range(n)):
+            candidate = Order.from_sequence(perm)
+            if in_neighborhood(candidate, base):
+                count += 1
+        assert neighborhood_size(n) == count
+
+    def test_exponential_growth(self):
+        assert neighborhood_size(20) > 2 ** 12
+
+    def test_paper_value_is_one_fibonacci_index_higher(self):
+        """Documented off-by-one of the paper's Theorem 1 statement."""
+        for n in range(2, 10):
+            assert paper_theorem1_value(n) == \
+                neighborhood_size(n) + neighborhood_size(n - 1)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_size(0)
+
+
+class TestEnumerate:
+    def test_enumeration_matches_size(self):
+        for n in range(1, 8):
+            base = Order.identity(n)
+            members = list(enumerate_neighborhood(base))
+            assert len(members) == neighborhood_size(n)
+            assert len({m.seq for m in members}) == len(members)
+
+    def test_all_members_in_neighborhood(self):
+        base = Order.from_sequence([2, 0, 3, 1, 4])
+        for member in enumerate_neighborhood(base):
+            assert in_neighborhood(member, base)
+
+    def test_includes_identity(self):
+        base = Order.identity(5)
+        assert any(m.seq == base.seq for m in enumerate_neighborhood(base))
+
+
+class TestMembership:
+    def test_paper_example_2(self):
+        """Π' = (s1,s3,s2,s4,...) is in N(identity)."""
+        base = Order.identity(9)
+        candidate = Order.from_sequence([0, 2, 1, 3, 4, 5, 7, 6, 8])
+        assert in_neighborhood(candidate, base)
+
+    def test_rotation_by_two_not_in_neighborhood(self):
+        base = Order.identity(5)
+        rotated = Order.from_sequence([2, 3, 4, 0, 1])
+        assert not in_neighborhood(rotated, base)
+
+    def test_neighborhood_is_symmetric(self):
+        """Definition 1's symmetry requirement (Lemma 11)."""
+        base = Order.identity(6)
+        for member in enumerate_neighborhood(base):
+            assert in_neighborhood(base, member)
+
+
+class TestSwapDecomposition:
+    def test_identity_decomposes_to_no_swaps(self):
+        base = Order.identity(4)
+        assert swap_decomposition(base, base) == []
+
+    def test_single_swap(self):
+        base = Order.identity(4)
+        assert swap_decomposition(base.swapped(1), base) == [1]
+
+    def test_disjoint_swaps(self):
+        base = Order.identity(6)
+        candidate = base.swapped(0).swapped(3)
+        assert swap_decomposition(candidate, base) == [0, 3]
+
+    def test_non_neighbor_returns_none(self):
+        base = Order.identity(5)
+        rotated = Order.from_sequence([2, 3, 4, 0, 1])
+        assert swap_decomposition(rotated, base) is None
+
+    def test_lemma4_every_neighbor_decomposes(self):
+        """Lemma 4: each neighbor = disjoint adjacent swaps of the base."""
+        base = Order.from_sequence([1, 3, 0, 2, 4])
+        for member in enumerate_neighborhood(base):
+            swaps = swap_decomposition(member, base)
+            assert swaps is not None
+            # Swaps must be non-overlapping.
+            assert all(b - a >= 2 for a, b in zip(swaps, swaps[1:]))
+            # Re-applying them reconstructs the member.
+            rebuilt = base
+            for position in swaps:
+                rebuilt = rebuilt.swapped(position)
+            assert rebuilt.seq == member.seq
+
+    def test_size_mismatch_returns_none(self):
+        assert swap_decomposition(Order.identity(3), Order.identity(4)) is None

@@ -1,0 +1,81 @@
+"""Tests for repro.orders.order (Definitions 3 and 5)."""
+
+import pytest
+
+from repro.orders.order import Order
+
+
+class TestOrder:
+    def test_identity(self):
+        order = Order.identity(4)
+        assert list(order) == [0, 1, 2, 3]
+
+    def test_identity_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            Order.identity(0)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Order((0, 0, 1))
+        with pytest.raises(ValueError):
+            Order((1, 2, 3))
+
+    def test_paper_example_1(self):
+        """Example 1: (s4,s3,s5,s1,s2,s6,s8,s7,s9) — 0-based here."""
+        order = Order.from_sequence([3, 2, 4, 0, 1, 5, 7, 6, 8])
+        # Π(1) = 4 in the paper: sink s1 (index 0) is at position 4 (1-based).
+        assert order.position_of(0) == 3
+        assert order.position_of(1) == 4
+        assert order.position_of(2) == 1
+
+    def test_positions_is_inverse(self):
+        order = Order.from_sequence([2, 0, 1])
+        positions = order.positions
+        for sink in range(3):
+            assert order[positions[sink]] == sink
+
+    def test_getitem(self):
+        order = Order.from_sequence([2, 0, 1])
+        assert order[0] == 2
+
+
+class TestSwap:
+    def test_swap_adjacent(self):
+        """Definition 5 on the sequence view: positions p and p+1 swap."""
+        order = Order.identity(4).swapped(1)
+        assert list(order) == [0, 2, 1, 3]
+
+    def test_swap_returns_new_order(self):
+        order = Order.identity(3)
+        swapped = order.swapped(0)
+        assert list(order) == [0, 1, 2]
+        assert list(swapped) == [1, 0, 2]
+
+    def test_swap_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Order.identity(3).swapped(2)
+        with pytest.raises(ValueError):
+            Order.identity(3).swapped(-1)
+
+    def test_double_swap_is_identity(self):
+        order = Order.from_sequence([2, 0, 3, 1])
+        assert order.swapped(1).swapped(1).seq == order.seq
+
+
+class TestDisplacement:
+    def test_displacement_of_identity_is_zero(self):
+        order = Order.identity(5)
+        assert order.displacement_from(order) == [0] * 5
+
+    def test_single_swap_displaces_two_by_one(self):
+        base = Order.identity(5)
+        assert sorted(base.swapped(2).displacement_from(base)) == \
+            [0, 0, 0, 1, 1]
+
+    def test_reversal_displacement(self):
+        base = Order.identity(4)
+        assert base.reversed().displacement_from(base) == [3, 1, 1, 3]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Order.identity(3).displacement_from(Order.identity(4))

@@ -1,0 +1,114 @@
+"""Tests for repro.orders.tsp and repro.orders.heuristics."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.orders.heuristics import (
+    projection_order,
+    random_order,
+    required_time_order,
+)
+from repro.orders.tsp import tsp_order
+from tests.conftest import build_net
+
+
+def line_net(n=5, spacing=100.0):
+    """Sinks on a horizontal line, shuffled in index order."""
+    xs = [3, 0, 4, 1, 2][:n]
+    sinks = tuple(
+        Sink(f"s{i}", Point(x * spacing, 0.0), load=10.0, required_time=500.0)
+        for i, x in enumerate(xs)
+    )
+    return Net("line", Point(-50.0, 0.0), sinks)
+
+
+class TestTspOrder:
+    def test_line_net_ordered_geometrically(self):
+        """On a line, the optimal tour is the coordinate order."""
+        net = line_net()
+        order = tsp_order(net)
+        xs = [net.sink(i).position.x for i in order]
+        assert xs == sorted(xs)
+
+    def test_starts_near_source(self):
+        net = line_net()
+        order = tsp_order(net)
+        first = net.sink(order[0]).position
+        assert first.x == 0.0  # the sink closest to the source at (-50, 0)
+
+    def test_single_sink(self):
+        net = build_net(1, seed=3)
+        assert list(tsp_order(net)) == [0]
+
+    def test_is_permutation(self):
+        net = build_net(9, seed=5)
+        order = tsp_order(net)
+        assert sorted(order) == list(range(9))
+
+    def test_deterministic(self):
+        net = build_net(8, seed=11)
+        assert tsp_order(net).seq == tsp_order(net).seq
+
+    def test_two_opt_not_worse_than_greedy_tour(self):
+        """2-opt only applies improving moves, so tour length never grows."""
+        from repro.orders.tsp import _nearest_neighbor_tour
+
+        net = build_net(10, seed=13)
+        positions = [s.position for s in net.sinks]
+
+        def tour_length(tour):
+            return sum(positions[a].manhattan_to(positions[b])
+                       for a, b in zip(tour, tour[1:]))
+
+        greedy = _nearest_neighbor_tour(net.source, positions)
+        improved = list(tsp_order(net))
+        assert tour_length(improved) <= tour_length(greedy) + 1e-9
+
+
+class TestRequiredTimeOrder:
+    def test_sorted_ascending(self):
+        net = build_net(6, seed=2)
+        order = required_time_order(net)
+        reqs = [net.sink(i).required_time for i in order]
+        assert reqs == sorted(reqs)
+
+    def test_tie_breaks_on_load_descending(self):
+        sinks = (
+            Sink("a", Point(0, 0), load=5.0, required_time=100.0),
+            Sink("b", Point(1, 0), load=50.0, required_time=100.0),
+        )
+        net = Net("tie", Point(0, 0), sinks)
+        assert list(required_time_order(net)) == [1, 0]
+
+
+class TestProjectionOrder:
+    def test_x_projection(self):
+        net = line_net()
+        order = projection_order(net, "x")
+        xs = [net.sink(i).position.x for i in order]
+        assert xs == sorted(xs)
+
+    def test_y_projection(self):
+        net = build_net(5, seed=9)
+        order = projection_order(net, "y")
+        ys = [net.sink(i).position.y for i in order]
+        assert ys == sorted(ys)
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            projection_order(build_net(3, seed=1), "z")
+
+
+class TestRandomOrder:
+    def test_seeded_reproducibility(self):
+        net = build_net(8, seed=4)
+        assert random_order(net, seed=1).seq == random_order(net, seed=1).seq
+
+    def test_different_seeds_differ(self):
+        net = build_net(8, seed=4)
+        assert random_order(net, seed=1).seq != random_order(net, seed=2).seq
+
+    def test_is_permutation(self):
+        net = build_net(7, seed=4)
+        assert sorted(random_order(net, seed=5)) == list(range(7))

@@ -1,0 +1,70 @@
+"""Property-based tests for the Manhattan geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.hanan import hanan_points, snap_to_grid
+from repro.geometry.point import Point, centroid, median_point
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False,
+                   allow_infinity=False)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(points, points, points)
+def test_manhattan_triangle_inequality(a, b, c):
+    assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c) + 1e-6
+
+
+@settings(max_examples=200, deadline=None)
+@given(points, points)
+def test_manhattan_symmetry_and_identity(a, b):
+    assert a.manhattan_to(b) == b.manhattan_to(a)
+    assert a.manhattan_to(a) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(point_lists)
+def test_bbox_contains_all_points(pts):
+    box = BoundingBox.of_points(pts)
+    for p in pts:
+        assert box.contains(p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(point_lists)
+def test_centroid_and_median_inside_bbox(pts):
+    # Epsilon-expanded: summing floats can overshoot the exact mean by one
+    # ulp (e.g. (1.9 * 3) / 3 > 1.9).
+    box = BoundingBox.of_points(pts).expanded(1e-6)
+    assert box.contains(centroid(pts))
+    assert box.contains(median_point(pts))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(points, min_size=1, max_size=7))
+def test_hanan_points_contain_terminals_and_close_under_projection(pts):
+    grid = hanan_points(pts)
+    grid_set = set(grid)
+    for p in pts:
+        assert p in grid_set
+    # The grid is the full cross product: projecting any two grid points
+    # onto each other's axes stays in the grid.
+    for a in grid[:5]:
+        for b in grid[:5]:
+            assert Point(a.x, b.y) in grid_set
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(points, min_size=1, max_size=6), points)
+def test_snap_to_grid_returns_nearest_grid_point(pts, query):
+    from repro.geometry.hanan import hanan_grid_lines
+
+    xs, ys = hanan_grid_lines(pts)
+    snapped = snap_to_grid(query, xs, ys)
+    grid = hanan_points(pts)
+    best = min(grid, key=lambda g: g.manhattan_to(query))
+    assert snapped.manhattan_to(query) <= best.manhattan_to(query) + 1e-9

@@ -1,0 +1,79 @@
+"""Property-based tests for orders and neighborhoods (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orders.neighborhood import (
+    in_neighborhood,
+    neighborhood_size,
+    swap_decomposition,
+)
+from repro.orders.order import Order
+
+orders = st.integers(min_value=1, max_value=9).flatmap(
+    lambda n: st.permutations(list(range(n)))).map(Order.from_sequence)
+
+small_orders = st.integers(min_value=2, max_value=7).flatmap(
+    lambda n: st.permutations(list(range(n)))).map(Order.from_sequence)
+
+
+@settings(max_examples=150, deadline=None)
+@given(orders)
+def test_positions_inverse_roundtrip(order):
+    positions = order.positions
+    for sink_index in range(len(order)):
+        assert order[positions[sink_index]] == sink_index
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_orders, st.data())
+def test_swap_is_involutive(order, data):
+    position = data.draw(st.integers(0, len(order) - 2))
+    assert order.swapped(position).swapped(position).seq == order.seq
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_orders, st.data())
+def test_disjoint_swaps_stay_in_neighborhood(order, data):
+    """Applying any set of disjoint adjacent swaps lands in N(Π)."""
+    n = len(order)
+    swaps = []
+    position = 0
+    while position < n - 1:
+        if data.draw(st.booleans()):
+            swaps.append(position)
+            position += 2
+        else:
+            position += 1
+    perturbed = order
+    for p in swaps:
+        perturbed = perturbed.swapped(p)
+    assert in_neighborhood(perturbed, order)
+    assert swap_decomposition(perturbed, order) == swaps
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_orders)
+def test_neighborhood_membership_symmetric(order):
+    """Definition 1 symmetry on sampled neighbors."""
+    reversed_order = order.reversed()
+    assert in_neighborhood(order, reversed_order) == \
+        in_neighborhood(reversed_order, order)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=15))
+def test_neighborhood_size_recurrence(n):
+    """size(n) = size(n-1) + size(n-2) (the Fibonacci recurrence)."""
+    if n >= 3:
+        assert neighborhood_size(n) == \
+            neighborhood_size(n - 1) + neighborhood_size(n - 2)
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_orders)
+def test_displacement_triangle_property(order):
+    """Displacement from self is zero; from a neighbor at most one."""
+    assert order.displacement_from(order) == [0] * len(order)
+    swapped = order.swapped(0)
+    assert max(swapped.displacement_from(order)) == 1

@@ -1,0 +1,102 @@
+"""Property-based consistency: DP arithmetic == Elmore re-evaluation.
+
+Hypothesis composes random solution structures from the three DP
+combinators (extend / join / buffer) over random sink sets, then asserts
+that the incremental ``(load, required_time, area)`` bookkeeping agrees
+exactly with independent evaluation of the materialized tree — the
+strongest internal-consistency invariant the library has.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.curves.ops import (
+    buffer_solution,
+    extend_solution,
+    join_solutions,
+)
+from repro.curves.solution import sink_leaf_solution
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.builder import build_tree
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.sink_order import extract_sink_order
+from repro.routing.tree import RoutingTree
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+
+coords = st.floats(min_value=0.0, max_value=3000.0, allow_nan=False)
+loads = st.floats(min_value=1.0, max_value=80.0, allow_nan=False)
+reqs = st.floats(min_value=200.0, max_value=1500.0, allow_nan=False)
+
+
+@st.composite
+def random_structures(draw):
+    """A net plus a randomly composed solution driving all its sinks."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    sinks = tuple(
+        Sink(f"s{i}", Point(draw(coords), draw(coords)), draw(loads),
+             draw(reqs))
+        for i in range(n)
+    )
+    net = Net("prop", Point(0.0, 0.0), sinks)
+
+    # Start with one solution per sink (at its own pin), then repeatedly
+    # merge the first two via extend-to-a-common-point + join, with an
+    # optional buffer after each merge.
+    pool = [
+        sink_leaf_solution(s.position, i, s.load, s.required_time)
+        for i, s in enumerate(sinks)
+    ]
+    while len(pool) > 1:
+        meet = Point(draw(coords), draw(coords))
+        a = extend_solution(pool.pop(0), meet, TECH)
+        b = extend_solution(pool.pop(0), meet, TECH)
+        merged = join_solutions(a, b)
+        if draw(st.booleans()):
+            buffer = TECH.buffers[draw(st.integers(0, len(TECH.buffers) - 1))]
+            merged = buffer_solution(merged, buffer, TECH)
+        pool.insert(0, merged)
+    solution = extend_solution(pool[0], net.source, TECH)
+    return net, solution
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_structures())
+def test_dp_arithmetic_matches_evaluator(net_and_solution):
+    net, solution = net_and_solution
+    tree = build_tree(net, solution)
+    validate_tree(tree)
+    # Evaluate the structure without the driver stage (the solution has no
+    # DriverArm): root the partial tree at the solution's root.
+    partial = RoutingTree(net=net, root=tree.root.children[0]) \
+        if tree.root.children else tree
+    ev = evaluate_tree(partial, TECH)
+    assert ev.required_time_at_driver == pytest.approx(
+        solution.required_time, rel=1e-9, abs=1e-6)
+    assert ev.buffer_area == pytest.approx(solution.area)
+    assert ev.driver_load == pytest.approx(solution.load, rel=1e-9,
+                                           abs=1e-6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_structures())
+def test_sink_order_is_construction_order(net_and_solution):
+    """DFS visits sinks in the left-to-right construction order."""
+    net, solution = net_and_solution
+    tree = build_tree(net, solution)
+    order = extract_sink_order(tree)
+    assert sorted(order) == list(range(len(net)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_structures())
+def test_operations_never_improve_required_time(net_and_solution):
+    """Wires and buffers only cost time; the root required time can never
+    exceed the laziest sink's requirement."""
+    net, solution = net_and_solution
+    assert solution.required_time <= net.max_required_time + 1e-9

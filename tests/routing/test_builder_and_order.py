@@ -1,0 +1,164 @@
+"""Tests for repro.routing.builder, sink_order, validate, export."""
+
+import pytest
+
+from repro.curves.ops import (
+    buffer_solution,
+    extend_solution,
+    join_solutions,
+)
+from repro.curves.solution import DriverArm, Solution, sink_leaf_solution
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.builder import build_tree
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.export import tree_to_dict, tree_to_dot
+from repro.routing.sink_order import extract_sink_order
+from repro.routing.tree import BufferNode, SinkNode, SourceNode
+from repro.routing.validate import TreeValidationError, validate_tree
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+
+
+def two_sink_net():
+    return Net("n", Point(0, 0), (
+        Sink("a", Point(100, 0), load=10.0, required_time=500.0),
+        Sink("b", Point(0, 100), load=20.0, required_time=800.0),
+    ))
+
+
+def joined_solution(net):
+    """Join both sinks at the source point (manually composed)."""
+    a = sink_leaf_solution(net.sink(0).position, 0, 10.0, 500.0)
+    b = sink_leaf_solution(net.sink(1).position, 1, 20.0, 800.0)
+    a_at_src = extend_solution(a, net.source, TECH)
+    b_at_src = extend_solution(b, net.source, TECH)
+    return join_solutions(a_at_src, b_at_src)
+
+
+class TestBuildTree:
+    def test_builds_source_rooted_tree(self):
+        net = two_sink_net()
+        tree = build_tree(net, joined_solution(net))
+        assert isinstance(tree.root, SourceNode)
+        assert tree.root.position == net.source
+        validate_tree(tree)
+
+    def test_join_order_preserved_left_to_right(self):
+        net = two_sink_net()
+        tree = build_tree(net, joined_solution(net))
+        assert extract_sink_order(tree) == [0, 1]
+
+    def test_buffered_solution_materializes_buffer_node(self):
+        net = two_sink_net()
+        solution = buffer_solution(joined_solution(net),
+                                   TECH.buffers.smallest, TECH)
+        tree = build_tree(net, solution)
+        assert len(tree.buffer_nodes) == 1
+        assert tree.buffer_nodes[0].buffer.name == TECH.buffers.smallest.name
+
+    def test_driver_arm_detail(self):
+        net = two_sink_net()
+        inner = joined_solution(net)
+        final = Solution(net.source, inner.load, inner.required_time - 50,
+                         inner.area, DriverArm(inner, 0.0))
+        tree = build_tree(net, final)
+        assert isinstance(tree.root, SourceNode)
+        validate_tree(tree)
+
+    def test_dp_attributes_match_evaluator(self):
+        """The DP's (load, required time) must equal Elmore re-evaluation."""
+        net = two_sink_net()
+        inner = joined_solution(net)
+        delay = TECH.driver_delay(inner.load)
+        final = Solution(net.source, inner.load,
+                         inner.required_time - delay, inner.area,
+                         DriverArm(inner, 0.0))
+        tree = build_tree(net, final)
+        ev = evaluate_tree(tree, TECH)
+        assert ev.required_time_at_driver == pytest.approx(
+            final.required_time)
+        assert ev.driver_load == pytest.approx(final.load)
+
+
+class TestSinkOrder:
+    def test_missing_sink_rejected(self):
+        net = two_sink_net()
+        root = SourceNode(net.source)
+        root.add_child(SinkNode(net.sink(0).position, 0))
+        from repro.routing.tree import RoutingTree
+
+        with pytest.raises(ValueError, match="not a permutation"):
+            extract_sink_order(RoutingTree(net=net, root=root))
+
+    def test_duplicate_sink_rejected(self):
+        net = two_sink_net()
+        root = SourceNode(net.source)
+        root.add_child(SinkNode(net.sink(0).position, 0))
+        root.add_child(SinkNode(net.sink(0).position, 0))
+        from repro.routing.tree import RoutingTree
+
+        with pytest.raises(ValueError, match="not a permutation"):
+            extract_sink_order(RoutingTree(net=net, root=root))
+
+
+class TestValidate:
+    def test_wrong_sink_position_detected(self):
+        net = two_sink_net()
+        root = SourceNode(net.source)
+        root.add_child(SinkNode(Point(5, 5), 0))  # pin is at (100, 0)
+        root.add_child(SinkNode(net.sink(1).position, 1))
+        from repro.routing.tree import RoutingTree
+
+        with pytest.raises(TreeValidationError, match="placed at"):
+            validate_tree(RoutingTree(net=net, root=root))
+
+    def test_missing_coverage_detected(self):
+        net = two_sink_net()
+        root = SourceNode(net.source)
+        root.add_child(SinkNode(net.sink(0).position, 0))
+        from repro.routing.tree import RoutingTree
+
+        with pytest.raises(TreeValidationError, match="coverage"):
+            validate_tree(RoutingTree(net=net, root=root))
+
+    def test_fanout_bound_checked(self):
+        net = Net("n", Point(0, 0), tuple(
+            Sink(f"s{i}", Point(10.0 * (i + 1), 0), 10.0, 100.0)
+            for i in range(5)))
+        root = SourceNode(net.source)
+        for i in range(5):
+            root.add_child(SinkNode(net.sink(i).position, i))
+        from repro.routing.tree import RoutingTree
+
+        tree = RoutingTree(net=net, root=root)
+        validate_tree(tree)  # unconstrained: fine
+        with pytest.raises(TreeValidationError, match="alpha"):
+            validate_tree(tree, max_buffer_fanout=4)
+
+
+class TestExport:
+    def test_tree_to_dict_roundtrips_structure(self):
+        net = two_sink_net()
+        tree = build_tree(net, joined_solution(net))
+        data = tree_to_dict(tree)
+        assert data["net"] == "n"
+        assert data["root"]["kind"] == "SourceNode"
+        assert "children" in data["root"]
+
+    def test_tree_to_dict_is_json_serializable(self):
+        import json
+
+        net = two_sink_net()
+        tree = build_tree(net, joined_solution(net))
+        json.dumps(tree_to_dict(tree))
+
+    def test_tree_to_dot_mentions_all_sinks(self):
+        net = two_sink_net()
+        solution = buffer_solution(joined_solution(net),
+                                   TECH.buffers.smallest, TECH)
+        dot = tree_to_dot(build_tree(net, solution))
+        assert dot.startswith("digraph")
+        assert "a" in dot and "b" in dot
+        assert TECH.buffers.smallest.name in dot

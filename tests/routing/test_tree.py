@@ -1,0 +1,97 @@
+"""Tests for repro.routing.tree."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.tree import (
+    BufferNode,
+    RoutingTree,
+    SinkNode,
+    SourceNode,
+    SteinerNode,
+)
+from repro.tech.buffer import Buffer
+
+BUF = Buffer("B", input_cap=5.0, drive_resistance=2.0,
+             intrinsic_delay=40.0, area=30.0)
+
+
+def two_sink_net():
+    return Net("n", Point(0, 0), (
+        Sink("a", Point(100, 0), load=10.0, required_time=100.0),
+        Sink("b", Point(0, 100), load=20.0, required_time=200.0),
+    ))
+
+
+def build_sample_tree():
+    """source -> buffer at (50,0) -> {sink a, steiner -> sink b}."""
+    net = two_sink_net()
+    root = SourceNode(Point(0, 0))
+    buffer_node = BufferNode(Point(50, 0), BUF)
+    root.add_child(buffer_node)
+    buffer_node.add_child(SinkNode(Point(100, 0), 0))
+    steiner = SteinerNode(Point(50, 50))
+    buffer_node.add_child(steiner)
+    steiner.add_child(SinkNode(Point(0, 100), 1))
+    return RoutingTree(net=net, root=root)
+
+
+class TestTreeStructure:
+    def test_walk_preorder(self):
+        tree = build_sample_tree()
+        kinds = [node.kind for node in tree.walk()]
+        assert kinds == ["SourceNode", "BufferNode", "SinkNode",
+                         "SteinerNode", "SinkNode"]
+
+    def test_edge_length_is_manhattan(self):
+        tree = build_sample_tree()
+        root = tree.root
+        assert root.edge_length(root.children[0]) == 50.0
+
+    def test_sink_nodes_are_leaves(self):
+        node = SinkNode(Point(0, 0), 0)
+        with pytest.raises(TypeError):
+            node.add_child(SteinerNode(Point(1, 1)))
+
+    def test_buffer_nodes_and_sink_nodes_listed(self):
+        tree = build_sample_tree()
+        assert len(tree.buffer_nodes) == 1
+        assert {n.sink_index for n in tree.sink_nodes} == {0, 1}
+
+
+class TestTreeMetrics:
+    def test_buffer_area(self):
+        assert build_sample_tree().buffer_area == 30.0
+
+    def test_wire_length(self):
+        tree = build_sample_tree()
+        # 50 (src->buf) + 50 (buf->a) + 50 (buf->steiner) + 100 (steiner->b)
+        assert tree.wire_length == 250.0
+
+
+class TestSimplified:
+    def test_pass_through_steiner_collapsed(self):
+        net = two_sink_net()
+        root = SourceNode(Point(0, 0))
+        passthrough = SteinerNode(Point(0, 0))  # same position, one child
+        root.add_child(passthrough)
+        passthrough.add_child(SinkNode(Point(100, 0), 0))
+        steiner2 = SteinerNode(Point(0, 0))
+        root.add_child(steiner2)
+        steiner2.add_child(SinkNode(Point(0, 100), 1))
+        tree = RoutingTree(net=net, root=root).simplified()
+        # Both zero-length pass-through Steiner nodes are gone.
+        kinds = [n.kind for n in tree.walk()]
+        assert kinds == ["SourceNode", "SinkNode", "SinkNode"]
+
+    def test_simplified_preserves_metrics(self):
+        tree = build_sample_tree()
+        simplified = tree.simplified()
+        assert simplified.wire_length == tree.wire_length
+        assert simplified.buffer_area == tree.buffer_area
+
+    def test_simplified_is_a_copy(self):
+        tree = build_sample_tree()
+        simplified = tree.simplified()
+        assert simplified.root is not tree.root

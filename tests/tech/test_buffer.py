@@ -1,0 +1,93 @@
+"""Tests for repro.tech.buffer."""
+
+import pytest
+
+from repro.tech.buffer import Buffer, BufferLibrary
+
+
+def make_buffer(name="B", cap=5.0, res=2.0, intrinsic=40.0, area=30.0):
+    return Buffer(name=name, input_cap=cap, drive_resistance=res,
+                  intrinsic_delay=intrinsic, area=area)
+
+
+class TestBuffer:
+    def test_valid_buffer(self):
+        b = make_buffer()
+        assert b.input_cap == 5.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("input_cap", 0.0),
+        ("input_cap", -1.0),
+        ("drive_resistance", 0.0),
+        ("intrinsic_delay", -0.1),
+        ("area", 0.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(name="B", input_cap=5.0, drive_resistance=2.0,
+                      intrinsic_delay=40.0, area=30.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            Buffer(**kwargs)
+
+
+class TestBufferLibrary:
+    def test_sorted_by_area(self):
+        lib = BufferLibrary([
+            make_buffer("big", area=100),
+            make_buffer("small", area=10),
+            make_buffer("mid", area=50),
+        ])
+        assert [b.name for b in lib] == ["small", "mid", "big"]
+
+    def test_smallest_largest(self):
+        lib = BufferLibrary([make_buffer("a", area=10),
+                             make_buffer("b", area=99)])
+        assert lib.smallest.name == "a"
+        assert lib.largest.name == "b"
+
+    def test_by_name(self):
+        lib = BufferLibrary([make_buffer("x")])
+        assert lib.by_name("x").name == "x"
+        with pytest.raises(KeyError):
+            lib.by_name("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([make_buffer("dup"), make_buffer("dup")])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            BufferLibrary([])
+
+    def test_indexing(self):
+        lib = BufferLibrary([make_buffer("a", area=10),
+                             make_buffer("b", area=20)])
+        assert lib[0].name == "a"
+        assert len(lib) == 2
+
+
+class TestSubset:
+    def make_lib(self, n=10):
+        return BufferLibrary([make_buffer(f"b{i}", area=10.0 * (i + 1))
+                              for i in range(n)])
+
+    def test_subset_keeps_extremes(self):
+        lib = self.make_lib()
+        sub = lib.subset(4)
+        assert len(sub) == 4
+        assert sub.smallest.name == lib.smallest.name
+        assert sub.largest.name == lib.largest.name
+
+    def test_subset_larger_than_library_is_identity(self):
+        lib = self.make_lib(3)
+        assert len(lib.subset(10)) == 3
+
+    def test_subset_of_one_picks_middle(self):
+        lib = self.make_lib(9)
+        sub = lib.subset(1)
+        assert len(sub) == 1
+        assert sub[0].name == "b4"
+
+    def test_subset_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            self.make_lib().subset(0)

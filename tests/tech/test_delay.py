@@ -1,0 +1,108 @@
+"""Tests for repro.tech.delay and repro.tech.wire."""
+
+import pytest
+
+from repro.tech.buffer import Buffer
+from repro.tech.delay import (
+    FourParameterGateDelay,
+    LinearGateDelay,
+    elmore_wire_delay,
+)
+from repro.tech.wire import WireParasitics
+
+BUF = Buffer("B", input_cap=5.0, drive_resistance=2.0,
+             intrinsic_delay=40.0, area=30.0)
+
+
+class TestWireParasitics:
+    def test_linear_scaling(self):
+        wire = WireParasitics(resistance_per_um=1e-4, capacitance_per_um=0.2)
+        assert wire.resistance(100.0) == pytest.approx(1e-2)
+        assert wire.capacitance(100.0) == pytest.approx(20.0)
+
+    def test_negative_parasitics_rejected(self):
+        with pytest.raises(ValueError):
+            WireParasitics(resistance_per_um=-1.0)
+
+
+class TestElmoreWireDelay:
+    WIRE = WireParasitics(resistance_per_um=1e-4, capacitance_per_um=0.2)
+
+    def test_hand_computed_value(self):
+        # R = 0.01 kOhm, C = 20 fF, downstream 10 fF:
+        # d = 0.01 * (10 + 10) = 0.2 ps
+        delay = elmore_wire_delay(self.WIRE, 100.0, 10.0)
+        assert delay == pytest.approx(0.2)
+
+    def test_zero_length_is_free(self):
+        assert elmore_wire_delay(self.WIRE, 0.0, 100.0) == 0.0
+
+    def test_quadratic_in_length_at_zero_load(self):
+        d1 = elmore_wire_delay(self.WIRE, 100.0, 0.0)
+        d2 = elmore_wire_delay(self.WIRE, 200.0, 0.0)
+        assert d2 == pytest.approx(4.0 * d1)
+
+    def test_monotone_in_downstream_load(self):
+        d_small = elmore_wire_delay(self.WIRE, 50.0, 1.0)
+        d_large = elmore_wire_delay(self.WIRE, 50.0, 100.0)
+        assert d_large > d_small
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            elmore_wire_delay(self.WIRE, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            elmore_wire_delay(self.WIRE, 1.0, -0.5)
+
+
+class TestLinearGateDelay:
+    MODEL = LinearGateDelay()
+
+    def test_buffer_delay_formula(self):
+        assert self.MODEL.buffer_delay(BUF, 10.0) == pytest.approx(60.0)
+
+    def test_driver_delay_formula(self):
+        assert self.MODEL.driver_delay(3.0, 50.0, 10.0) == pytest.approx(80.0)
+
+    def test_zero_load(self):
+        assert self.MODEL.buffer_delay(BUF, 0.0) == pytest.approx(40.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            self.MODEL.buffer_delay(BUF, -1.0)
+
+
+class TestFourParameterGateDelay:
+    def test_reduces_to_linear_at_zero_slew(self):
+        model = FourParameterGateDelay(nominal_slew=0.0)
+        linear = LinearGateDelay()
+        assert model.buffer_delay(BUF, 25.0) == \
+            pytest.approx(linear.buffer_delay(BUF, 25.0))
+
+    def test_slew_terms_add_delay(self):
+        fast = FourParameterGateDelay(nominal_slew=0.0)
+        slow = FourParameterGateDelay(nominal_slew=100.0)
+        assert slow.buffer_delay(BUF, 25.0) > fast.buffer_delay(BUF, 25.0)
+
+    def test_affine_in_load(self):
+        """The DP's precomputed coefficients rely on affinity in the load."""
+        model = FourParameterGateDelay()
+        d0 = model.buffer_delay(BUF, 0.0)
+        d1 = model.buffer_delay(BUF, 1.0)
+        slope = d1 - d0
+        for load in (3.0, 17.5, 240.0):
+            assert model.buffer_delay(BUF, load) == \
+                pytest.approx(d0 + slope * load)
+
+    def test_monotone_in_load(self):
+        model = FourParameterGateDelay()
+        assert model.buffer_delay(BUF, 50.0) > model.buffer_delay(BUF, 5.0)
+
+    def test_negative_slew_rejected(self):
+        with pytest.raises(ValueError):
+            FourParameterGateDelay(nominal_slew=-1.0)
+
+    def test_driver_delay_uses_same_form(self):
+        model = FourParameterGateDelay()
+        base = model.driver_delay(2.0, 60.0, 0.0)
+        loaded = model.driver_delay(2.0, 60.0, 10.0)
+        assert loaded > base

@@ -1,0 +1,81 @@
+"""Tests for repro.tech.library and repro.tech.technology."""
+
+import pytest
+
+from repro.tech.library import make_library
+from repro.tech.technology import Technology, default_technology
+from repro.tech.wire import WireParasitics
+from repro.tech.delay import LinearGateDelay
+
+
+class TestMakeLibrary:
+    def test_default_size_is_34(self):
+        """The paper's industrial library contains 34 buffers."""
+        assert len(make_library()) == 34
+
+    def test_strength_scaling_laws(self):
+        lib = make_library(10)
+        small, large = lib.smallest, lib.largest
+        assert large.input_cap > small.input_cap
+        assert large.drive_resistance < small.drive_resistance
+        assert large.area > small.area
+        assert large.intrinsic_delay >= small.intrinsic_delay
+
+    def test_strength_range_is_30x(self):
+        lib = make_library(34)
+        ratio = lib.largest.input_cap / lib.smallest.input_cap
+        assert ratio == pytest.approx(30.0, rel=1e-6)
+
+    def test_unique_names(self):
+        lib = make_library(34)
+        names = [b.name for b in lib]
+        assert len(set(names)) == 34
+
+    def test_single_cell_library(self):
+        lib = make_library(1)
+        assert len(lib) == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_library(0)
+
+    def test_bigger_buffers_drive_big_loads_faster(self):
+        """The whole point of sizing: at large loads, big cells win."""
+        lib = make_library(10)
+        model = LinearGateDelay()
+        heavy_load = 500.0
+        assert model.buffer_delay(lib.largest, heavy_load) < \
+            model.buffer_delay(lib.smallest, heavy_load)
+
+    def test_small_buffers_win_at_tiny_loads(self):
+        lib = make_library(10)
+        model = LinearGateDelay()
+        assert model.buffer_delay(lib.smallest, 1.0) < \
+            model.buffer_delay(lib.largest, 1.0)
+
+
+class TestTechnology:
+    def test_default_technology_composition(self):
+        tech = default_technology()
+        assert len(tech.buffers) == 34
+        assert tech.wire.resistance_per_um > 0
+
+    def test_wire_helpers(self):
+        tech = default_technology()
+        assert tech.wire_cap(100.0) == pytest.approx(
+            tech.wire.capacitance_per_um * 100.0)
+        assert tech.wire_delay(0.0, 50.0) == 0.0
+
+    def test_driver_delay_overrides(self):
+        tech = default_technology()
+        default = tech.driver_delay(10.0)
+        stronger = tech.driver_delay(10.0, drive_resistance=0.1,
+                                     intrinsic=0.0)
+        assert stronger < default
+
+    def test_with_buffers_replaces_library_only(self):
+        tech = default_technology()
+        thinner = tech.with_buffers(tech.buffers.subset(5))
+        assert len(thinner.buffers) == 5
+        assert thinner.wire is tech.wire
+        assert len(tech.buffers) == 34  # original untouched

@@ -1,0 +1,178 @@
+"""Tests for repro.analysis, repro.routing.svg, repro.tech.io,
+and repro.netlist.io."""
+
+import json
+
+import pytest
+
+from repro.analysis.curve_stats import curve_stats
+from repro.analysis.metrics import slack_profile, stage_depths, tree_metrics
+from repro.core.bubble_construct import bubble_construct
+from repro.core.config import MerlinConfig
+from repro.curves.solution import SinkLeaf, Solution
+from repro.geometry.point import Point
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.netlist.io import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.orders.tsp import tsp_order
+from repro.routing.svg import tree_to_svg, write_svg
+from repro.tech.io import (
+    library_from_dict,
+    library_to_dict,
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.tech.delay import LinearGateDelay
+from repro.tech.technology import Technology, default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    net = build_net(4, seed=3)
+    result = bubble_construct(net, tsp_order(net), TECH, config=CFG)
+    return net, result
+
+
+class TestTreeMetrics:
+    def test_metrics_sane(self, optimized):
+        net, result = optimized
+        metrics = tree_metrics(result.tree, TECH)
+        assert metrics.wirelength_ratio >= 0.9  # near or above HPWL
+        assert metrics.max_stage_depth >= 0
+        assert 0.0 <= metrics.buffers_per_sink <= 10.0
+        assert metrics.arrival_skew >= 0.0
+
+    def test_slack_profile_matches_evaluation(self, optimized):
+        net, result = optimized
+        from repro.routing.evaluate import evaluate_tree
+
+        ev = evaluate_tree(result.tree, TECH)
+        slacks = slack_profile(result.tree, TECH, ev)
+        assert set(slacks) == set(range(len(net)))
+        assert min(slacks.values()) == pytest.approx(
+            ev.required_time_at_driver)
+
+    def test_stage_depths_cover_all_sinks(self, optimized):
+        net, result = optimized
+        depths = stage_depths(result.tree)
+        assert set(depths) == set(range(len(net)))
+        assert all(d >= 0 for d in depths.values())
+
+
+class TestCurveStats:
+    def test_stats_from_real_curve(self, optimized):
+        _, result = optimized
+        stats = curve_stats(result.final_solutions)
+        assert stats.size == len(result.final_solutions)
+        assert stats.req_span >= 0.0
+        assert 0.0 <= stats.unbuffered_fraction <= 1.0
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            curve_stats([])
+
+    def test_req_per_area_sign(self):
+        sols = [
+            Solution(Point(0, 0), 1.0, 10.0, 0.0, SinkLeaf(0)),
+            Solution(Point(0, 0), 1.0, 50.0, 100.0, SinkLeaf(0)),
+        ]
+        stats = curve_stats(sols)
+        assert stats.req_per_area == pytest.approx(0.4)
+
+
+class TestSvgExport:
+    def test_svg_structure(self, optimized):
+        _, result = optimized
+        svg = tree_to_svg(result.tree)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert 'class="wire"' in svg
+        assert 'class="sink"' in svg
+
+    def test_svg_file_roundtrip(self, optimized, tmp_path):
+        _, result = optimized
+        path = tmp_path / "tree.svg"
+        write_svg(result.tree, str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_bad_width_rejected(self, optimized):
+        _, result = optimized
+        with pytest.raises(ValueError):
+            tree_to_svg(result.tree, width=10.0, margin=20.0)
+
+
+class TestTechnologyIo:
+    def test_library_roundtrip(self):
+        data = library_to_dict(TECH.buffers)
+        rebuilt = library_from_dict(data)
+        assert len(rebuilt) == len(TECH.buffers)
+        assert rebuilt.smallest.name == TECH.buffers.smallest.name
+
+    def test_technology_roundtrip(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(TECH, str(path))
+        loaded = load_technology(str(path))
+        assert loaded.wire == TECH.wire
+        assert loaded.driver_resistance == TECH.driver_resistance
+        assert len(loaded.buffers) == len(TECH.buffers)
+        assert loaded.gate_delay == TECH.gate_delay
+
+    def test_linear_model_roundtrip(self):
+        tech = Technology(wire=TECH.wire, buffers=TECH.buffers,
+                          gate_delay=LinearGateDelay())
+        data = technology_to_dict(tech)
+        assert data["gate_delay"] == {"model": "linear"}
+        assert isinstance(technology_from_dict(data).gate_delay,
+                          LinearGateDelay)
+
+    def test_unknown_model_rejected(self):
+        data = technology_to_dict(TECH)
+        data["gate_delay"] = {"model": "quantum"}
+        with pytest.raises(ValueError, match="unknown gate delay"):
+            technology_from_dict(data)
+
+    def test_bad_library_data_rejected(self):
+        with pytest.raises(ValueError):
+            library_from_dict({"not": "a list"})
+
+
+class TestNetlistIo:
+    CIRCUIT = generate_circuit(CircuitSpec(
+        name="io_test", primary_inputs=3, primary_outputs=2,
+        logic_gates=8, levels=3, max_fanout=3, seed=11))
+
+    def test_roundtrip_structure(self):
+        rebuilt = netlist_from_dict(netlist_to_dict(self.CIRCUIT))
+        assert rebuilt.name == self.CIRCUIT.name
+        assert set(rebuilt.gates) == set(self.CIRCUIT.gates)
+        assert [n.sinks for n in rebuilt.nets] == \
+            [n.sinks for n in self.CIRCUIT.nets]
+
+    def test_roundtrip_with_placement(self, tmp_path):
+        from repro.netlist.placement import place_netlist
+
+        place_netlist(self.CIRCUIT)
+        path = tmp_path / "ckt.json"
+        save_netlist(self.CIRCUIT, str(path))
+        loaded = load_netlist(str(path))
+        for name, gate in loaded.gates.items():
+            assert gate.position == self.CIRCUIT.gates[name].position
+
+    def test_json_serializable(self):
+        json.dumps(netlist_to_dict(self.CIRCUIT))
+
+    def test_unknown_cell_rejected(self):
+        data = netlist_to_dict(self.CIRCUIT)
+        data["gates"][0]["cell"] = "FLUX_CAPACITOR"
+        with pytest.raises(ValueError, match="unknown cell"):
+            netlist_from_dict(data)

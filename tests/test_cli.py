@@ -1,0 +1,38 @@
+"""Tests for the CLI driver (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_net_command_runs_all_flows(self, capsys):
+        assert main(["net", "--sinks", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "flow1_lttree_ptree" in out
+        assert "flow2_ptree_vg" in out
+        assert "flow3_merlin" in out
+        assert "delay=" in out
+
+    def test_net_command_dot_output(self, capsys):
+        assert main(["net", "--sinks", "3", "--seed", "1", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph routing_tree" in out
+
+    def test_ablation_alpha(self, capsys):
+        assert main(["ablation", "alpha", "--sinks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha=" in out
+
+    def test_ablation_convergence(self, capsys):
+        assert main(["ablation", "convergence", "--sinks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration_1" in out

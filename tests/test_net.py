@@ -1,0 +1,66 @@
+"""Tests for repro.net."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.net import Net, Sink, make_net
+
+
+def sink(name="s", x=0.0, y=0.0, load=10.0, req=100.0):
+    return Sink(name, Point(x, y), load, req)
+
+
+class TestSink:
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            Sink("s", Point(0, 0), load=-1.0, required_time=0.0)
+
+    def test_sink_is_frozen(self):
+        s = sink()
+        with pytest.raises(AttributeError):
+            s.load = 5.0
+
+
+class TestNet:
+    def test_requires_sinks(self):
+        with pytest.raises(ValueError):
+            Net("empty", Point(0, 0), ())
+
+    def test_duplicate_sink_names_rejected(self):
+        with pytest.raises(ValueError):
+            Net("dup", Point(0, 0), (sink("a"), sink("a", x=1)))
+
+    def test_len_and_iter(self):
+        net = Net("n", Point(0, 0), (sink("a"), sink("b", x=1)))
+        assert len(net) == 2
+        assert [s.name for s in net] == ["a", "b"]
+
+    def test_bounding_box_includes_source(self):
+        net = Net("n", Point(-10, 0), (sink("a", x=5, y=5),))
+        box = net.bounding_box
+        assert box.xmin == -10 and box.xmax == 5
+
+    def test_required_time_extremes(self):
+        net = Net("n", Point(0, 0),
+                  (sink("a", req=100), sink("b", x=1, req=300)))
+        assert net.min_required_time == 100
+        assert net.max_required_time == 300
+
+    def test_total_sink_load(self):
+        net = Net("n", Point(0, 0),
+                  (sink("a", load=10), sink("b", x=1, load=15)))
+        assert net.total_sink_load == 25
+
+    def test_sink_accessor(self):
+        net = Net("n", Point(0, 0), (sink("a"), sink("b", x=1)))
+        assert net.sink(1).name == "b"
+
+
+class TestMakeNet:
+    def test_builds_named_sinks(self):
+        net = make_net("m", (0, 0), [(10, 20, 5.0, 100.0),
+                                     (30, 40, 6.0, 200.0)])
+        assert len(net) == 2
+        assert net.sink(0).name == "m_s0"
+        assert net.sink(1).position == Point(30, 40)
+        assert net.sink(1).required_time == 200.0

@@ -1,0 +1,146 @@
+"""Tests for the wire-sizing extension ([LCLH96] simultaneous sizing).
+
+Default behaviour (single minimum width) must be bit-identical to the
+pre-extension library; enabling multiple widths can only grow the DP's
+solution space.
+"""
+
+import pytest
+
+from repro.core.bubble_construct import bubble_construct
+from repro.core.config import MerlinConfig
+from repro.curves.curve import CurveConfig
+from repro.curves.ops import extend_solution
+from repro.curves.solution import sink_leaf_solution
+from repro.geometry.point import Point
+from repro.orders.tsp import tsp_order
+from repro.routing.builder import build_tree
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.tree import RoutingTree
+from repro.tech.technology import default_technology
+from tests.conftest import build_net
+
+TECH = default_technology()
+
+
+class TestExtendWithWidth:
+    def test_wide_wire_less_resistance_more_cap(self):
+        pin = sink_leaf_solution(Point(0, 0), 0, 50.0, 1000.0)
+        narrow = extend_solution(pin, Point(1000, 0), TECH, width=1.0)
+        wide = extend_solution(pin, Point(1000, 0), TECH, width=4.0)
+        assert wide.load > narrow.load
+        # At this heavy load, the 4x resistance reduction wins.
+        assert wide.required_time > narrow.required_time
+
+    def test_width_recorded_in_detail(self):
+        pin = sink_leaf_solution(Point(0, 0), 0, 10.0, 100.0)
+        wide = extend_solution(pin, Point(500, 0), TECH, width=2.0)
+        assert wide.detail.width == 2.0
+
+    def test_invalid_width_rejected(self):
+        pin = sink_leaf_solution(Point(0, 0), 0, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            extend_solution(pin, Point(500, 0), TECH, width=0.0)
+
+    def test_default_width_unchanged(self):
+        pin = sink_leaf_solution(Point(0, 0), 0, 10.0, 100.0)
+        a = extend_solution(pin, Point(500, 0), TECH)
+        b = extend_solution(pin, Point(500, 0), TECH, width=1.0)
+        assert a.load == b.load and a.required_time == b.required_time
+
+
+class TestEvaluatorWidthAware:
+    def test_evaluator_matches_dp_with_widths(self):
+        from repro.net import Net, Sink
+
+        net = Net("w", Point(0, 0),
+                  (Sink("a", Point(2000, 0), 60.0, 1000.0),))
+        pin = sink_leaf_solution(net.sink(0).position, 0, 60.0, 1000.0)
+        sized = extend_solution(pin, net.source, TECH, width=3.0)
+        tree = build_tree(net, sized)
+        partial = RoutingTree(net=net, root=tree.root.children[0])
+        ev = evaluate_tree(partial, TECH)
+        assert ev.required_time_at_driver == pytest.approx(
+            sized.required_time, abs=1e-6)
+        assert ev.driver_load == pytest.approx(sized.load, abs=1e-9)
+
+    def test_simplified_preserves_width(self):
+        from repro.net import Net, Sink
+
+        net = Net("w", Point(0, 0),
+                  (Sink("a", Point(800, 0), 20.0, 500.0),))
+        pin = sink_leaf_solution(net.sink(0).position, 0, 20.0, 500.0)
+        sized = extend_solution(pin, net.source, TECH, width=2.0)
+        tree = build_tree(net, sized).simplified()
+        ev = evaluate_tree(tree, TECH)
+        # The width survives simplification: load includes 2x wire cap.
+        assert ev.driver_load == pytest.approx(sized.load, abs=1e-9)
+
+
+class TestSizingInTheDp:
+    EXACT = MerlinConfig.test_preset().with_(
+        curve=CurveConfig(load_step=0.01, area_step=0.5,
+                          max_solutions=100000),
+        library_subset=2, max_candidates=5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MerlinConfig(wire_width_options=())
+        with pytest.raises(ValueError):
+            MerlinConfig(wire_width_options=(1.0, -2.0))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_sizing_never_hurts_at_exact_settings(self, seed):
+        net = build_net(4, seed=seed)
+        order = tsp_order(net)
+        single = bubble_construct(net, order, TECH, config=self.EXACT)
+        sized = bubble_construct(
+            net, order, TECH,
+            config=self.EXACT.with_(wire_width_options=(1.0, 2.0, 4.0)))
+        assert sized.solution.required_time >= \
+            single.solution.required_time - 1e-9
+
+    def test_sized_tree_reevaluates_identically(self):
+        cfg = MerlinConfig.test_preset().with_(
+            wire_width_options=(1.0, 3.0))
+        net = build_net(4, seed=5)
+        result = bubble_construct(net, tsp_order(net), TECH, config=cfg)
+        lib = TECH.buffers.subset(cfg.library_subset)
+        ev = evaluate_tree(result.tree, TECH.with_buffers(lib))
+        assert ev.required_time_at_driver == pytest.approx(
+            result.solution.required_time, abs=1e-6)
+
+    def test_wide_wires_used_when_resistance_dominates(self):
+        """Widening is selected where it is the only effective lever:
+        unbuffered routing (plain PTREE), a resistive wire stack and a
+        strong driver.  With buffers available the DP correctly prefers
+        repeater insertion over widening in this technology — wire sizing
+        is a regime-dependent optimization, not a universal win.
+        """
+        from repro.baselines.ptree import ptree_route
+        from repro.net import Net, Sink
+        from repro.tech.technology import Technology
+        from repro.tech.wire import WireParasitics
+
+        resistive = Technology(
+            wire=WireParasitics(
+                resistance_per_um=TECH.wire.resistance_per_um * 20.0,
+                capacitance_per_um=TECH.wire.capacitance_per_um),
+            buffers=TECH.buffers,
+            gate_delay=TECH.gate_delay,
+            driver_resistance=0.05,  # strong driver: upstream cap is cheap
+        )
+        net = Net("heavy", Point(0, 0),
+                  (Sink("a", Point(6000.0, 0.0), 70.0, 10000.0),))
+        cfg = MerlinConfig.test_preset().with_(
+            wire_width_options=(1.0, 4.0),
+            curve=CurveConfig(load_step=1.0, area_step=30.0,
+                              max_solutions=24))
+        sized = ptree_route(net, resistive, config=cfg)
+        widths = {node.upstream_width for node in sized.tree.walk()}
+        assert 4.0 in widths
+        narrow = ptree_route(
+            net, resistive,
+            config=cfg.with_(wire_width_options=(1.0,)))
+        assert sized.solution.required_time > \
+            narrow.solution.required_time
