@@ -32,8 +32,9 @@ from repro.core.merlin import MerlinResult, merlin
 from repro.core.bubble_construct import BubbleConstructResult, bubble_construct
 from repro.routing.evaluate import TreeEvaluation, evaluate_tree
 from repro.routing.tree import RoutingTree
+from repro.instrument import NullRecorder, Recorder, use_recorder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Point",
@@ -51,5 +52,8 @@ __all__ = [
     "TreeEvaluation",
     "evaluate_tree",
     "RoutingTree",
+    "Recorder",
+    "NullRecorder",
+    "use_recorder",
     "__version__",
 ]

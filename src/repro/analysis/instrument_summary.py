@@ -1,0 +1,117 @@
+"""Human-readable summaries of recorded instrumentation reports.
+
+Consumes the JSON report produced by :meth:`repro.instrument.Recorder.
+report` (or the recorder itself) and renders where the work went: timing
+spans, DP volume counters, prune effectiveness, per-level curve growth,
+and the MERLIN convergence trace.  This is the analysis-side counterpart
+of the ``--stats`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+from repro.instrument import names as metric
+from repro.instrument.recorder import Recorder
+from repro.instrument.report import coerce_recorder
+
+
+def derived_metrics(source: Union[Recorder, Dict[str, Any], str]
+                    ) -> Dict[str, float]:
+    """Ratios the raw counters imply, keyed by stable derived names.
+
+    * ``memo_hit_rate`` — fraction of *PTREE range lookups answered by
+      the Lemma 7 memo (hits / (hits + computed)).
+    * ``prune_survival`` — overall fraction of solutions surviving curve
+      pruning (1 - removed / considered).
+    * ``join_pairs_per_call`` — mean cross-product size per join.
+    * ``ptree_time_fraction`` — *PTREE routing seconds over total
+      ``bubble_construct`` seconds (span-path based).
+    """
+    rec = coerce_recorder(source)
+    counters = rec.counters
+    out: Dict[str, float] = {}
+
+    hits = counters.get(metric.BUBBLE_RANGE_MEMO_HITS, 0)
+    computed = counters.get(metric.BUBBLE_RANGES, 0)
+    if hits + computed:
+        out["memo_hit_rate"] = hits / (hits + computed)
+
+    prunes = counters.get(metric.CURVE_PRUNE_CALLS, 0)
+    removed = counters.get(metric.CURVE_PRUNE_REMOVED, 0)
+    ratio_series = rec.series.get(metric.CURVE_PRUNE_SURVIVOR_RATIO)
+    if prunes and ratio_series is not None:
+        out["prune_survival"] = ratio_series.mean
+        out["pruned_solutions_total"] = float(removed)
+
+    calls = counters.get(metric.PTREE_JOIN_CALLS, 0)
+    pairs = counters.get(metric.PTREE_JOIN_PAIRS, 0)
+    if calls:
+        out["join_pairs_per_call"] = pairs / calls
+
+    bubble_s = sum(s.total_s for path, s in rec.spans.items()
+                   if path.split("/")[-1] == metric.SPAN_BUBBLE_CONSTRUCT)
+    ptree_s = sum(s.total_s for path, s in rec.spans.items()
+                  if path.split("/")[-1] == metric.SPAN_PTREE)
+    if bubble_s > 0:
+        out["ptree_time_fraction"] = ptree_s / bubble_s
+    return out
+
+
+def summarize_report(source: Union[Recorder, Dict[str, Any], str]) -> str:
+    """Render one recorded run as a plain-text summary."""
+    rec = coerce_recorder(source)
+    lines: List[str] = []
+
+    if rec.spans:
+        lines.append("Timing spans (path: count, total seconds):")
+        for path in sorted(rec.spans,
+                           key=lambda p: -rec.spans[p].total_s):
+            span = rec.spans[path]
+            lines.append(f"  {path:42s} {span.count:7d}  {span.total_s:9.4f}s")
+
+    if rec.counters:
+        lines.append("Counters:")
+        for name in sorted(rec.counters):
+            lines.append(f"  {name:42s} {rec.counters[name]:12d}")
+
+    level_series = sorted(
+        (name for name in rec.series
+         if name.startswith("bubble.level.")
+         and name.endswith(".curve_size_post")),
+        key=lambda name: int(name.split(".")[2]))
+    if level_series:
+        lines.append("Per-level curve sizes (level: cells, mean pre -> "
+                     "mean post):")
+        for post_name in level_series:
+            size = int(post_name.split(".")[2])
+            pre = rec.series.get(metric.level_curve_size_pre(size))
+            post = rec.series[post_name]
+            pre_mean = pre.mean if pre is not None else float("nan")
+            lines.append(f"  level {size:3d}: {post.count:5d} cells, "
+                         f"{pre_mean:8.1f} -> {post.mean:8.1f}")
+
+    derived = derived_metrics(rec)
+    if derived:
+        lines.append("Derived:")
+        for name in sorted(derived):
+            lines.append(f"  {name:42s} {derived[name]:12.4f}")
+
+    iterations = rec.events.get(metric.EVENT_MERLIN_ITERATION, [])
+    if iterations:
+        lines.append("MERLIN iterations:")
+        for entry in iterations:
+            lines.append(
+                f"  #{entry.get('index')}: cost={entry.get('cost'):.3f} "
+                f"improved={entry.get('improved')} "
+                f"order={entry.get('order')}")
+    for entry in rec.events.get(metric.EVENT_MERLIN_RESULT, []):
+        lines.append(
+            f"Result: net={entry.get('net')} sinks={entry.get('sinks')} "
+            f"iterations={entry.get('iterations')} "
+            f"converged={entry.get('converged')} "
+            f"best_cost={entry.get('best_cost'):.3f}")
+
+    if not lines:
+        return "(empty report)"
+    return "\n".join(lines)

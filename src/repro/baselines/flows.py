@@ -27,6 +27,8 @@ from repro.core.config import MerlinConfig
 from repro.core.merlin import merlin
 from repro.core.objective import Objective
 from repro.geometry.point import Point
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder, use_recorder
 from repro.net import Net, Sink
 from repro.orders.tsp import tsp_order
 from repro.routing.evaluate import TreeEvaluation, evaluate_tree
@@ -77,27 +79,35 @@ def run_flow(flow: str, net: Net, tech: Technology,
     """Run one of the three flows on ``net`` and evaluate the result."""
     config = config or MerlinConfig()
     objective = objective or Objective.max_required_time()
+    rec = config.recorder if config.recorder is not None \
+        else active_recorder()
     start = time.perf_counter()
     loops = 1
     extra: Dict[str, object] = {}
 
-    if flow == FLOW_I:
-        tree = _run_flow1(net, tech, config)
-    elif flow == FLOW_II:
-        routed = ptree_route(net, tech, order=tsp_order(net), config=config)
-        inserted = van_ginneken_insert(routed.tree, tech, config=config,
-                                       objective=objective)
-        tree = inserted.tree
-    elif flow == FLOW_III:
-        result = merlin(net, tech, config=config, objective=objective)
-        tree = result.tree
-        loops = result.iterations
-        extra["cost_trace"] = result.cost_trace
-        extra["converged"] = result.converged
-    else:
-        raise ValueError(f"unknown flow: {flow!r} (expected one of {ALL_FLOWS})")
+    with use_recorder(rec), rec.span(metric.span_flow(flow)):
+        if flow == FLOW_I:
+            tree = _run_flow1(net, tech, config)
+        elif flow == FLOW_II:
+            routed = ptree_route(net, tech, order=tsp_order(net),
+                                 config=config)
+            inserted = van_ginneken_insert(routed.tree, tech, config=config,
+                                           objective=objective)
+            tree = inserted.tree
+        elif flow == FLOW_III:
+            result = merlin(net, tech, config=config, objective=objective)
+            tree = result.tree
+            loops = result.iterations
+            extra["cost_trace"] = result.cost_trace
+            extra["converged"] = result.converged
+        else:
+            raise ValueError(
+                f"unknown flow: {flow!r} (expected one of {ALL_FLOWS})")
 
     runtime = time.perf_counter() - start
+    if rec.enabled:
+        rec.record(metric.FLOW_RUNTIME_S, runtime)
+        rec.record(metric.flow_runtime(flow), runtime)
     validate_tree(tree)
     evaluation = evaluate_tree(tree, tech)
     return FlowResult(flow=flow, net=net, tree=tree, evaluation=evaluation,

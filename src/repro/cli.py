@@ -4,7 +4,7 @@ Usage (after ``pip install -e .``)::
 
     merlin-repro table1 [--quick] [--seed N]
     merlin-repro table2 [--quick] [--seed N]
-    merlin-repro net --sinks N [--seed N]
+    merlin-repro net --sinks N [--seed N] [--stats] [--stats-out FILE]
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
 
 ``python -m repro ...`` is equivalent.
@@ -41,6 +41,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_net.add_argument("--seed", type=int, default=1)
     p_net.add_argument("--dot", action="store_true",
                        help="print the winning tree as Graphviz DOT")
+    p_net.add_argument("--stats", action="store_true",
+                       help="record engine instrumentation and dump a "
+                            "JSON stats report after the run")
+    p_net.add_argument("--stats-out", metavar="FILE", default=None,
+                       help="write the JSON report to FILE instead of "
+                            "stdout (implies --stats)")
 
     p_ab = sub.add_parser("ablation", help="prose-claim ablations (E3-E8)")
     p_ab.add_argument("which", choices=["candidates", "orders", "alpha",
@@ -82,6 +88,21 @@ def _run_net(args) -> int:
     net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
     tech = default_technology()
     config = MerlinConfig().with_(max_iterations=3)
+    recorder = None
+    if args.stats or args.stats_out:
+        import os
+
+        from repro.instrument import Recorder
+
+        if args.stats_out:
+            out_dir = os.path.dirname(os.path.abspath(args.stats_out))
+            if not os.path.isdir(out_dir):
+                # Fail before the (slow) run, not after it.
+                print(f"error: --stats-out directory does not exist: "
+                      f"{out_dir}", file=sys.stderr)
+                return 2
+        recorder = Recorder()
+        config = config.with_(recorder=recorder)
     last = None
     for flow in ALL_FLOWS:
         result = run_flow(flow, net, tech, config=config)
@@ -91,6 +112,15 @@ def _run_net(args) -> int:
         last = result
     if args.dot and last is not None:
         print(tree_to_dot(last.tree.simplified()))
+    if recorder is not None:
+        from repro.instrument import dump_report, report_to_json
+
+        report = recorder.report()
+        if args.stats_out:
+            dump_report(report, args.stats_out)
+            print(f"stats report written to {args.stats_out}")
+        else:
+            print(report_to_json(report))
     return 0
 
 

@@ -35,6 +35,8 @@ from repro.core.grouping import (
 )
 from repro.core.objective import Objective
 from repro.core.star_ptree import LeafCurves, PTreeContext
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder, use_recorder
 from repro.curves.solution import DriverArm, Solution
 from repro.geometry.candidates import generate_candidates
 from repro.geometry.point import Point
@@ -91,9 +93,19 @@ def bubble_construct(net: Net, order: Order, tech: Technology,
         raise ValueError(f"order has {len(order)} elements, net has {n} sinks")
     context = context or make_context(net, tech, config)
 
-    engine = _Engine(net, order, config, context)
-    gamma_final = engine.run()
-    final = _finalize(net, context, gamma_final)
+    rec = config.recorder if config.recorder is not None \
+        else active_recorder()
+    with use_recorder(rec), rec.span(metric.SPAN_BUBBLE_CONSTRUCT):
+        engine = _Engine(net, order, config, context)
+        gamma_final = engine.run()
+        with rec.span(metric.SPAN_FINALIZE):
+            final = _finalize(net, context, gamma_final)
+    if rec.enabled:
+        rec.incr(metric.BUBBLE_CELLS, engine.stats["cells"])
+        rec.incr(metric.BUBBLE_RANGES, engine.stats["ranges"])
+        rec.incr(metric.BUBBLE_RANGE_MEMO_HITS,
+                 engine.stats["range_memo_hits"])
+        rec.incr(metric.BUBBLE_LEVELS, engine.stats["levels"])
     for curve_solutions in (final,):
         if not curve_solutions:
             raise RuntimeError(
@@ -161,6 +173,7 @@ class _Engine:
         self.stats: Dict[str, int] = {
             "cells": 0, "ranges": 0, "range_memo_hits": 0, "levels": 0,
         }
+        self.rec = active_recorder()
         if config.active_margin_frac is None:
             self._margin = None
         else:
@@ -213,6 +226,7 @@ class _Engine:
         return self.gamma[(n, 0, n - 1)]
 
     def _build_parent(self, parent: Group) -> None:
+        rec = self.rec
         curves = self.context.new_curves()
         contributed = False
         for child_size in child_sizes(parent.size, self.config.alpha):
@@ -225,14 +239,26 @@ class _Engine:
                     continue
                 result = self._route_level(plan, child)
                 contributed = True
+                if rec.enabled and child.e != 0:
+                    rec.incr(metric.BUBBLE_NEIGHBORHOOD_HITS)
                 for curve, solutions in zip(curves, result):
                     curve.extend(solutions)
         if not contributed:
             return
+        if rec.enabled:
+            pre = sum(len(curve) for curve in curves)
         for curve in curves:
             curve.prune()
         self.gamma[_key(parent)] = [curve.solutions for curve in curves]
         self.stats["cells"] += 1
+        if rec.enabled:
+            post = sum(len(curve) for curve in curves)
+            rec.record(metric.BUBBLE_CURVE_SIZE_PRE, pre)
+            rec.record(metric.BUBBLE_CURVE_SIZE_POST, post)
+            rec.record(metric.BUBBLE_PRUNE_RATIO,
+                       post / pre if pre else 1.0)
+            rec.record(metric.level_curve_size_pre(parent.size), pre)
+            rec.record(metric.level_curve_size_post(parent.size), post)
 
     def _children(self, parent: Group, child_size: int):
         """Valid child groups whose span lies inside the parent's span."""
@@ -255,7 +281,10 @@ class _Engine:
             else:
                 leaf_ids.append(("g",) + _key(child))
         self.stats["levels"] += 1
-        return self._range(tuple(leaf_ids))
+        # Top-level span per hierarchy level; the recursion below it is
+        # untimed so nested ranges are not double-counted.
+        with self.rec.span(metric.SPAN_PTREE):
+            return self._range(tuple(leaf_ids))
 
     def _range(self, leaf_ids: tuple) -> List[List[Solution]]:
         """S(·, i, j) for a leaf run, shared across all levels (Lemma 7)."""

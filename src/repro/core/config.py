@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.curves.curve import CurveConfig
 from repro.geometry.candidates import CandidateStrategy
+from repro.instrument.recorder import Recorder
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,14 @@ class MerlinConfig:
     #: The default single width disables sizing; pass e.g. (1.0, 2.0, 4.0)
     #: for the simultaneous-wire-sizing extension of [LCLH96].
     wire_width_options: tuple = (1.0,)
+    #: Observability sink (see :mod:`repro.instrument`).  When set,
+    #: ``merlin()`` / the flow runners install it as the active recorder
+    #: for the duration of the run and the whole engine reports into it;
+    #: when None the no-op recorder keeps instrumentation free.
+    #: Excluded from equality/repr: a recorder is a measurement channel,
+    #: not part of the optimization problem.
+    recorder: Optional[Recorder] = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.alpha < 2:

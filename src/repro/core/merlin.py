@@ -30,6 +30,8 @@ from repro.core.bubble_construct import (
 )
 from repro.core.config import MerlinConfig
 from repro.core.objective import Objective
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder, use_recorder
 from repro.net import Net
 from repro.orders.order import Order
 from repro.orders.tsp import tsp_order
@@ -73,38 +75,55 @@ def merlin(net: Net, tech: Technology,
     """
     config = config or MerlinConfig()
     objective = objective or Objective.max_required_time()
-    order = initial_order or tsp_order(net)
-    context = make_context(net, tech, config)
+    rec = config.recorder if config.recorder is not None \
+        else active_recorder()
+    with use_recorder(rec), rec.span(metric.SPAN_MERLIN):
+        order = initial_order or tsp_order(net)
+        context = make_context(net, tech, config)
 
-    best: Optional[BubbleConstructResult] = None
-    best_cost = float("inf")
-    cost_trace: List[float] = []
-    order_trace: List[Order] = []
-    converged = False
-    iterations = 0
+        best: Optional[BubbleConstructResult] = None
+        best_cost = float("inf")
+        cost_trace: List[float] = []
+        order_trace: List[Order] = []
+        converged = False
+        iterations = 0
 
-    while iterations < config.max_iterations:
-        iterations += 1
-        order_trace.append(order)
-        result = bubble_construct(net, order, tech, config=config,
-                                  objective=objective, context=context)
-        cost = objective.cost(result.solution)
-        cost_trace.append(cost)
-        improved = cost < best_cost - _IMPROVEMENT_EPS
-        if improved:
-            best = result
-            best_cost = cost
-        if result.order_out.seq == order.seq:
-            converged = True
-            break
-        if not improved and best is not None:
-            # The neighbor's optimum is no better than what we already
-            # hold; by Theorem 7 this only happens at the final visit.
-            converged = True
-            break
-        order = result.order_out
+        while iterations < config.max_iterations:
+            iterations += 1
+            order_trace.append(order)
+            result = bubble_construct(net, order, tech, config=config,
+                                      objective=objective, context=context)
+            cost = objective.cost(result.solution)
+            cost_trace.append(cost)
+            improved = cost < best_cost - _IMPROVEMENT_EPS
+            if improved:
+                best = result
+                best_cost = cost
+            if rec.enabled:
+                rec.incr(metric.MERLIN_ITERATIONS)
+                rec.record(metric.MERLIN_ITERATION_COST, cost)
+                rec.event(metric.EVENT_MERLIN_ITERATION,
+                          index=iterations, cost=cost,
+                          order=list(order.seq),
+                          order_out=list(result.order_out.seq),
+                          improved=improved,
+                          constraint_met=result.constraint_met)
+            if result.order_out.seq == order.seq:
+                converged = True
+                break
+            if not improved and best is not None:
+                # The neighbor's optimum is no better than what we already
+                # hold; by Theorem 7 this only happens at the final visit.
+                converged = True
+                break
+            order = result.order_out
 
-    assert best is not None  # the loop always runs at least once
+        assert best is not None  # the loop always runs at least once
+        if rec.enabled:
+            rec.event(metric.EVENT_MERLIN_RESULT,
+                      net=net.name, sinks=len(net),
+                      iterations=iterations, converged=converged,
+                      best_cost=best_cost)
     return MerlinResult(
         tree=best.tree,
         best=best,

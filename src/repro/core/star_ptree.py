@@ -42,6 +42,8 @@ from repro.curves.solution import (
     sink_leaf_solution,
 )
 from repro.geometry.point import Point
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder
 from repro.tech.buffer import Buffer
 from repro.tech.technology import Technology
 
@@ -121,6 +123,7 @@ class PTreeContext:
         relocation closure so multi-hop buffered paths to a distant sink
         are available (cached once per net by the caller).
         """
+        active_recorder().incr(metric.PTREE_BASE_CURVES)
         curves = self.new_curves()
         tech = self.tech
         pin = sink_leaf_solution(position, sink_index, load, required_time)
@@ -168,25 +171,27 @@ class PTreeContext:
         if count == 1:
             return self._curves_from_lists(leaf_curves[0])
 
-        # table[(i, j)] = per-candidate solution lists for leaves i..j.
-        table: Dict[Tuple[int, int], List[List[Solution]]] = {}
-        for i, base in enumerate(leaf_curves):
-            table[(i, i)] = list(base)
+        with active_recorder().span(metric.SPAN_PTREE):
+            # table[(i, j)] = per-candidate solution lists for leaves i..j.
+            table: Dict[Tuple[int, int], List[List[Solution]]] = {}
+            for i, base in enumerate(leaf_curves):
+                table[(i, i)] = list(base)
 
-        result: Optional[List[SolutionCurve]] = None
-        for length in range(2, count + 1):
-            for i in range(count - length + 1):
-                j = i + length - 1
-                curves = self.new_curves()
-                for u in range(i, j):
-                    self.join_into(curves, table[(i, u)], table[(u + 1, j)])
-                self.finish_range(curves)
-                if length == count:
-                    result = curves
-                else:
-                    table[(i, j)] = [c.solutions for c in curves]
-        assert result is not None
-        return result
+            result: Optional[List[SolutionCurve]] = None
+            for length in range(2, count + 1):
+                for i in range(count - length + 1):
+                    j = i + length - 1
+                    curves = self.new_curves()
+                    for u in range(i, j):
+                        self.join_into(curves, table[(i, u)],
+                                       table[(u + 1, j)])
+                    self.finish_range(curves)
+                    if length == count:
+                        result = curves
+                    else:
+                        table[(i, j)] = [c.solutions for c in curves]
+            assert result is not None
+            return result
 
     def active_indices(self, points: Sequence[Point],
                        margin: float) -> List[int]:
@@ -222,6 +227,9 @@ class PTreeContext:
         point ``u``: loads and areas add, required times take the minimum;
         only bucket-improving combinations materialize a Solution.
         """
+        rec = active_recorder()
+        rec_enabled = rec.enabled
+        pairs = 0
         indices = range(len(curves)) if active is None else active
         for c in indices:
             curve = curves[c]
@@ -229,6 +237,8 @@ class PTreeContext:
             right_list = rights[c]
             if not left_list or not right_list:
                 continue
+            if rec_enabled:
+                pairs += len(left_list) * len(right_list)
             accept_key = curve.accept_key
             add_keyed = curve.add_keyed
             root = curve.root
@@ -244,6 +254,9 @@ class PTreeContext:
                     if key is not None:
                         add_keyed(key, Solution(root, load, req, area,
                                                 Join(a, b)))
+        if rec_enabled:
+            rec.incr(metric.PTREE_JOIN_CALLS)
+            rec.incr(metric.PTREE_JOIN_PAIRS, pairs)
 
     def finish_range(self, curves: List[SolutionCurve],
                      active: Optional[List[int]] = None) -> None:
@@ -262,6 +275,10 @@ class PTreeContext:
 
     def _buffer_all(self, curve: SolutionCurve, solutions) -> None:
         """Offer every library buffer at the root of each solution."""
+        rec = active_recorder()
+        if rec.enabled:
+            rec.incr(metric.PTREE_BUFFER_OFFERS,
+                     len(solutions) * len(self.buffer_params))
         accept_key = curve.accept_key
         add_keyed = curve.add_keyed
         root = curve.root
@@ -285,8 +302,10 @@ class PTreeContext:
         candidate holding solutions (so results computed inside a child's
         tighter active box can migrate outward).
         """
+        rec = active_recorder()
         targets = list(range(len(curves))) if active is None else active
         for _ in range(self.relocation_rounds):
+            rec.incr(metric.PTREE_RELOCATE_PASSES)
             snapshots = [list(curve) for curve in curves]
             changed = False
             for to_idx in targets:

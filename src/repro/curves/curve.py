@@ -8,6 +8,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.curves.solution import Solution
 from repro.geometry.point import Point
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder
 
 
 @dataclass(frozen=True)
@@ -134,11 +136,19 @@ class SolutionCurve:
         """Remove 3-D dominated solutions and enforce the capacity cap."""
         if self._pruned:
             return
+        rec = active_recorder()
+        before = len(self._by_bucket)
         survivors = _pareto_prune(self._by_bucket)
         if len(survivors) > self.config.max_solutions:
             survivors = _thin(survivors, self.config.max_solutions)
         self._by_bucket = dict(survivors)
         self._pruned = True
+        if rec.enabled:
+            kept = len(self._by_bucket)
+            rec.incr(metric.CURVE_PRUNE_CALLS)
+            rec.incr(metric.CURVE_PRUNE_REMOVED, before - kept)
+            rec.record(metric.CURVE_PRUNE_SURVIVOR_RATIO,
+                       kept / before if before else 1.0)
 
     def best_required_time(self) -> Optional[Solution]:
         """Return the solution with the highest required time, if any."""

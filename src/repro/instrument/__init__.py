@@ -1,0 +1,51 @@
+"""Zero-dependency observability for the MERLIN engine.
+
+Counters, value series, structured events, and hierarchical timing
+spans, recorded through one tiny interface with a no-op default so the
+engine's hot paths stay cheap when instrumentation is off.  See
+:mod:`repro.instrument.names` for the stable metric-name contract and
+README.md ("Instrumentation") for usage and an example report.
+
+Typical use::
+
+    from repro.instrument import Recorder
+    rec = Recorder()
+    result = merlin(net, tech, config=config.with_(recorder=rec))
+    print(report_to_json(rec.report()))
+"""
+
+from repro.instrument.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SeriesStats,
+    SpanStats,
+    active_recorder,
+    install_recorder,
+    use_recorder,
+)
+from repro.instrument.report import (
+    dump_report,
+    load_report,
+    report_from_json,
+    report_to_json,
+    validate_report,
+)
+from repro.instrument import names
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SeriesStats",
+    "SpanStats",
+    "active_recorder",
+    "install_recorder",
+    "use_recorder",
+    "report_to_json",
+    "report_from_json",
+    "dump_report",
+    "load_report",
+    "validate_report",
+    "names",
+]

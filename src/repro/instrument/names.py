@@ -1,0 +1,108 @@
+"""Stable metric names emitted by the instrumented engine.
+
+These constants are the *interface contract* of the instrumentation
+layer: downstream tooling (the ``--stats`` CLI report, the
+``repro.analysis.instrument_summary`` helper, and any perf dashboards
+built on recorded runs) keys on these exact strings, so renaming one is
+a breaking change and must be treated like renaming a public function.
+
+Naming scheme: ``<subsystem>.<thing>[.<aspect>]``, all lowercase, dots as
+separators.  Timing spans use bare subsystem names; nested spans are
+reported under their slash-joined path (e.g.
+``merlin/bubble_construct/ptree``).
+"""
+
+from __future__ import annotations
+
+# -- counters ----------------------------------------------------------
+
+#: Outer-loop BUBBLE_CONSTRUCT invocations ("Loops" column of Table 1).
+MERLIN_ITERATIONS = "merlin.iterations"
+
+#: Γ-table cells materialized (single-sink base cells + parent cells).
+BUBBLE_CELLS = "bubble.cells"
+#: Hierarchy levels routed (one *PTREE range per level).
+BUBBLE_LEVELS = "bubble.levels"
+#: Distinct *PTREE sub-ranges computed (after memoization).
+BUBBLE_RANGES = "bubble.ranges"
+#: Range-memo hits — the Lemma 7 sharing actually realized.
+BUBBLE_RANGE_MEMO_HITS = "bubble.range_memo_hits"
+#: Child groups with a non-trivial grouping structure (e != 0) that
+#: contributed solutions — how often the bubbling neighborhood pays off.
+BUBBLE_NEIGHBORHOOD_HITS = "bubble.neighborhood_hits"
+
+#: *PTREE join invocations (one per split point per range).
+PTREE_JOIN_CALLS = "ptree.join.calls"
+#: Candidate solution pairs enumerated across all joins.
+PTREE_JOIN_PAIRS = "ptree.join.pairs"
+#: Buffer options offered at range roots (per ``_buffer_all`` call site).
+PTREE_BUFFER_OFFERS = "ptree.buffer.offers"
+#: Root-relocation relaxation passes executed.
+PTREE_RELOCATE_PASSES = "ptree.relocate.passes"
+#: Sink base curves built (cache misses; hits stay silent).
+PTREE_BASE_CURVES = "ptree.base_curves"
+
+#: SolutionCurve.prune invocations that had work to do.
+CURVE_PRUNE_CALLS = "curve.prune.calls"
+#: Solutions discarded by those prunes (dominated or over-cap).
+CURVE_PRUNE_REMOVED = "curve.prune.removed"
+
+#: repro.curves.ops combinator invocations (the non-hot convenience API).
+OPS_EXTEND = "curve.ops.extend"
+OPS_JOIN = "curve.ops.join"
+OPS_BUFFER = "curve.ops.buffer"
+
+#: van Ginneken buffer-insertion candidate sites visited (hops).
+VG_HOPS = "vg.hops"
+
+# -- series (value distributions) --------------------------------------
+
+#: Objective cost after each MERLIN iteration.
+MERLIN_ITERATION_COST = "merlin.iteration.cost"
+#: Curve sizes summed over candidates for one parent Γ cell, pre-prune.
+BUBBLE_CURVE_SIZE_PRE = "bubble.curve_size_pre"
+#: Same cell, post-prune.
+BUBBLE_CURVE_SIZE_POST = "bubble.curve_size_post"
+#: post/pre survivor ratio per parent Γ cell.
+BUBBLE_PRUNE_RATIO = "bubble.prune_ratio"
+#: Per-prune survivor ratio (kept/before) across every curve prune.
+CURVE_PRUNE_SURVIVOR_RATIO = "curve.prune.survivor_ratio"
+#: Wall-clock seconds of one flow run (per flow, see ``flow_runtime``).
+FLOW_RUNTIME_S = "flow.runtime_s"
+
+
+def level_curve_size_pre(level_size: int) -> str:
+    """Per-level pre-prune curve-size series (level = group size)."""
+    return f"bubble.level.{level_size}.curve_size_pre"
+
+
+def level_curve_size_post(level_size: int) -> str:
+    """Per-level post-prune curve-size series."""
+    return f"bubble.level.{level_size}.curve_size_post"
+
+
+def flow_runtime(flow: str) -> str:
+    """Per-flow runtime series name (``flow.<name>.runtime_s``)."""
+    return f"flow.{flow}.runtime_s"
+
+
+# -- events ------------------------------------------------------------
+
+#: One record per MERLIN outer-loop iteration
+#: (fields: index, cost, order, improved).
+EVENT_MERLIN_ITERATION = "merlin.iteration"
+#: One record per MERLIN run
+#: (fields: net, sinks, iterations, converged, best_cost).
+EVENT_MERLIN_RESULT = "merlin.result"
+
+# -- span names --------------------------------------------------------
+
+SPAN_MERLIN = "merlin"
+SPAN_BUBBLE_CONSTRUCT = "bubble_construct"
+SPAN_PTREE = "ptree"
+SPAN_FINALIZE = "finalize"
+
+
+def span_flow(flow: str) -> str:
+    """Span name wrapping one baseline/MERLIN flow run."""
+    return f"flow.{flow}"

@@ -1,0 +1,63 @@
+"""Serialize, load, and validate instrumentation reports.
+
+A *report* is the plain-dict snapshot produced by
+:meth:`repro.instrument.Recorder.report`; this module owns its JSON
+framing so every producer (the ``--stats`` CLI flag, test fixtures) and
+consumer (``repro.analysis.instrument_summary``) agrees on one format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.instrument.recorder import REPORT_VERSION, Recorder
+
+_SECTIONS = ("counters", "series", "spans", "events")
+
+
+def report_to_json(report: Dict[str, Any], indent: int = 2) -> str:
+    """Render ``report`` as deterministic (sorted-key) JSON."""
+    validate_report(report)
+    return json.dumps(report, indent=indent, sort_keys=True)
+
+
+def report_from_json(text: str) -> Dict[str, Any]:
+    """Parse and validate a JSON report string."""
+    report = json.loads(text)
+    validate_report(report)
+    return report
+
+
+def dump_report(report: Dict[str, Any], path: str) -> None:
+    """Write ``report`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report_to_json(report))
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a JSON report from ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return report_from_json(handle.read())
+
+
+def validate_report(report: Any) -> None:
+    """Raise ``ValueError`` unless ``report`` has the expected shape."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a dict")
+    if report.get("version") != REPORT_VERSION:
+        raise ValueError(
+            f"unsupported report version: {report.get('version')!r}")
+    for section in _SECTIONS:
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"report section {section!r} missing or invalid")
+
+
+def coerce_recorder(source: Union[Recorder, Dict[str, Any], str]) -> Recorder:
+    """Accept a recorder, a report dict, or a JSON string; return a Recorder."""
+    if isinstance(source, Recorder):
+        return source
+    if isinstance(source, str):
+        source = report_from_json(source)
+    return Recorder.from_report(source)

@@ -38,6 +38,31 @@ def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
     return entry
 
 
+def tree_signature(tree: RoutingTree) -> str:
+    """A compact, deterministic topology fingerprint of ``tree``.
+
+    Encodes every node's kind, exact position, buffer cell, sink index,
+    and child order in one string, so two trees compare equal iff their
+    routed topologies are identical.  Used by the golden-regression
+    tests to pin engine behavior across refactors.
+    """
+
+    def encode(node: TreeNode) -> str:
+        pos = node.position
+        if isinstance(node, SinkNode):
+            tag = f"K{node.sink_index}"
+        elif isinstance(node, BufferNode):
+            tag = f"B{node.buffer.name}"
+        elif isinstance(node, SourceNode):
+            tag = "S"
+        else:
+            tag = "T"
+        body = "".join(encode(child) for child in node.children)
+        return f"{tag}({pos.x:.3f},{pos.y:.3f})[{body}]"
+
+    return encode(tree.root)
+
+
 def tree_to_dot(tree: RoutingTree) -> str:
     """Return a Graphviz DOT rendering of ``tree`` (for debugging/docs)."""
     lines: List[str] = [

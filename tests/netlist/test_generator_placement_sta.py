@@ -57,8 +57,11 @@ class TestGenerator:
     def test_seed_is_hash_randomization_proof(self):
         """The generator seed must not involve the built-in ``hash``:
         circuits have to be identical across interpreter processes."""
+        import os
         import subprocess
         import sys
+
+        import repro
 
         snippet = (
             "from repro.netlist.generator import CircuitSpec, "
@@ -68,12 +71,18 @@ class TestGenerator:
             "levels=4, max_fanout=5, seed=7))\n"
             "print(sorted((n.driver, n.sinks) for n in c.nets))\n"
         )
+        # The subprocess env is minimal on purpose (the test is about
+        # PYTHONHASHSEED), so repro's import root must be supplied
+        # explicitly — the package may be on sys.path via PYTHONPATH
+        # rather than installed.
+        repro_root = os.path.dirname(os.path.dirname(repro.__file__))
         outputs = set()
         for hash_seed in ("0", "12345"):
             result = subprocess.run(
                 [sys.executable, "-c", snippet],
                 capture_output=True, text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin",
+                     "PYTHONPATH": repro_root},
             )
             assert result.returncode == 0, result.stderr
             outputs.add(result.stdout)
