@@ -1,0 +1,280 @@
+"""Benchmark harness: ``python -m repro.bench``.
+
+Runs a pinned suite of nets across curve-kernel backends and worker
+counts, records engine wall-clock plus instrumentation counters, and
+writes a versioned ``BENCH_<tag>.json`` so every future PR has a
+trajectory to beat.
+
+The suite is *pinned*: net generators, seeds, and configs are fixed
+here, so two runs of the same code measure the same work.  Besides
+timing, the harness is a cross-backend equivalence gate — it exits
+non-zero if the numpy backend's tree signature diverges from python's,
+or if any worker count changes a multi-start outcome.  CI runs
+``python -m repro.bench --quick`` for exactly that check.
+
+Usage::
+
+    python -m repro.bench                  # full pinned suite
+    python -m repro.bench --quick          # CI-sized subset
+    python -m repro.bench --tag pr2        # writes BENCH_pr2.json
+    python -m repro.bench --backends python,numpy --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import parallel
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.core.objective import Objective
+from repro.curves import kernels
+from repro.curves.curve import CurveConfig
+from repro.experiments.nets import make_experiment_net
+from repro.instrument import Recorder
+from repro.routing.export import tree_signature
+from repro.tech.technology import default_technology
+
+BENCH_VERSION = 1
+
+#: The headline single-engine config: paper-faithful fine quantization
+#: (pseudo-polynomial buckets small relative to sink loads) — the regime
+#: the vectorized kernels are built for.
+_HEAVY_CURVE = CurveConfig(load_step=0.25, area_step=10.0,
+                           max_solutions=160)
+
+
+def _engine_cases(quick: bool) -> List[Dict[str, Any]]:
+    """Single-run cases: one net + config, timed per backend."""
+    if quick:
+        return [{
+            "name": "quick6",
+            "sinks": 6,
+            "seed": 11,
+            "config": MerlinConfig.test_preset(),
+        }]
+    return [{
+        # The pinned 15-sink net of the PR-2 acceptance criterion.
+        "name": "bench15",
+        "sinks": 15,
+        "seed": 7,
+        "config": MerlinConfig(
+            alpha=3, max_candidates=5, library_subset=4,
+            max_iterations=1, curve=_HEAVY_CURVE),
+    }]
+
+
+def _parallel_cases(quick: bool) -> List[Dict[str, Any]]:
+    """Multi-start cases: one net swept across worker counts."""
+    if quick:
+        return [{
+            "name": "multistart5",
+            "sinks": 5,
+            "seed": 3,
+            "config": MerlinConfig.test_preset(),
+            "seeds": (None, 1),
+        }]
+    return [{
+        "name": "multistart8",
+        "sinks": 8,
+        "seed": 3,
+        "config": MerlinConfig(alpha=3, max_candidates=5,
+                               library_subset=4, max_iterations=2),
+        "seeds": (None, 1, 2, 3),
+    }]
+
+
+def _with_backend(config: MerlinConfig, backend: str) -> MerlinConfig:
+    return config.with_(
+        curve=dataclasses.replace(config.curve, backend=backend))
+
+
+def _trimmed_report(recorder: Recorder) -> Dict[str, Any]:
+    """Counters and span aggregates only (events are too bulky here)."""
+    report = recorder.report()
+    return {"counters": report["counters"], "spans": report["spans"]}
+
+
+def run_engine_case(case: Dict[str, Any],
+                    backends: Sequence[str]) -> Dict[str, Any]:
+    """Time one pinned net per backend; cross-check tree signatures."""
+    net = make_experiment_net(case["name"], case["sinks"], case["seed"])
+    tech = default_technology()
+    objective = Objective.max_required_time()
+    runs: Dict[str, Any] = {}
+    for backend in backends:
+        recorder = Recorder()
+        config = _with_backend(case["config"], backend).with_(
+            recorder=recorder)
+        start = time.perf_counter()
+        result = merlin(net, tech, config=config, objective=objective)
+        wall = time.perf_counter() - start
+        runs[backend] = {
+            "wall_s": wall,
+            "resolved_backend": config.curve.resolved_backend(),
+            "cost": objective.cost(result.best.solution),
+            "signature": tree_signature(result.tree),
+            "iterations": result.iterations,
+            "instrument": _trimmed_report(recorder),
+        }
+        print(f"  {case['name']:12s} backend={backend:7s} "
+              f"wall={wall:8.2f}s cost={runs[backend]['cost']:.3f}")
+    signatures = {r["signature"] for r in runs.values()}
+    out: Dict[str, Any] = {
+        "name": case["name"],
+        "sinks": case["sinks"],
+        "net_seed": case["seed"],
+        "kind": "engine",
+        "runs": runs,
+        "signatures_match": len(signatures) == 1,
+    }
+    if "python" in runs and "numpy" in runs \
+            and runs["numpy"]["resolved_backend"] == "numpy":
+        out["numpy_speedup"] = (runs["python"]["wall_s"]
+                                / runs["numpy"]["wall_s"])
+        print(f"  {case['name']:12s} numpy speedup: "
+              f"{out['numpy_speedup']:.2f}x")
+    return out
+
+
+def run_parallel_case(case: Dict[str, Any],
+                      worker_counts: Sequence[int],
+                      backend: str) -> Dict[str, Any]:
+    """Sweep one multi-start workload across worker counts."""
+    net = make_experiment_net(case["name"], case["sinks"], case["seed"])
+    tech = default_technology()
+    config = _with_backend(case["config"], backend)
+    runs: Dict[str, Any] = {}
+    for workers in worker_counts:
+        start = time.perf_counter()
+        outcome = parallel.run_multi_start(
+            net, tech, config=config, seeds=case["seeds"], workers=workers)
+        wall = time.perf_counter() - start
+        runs[str(workers)] = {
+            "wall_s": wall,
+            "signatures": [r.signature for r in outcome.results],
+            "best_label": outcome.best.label,
+            "best_cost": outcome.best.cost,
+            "merged_counters": outcome.report["counters"],
+        }
+        print(f"  {case['name']:12s} workers={workers} wall={wall:8.2f}s "
+              f"best={outcome.best.label}")
+    baseline = runs[str(worker_counts[0])]
+    invariant = all(
+        r["signatures"] == baseline["signatures"]
+        and r["best_label"] == baseline["best_label"]
+        and r["merged_counters"] == baseline["merged_counters"]
+        for r in runs.values())
+    return {
+        "name": case["name"],
+        "sinks": case["sinks"],
+        "net_seed": case["seed"],
+        "kind": "multi_start",
+        "backend": backend,
+        "start_labels": [label for label, _ in
+                         parallel.multi_start_orders(net, case["seeds"])],
+        "runs": runs,
+        "worker_invariant": invariant,
+    }
+
+
+def _environment() -> Dict[str, Any]:
+    import os
+    env = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "numpy": None,
+    }
+    if kernels.numpy_available():
+        import numpy
+        env["numpy"] = numpy.__version__
+    return env
+
+
+def run_suite(quick: bool, backends: Sequence[str],
+              worker_counts: Sequence[int], tag: str) -> Dict[str, Any]:
+    cases: List[Dict[str, Any]] = []
+    for case in _engine_cases(quick):
+        cases.append(run_engine_case(case, backends))
+    # Worker sweeps exercise the parallel driver on the best available
+    # backend (that is how multi-start would actually be run).
+    par_backend = "numpy" if "numpy" in backends else backends[0]
+    for case in _parallel_cases(quick):
+        cases.append(run_parallel_case(case, worker_counts, par_backend))
+    return {
+        "version": BENCH_VERSION,
+        "tag": tag,
+        "quick": quick,
+        "backends": list(backends),
+        "worker_counts": list(worker_counts),
+        "environment": _environment(),
+        "cases": cases,
+    }
+
+
+def check_suite(suite: Dict[str, Any]) -> List[str]:
+    """Return the list of equivalence failures (empty = all good)."""
+    failures = []
+    for case in suite["cases"]:
+        if case["kind"] == "engine" and not case["signatures_match"]:
+            failures.append(
+                f"{case['name']}: tree signatures diverge across backends")
+        if case["kind"] == "multi_start" and not case["worker_invariant"]:
+            failures.append(
+                f"{case['name']}: outcome changed with worker count")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="MERLIN pinned benchmark suite")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized subset (small net, seconds not "
+                             "minutes)")
+    parser.add_argument("--tag", default="local",
+                        help="suffix of the BENCH_<tag>.json output")
+    parser.add_argument("--out", default=None,
+                        help="explicit output path (default "
+                             "BENCH_<tag>.json in the current directory)")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated backend list (default: "
+                             "python,numpy when numpy is available)")
+    parser.add_argument("--workers", default="1,2",
+                        help="comma-separated worker counts for the "
+                             "multi-start sweep (default 1,2)")
+    args = parser.parse_args(argv)
+
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    elif kernels.numpy_available():
+        backends = ["python", "numpy"]
+    else:
+        backends = ["python"]
+    for backend in backends:
+        if backend not in kernels.BACKENDS:
+            parser.error(f"unknown backend {backend!r}")
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    suite = run_suite(args.quick, backends, worker_counts, args.tag)
+    out_path = args.out or f"BENCH_{args.tag}.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(suite, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+    failures = check_suite(suite)
+    for failure in failures:
+        print(f"EQUIVALENCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -39,6 +39,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_net = sub.add_parser("net", help="optimize one synthetic net verbosely")
     p_net.add_argument("--sinks", type=int, default=7)
     p_net.add_argument("--seed", type=int, default=1)
+    p_net.add_argument("--backend", choices=["python", "numpy"],
+                       default="python",
+                       help="curve-kernel backend (numpy degrades to "
+                            "python when NumPy is unavailable)")
+    p_net.add_argument("--multi-start", type=int, default=0, metavar="K",
+                       help="restart MERLIN from K initial orders (TSP "
+                            "plus K-1 seeded shuffles) and keep the best "
+                            "tree, instead of running the flow comparison")
+    p_net.add_argument("--workers", type=int, default=1,
+                       help="process fan-out for --multi-start "
+                            "(0 = one per CPU)")
     p_net.add_argument("--dot", action="store_true",
                        help="print the winning tree as Graphviz DOT")
     p_net.add_argument("--stats", action="store_true",
@@ -81,6 +92,8 @@ def _run_table2(args) -> int:
 
 
 def _run_net(args) -> int:
+    import dataclasses
+
     from repro.baselines.flows import ALL_FLOWS, run_flow
     from repro.experiments.nets import make_experiment_net
     from repro.routing.export import tree_to_dot
@@ -88,6 +101,10 @@ def _run_net(args) -> int:
     net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
     tech = default_technology()
     config = MerlinConfig().with_(max_iterations=3)
+    config = config.with_(curve=dataclasses.replace(
+        config.curve, backend=args.backend))
+    if args.multi_start:
+        return _run_multi_start(args, net, tech, config)
     recorder = None
     if args.stats or args.stats_out:
         import os
@@ -121,6 +138,26 @@ def _run_net(args) -> int:
             print(f"stats report written to {args.stats_out}")
         else:
             print(report_to_json(report))
+    return 0
+
+
+def _run_multi_start(args, net, tech, config) -> int:
+    import time
+
+    from repro import parallel
+
+    workers = args.workers or parallel.default_worker_count()
+    seeds = [None] + list(range(1, args.multi_start))
+    start = time.perf_counter()
+    outcome = parallel.run_multi_start(net, tech, config=config,
+                                       seeds=seeds, workers=workers)
+    wall = time.perf_counter() - start
+    for result in outcome.results:
+        marker = " <- best" if result is outcome.best else ""
+        print(f"{result.label:12s} cost={result.cost:12.3f}  "
+              f"iterations={result.iterations}{marker}")
+    print(f"{len(outcome.results)} starts, workers={workers}, "
+          f"wall={wall:.2f}s")
     return 0
 
 

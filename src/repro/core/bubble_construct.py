@@ -249,7 +249,7 @@ class _Engine:
             pre = sum(len(curve) for curve in curves)
         for curve in curves:
             curve.prune()
-        self.gamma[_key(parent)] = [curve.solutions for curve in curves]
+        self.gamma[_key(parent)] = self.context.freeze_curves(curves)
         self.stats["cells"] += 1
         if rec.enabled:
             post = sum(len(curve) for curve in curves)
@@ -307,7 +307,7 @@ class _Engine:
             self.context.join_into(curves, self._range(leaf_ids[:u]),
                                    self._range(leaf_ids[u:]), active)
         self.context.finish_range(curves, active)
-        result = [curve.solutions for curve in curves]
+        result = self.context.freeze_curves(curves)
         memo[leaf_ids] = result
         self.stats["ranges"] += 1
         return result

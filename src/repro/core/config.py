@@ -65,6 +65,12 @@ class MerlinConfig:
     #: solutions migrate outward, so the restriction costs little quality
     #: while cutting the DP's k and k^2 terms sharply.
     active_margin_frac: Optional[float] = 0.30
+    #: Default process fan-out for the outer-search drivers in
+    #: :mod:`repro.parallel` (multi-seed starts, batch multi-net runs).
+    #: 1 runs everything inline in this process; the engine itself is
+    #: always single-threaded per run, so results are identical for any
+    #: value — this is a scheduling knob, not an optimization knob.
+    workers: int = 1
     #: Wire-sizing multipliers tried for every wire the DP creates
     #: (1.0 = minimum width; resistance scales 1/w, capacitance w).
     #: The default single width disables sizing; pass e.g. (1.0, 2.0, 4.0)
@@ -87,6 +93,8 @@ class MerlinConfig:
             raise ValueError("relocation_rounds must be >= 0")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if not self.wire_width_options or \
                 any(w <= 0 for w in self.wire_width_options):
             raise ValueError("wire_width_options must be positive and "

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.curves import kernels
 from repro.curves.curve import CurveConfig, SolutionCurve
 from repro.curves.solution import (
     Buffered,
@@ -47,8 +48,10 @@ from repro.instrument.recorder import active_recorder
 from repro.tech.buffer import Buffer
 from repro.tech.technology import Technology
 
-#: A leaf's base solutions, indexed by candidate index.
-LeafCurves = List[List[Solution]]
+#: A leaf's base solutions, indexed by candidate index.  Each entry is a
+#: frozen solution sequence: a plain list (python backend) or a
+#: :class:`repro.curves.kernels.CurveSoA` mirror (numpy backend).
+LeafCurves = List[Sequence[Solution]]
 
 #: Per-buffer precomputed parameters:
 #: (buffer, input_cap, area, delay_intercept, delay_slope).
@@ -81,12 +84,18 @@ class PTreeContext:
         self.curve_config = curve_config
         self.relocation_rounds = relocation_rounds
         self.wire_widths: Tuple[float, ...] = tuple(wire_widths)
+        #: Resolved once: True runs the vectorized kernels of
+        #: :mod:`repro.curves.kernels` in place of the scalar loops.
+        self.use_numpy = curve_config.resolved_backend() == "numpy"
         # With buffering disabled the DP degenerates to plain PTREE
         # [LCLH96] — the routing baseline of Flows I and II.
         buffers = list(tech.buffers) if use_buffers else []
         self.buffer_params: List[_BufferParams] = [
             _affine_params(b, tech) for b in buffers
         ]
+        #: Column vectors over the buffer library, shared by every
+        #: vectorized buffering/relocation batch (numpy backend only).
+        self.buffer_vecs = kernels.BufferVectors(self.buffer_params)
         k = len(self.candidates)
         self.wire_res: List[List[float]] = [[0.0] * k for _ in range(k)]
         self.wire_cap: List[List[float]] = [[0.0] * k for _ in range(k)]
@@ -107,8 +116,39 @@ class PTreeContext:
         return [params[0] for params in self.buffer_params]
 
     def new_curves(self) -> List[SolutionCurve]:
-        """One empty curve per candidate."""
+        """One empty live curve per candidate.
+
+        The python backend accumulates into :class:`SolutionCurve`; the
+        numpy backend into :class:`~repro.curves.kernels.PendingCurve`,
+        whose bucket map holds deferred (unmaterialized) entries.
+        """
+        if self.use_numpy:
+            return [kernels.PendingCurve(p, self.curve_config)
+                    for p in self.candidates]
         return [SolutionCurve(p, self.curve_config) for p in self.candidates]
+
+    def freeze_curves(self, curves: List[SolutionCurve]) -> LeafCurves:
+        """Freeze live curves into per-candidate solution sequences.
+
+        The python backend freezes to plain lists; the numpy backend
+        materializes the pending survivors and freezes to
+        :class:`~repro.curves.kernels.CurveSoA` mirrors so the attribute
+        vectors are built once and reused by every later join.
+        """
+        if self.use_numpy:
+            return [kernels.CurveSoA(curve.solutions) for curve in curves]
+        return [curve.solutions for curve in curves]
+
+    def thaw_curves(self, curves) -> List[SolutionCurve]:
+        """Hand live curves back to backend-agnostic callers.
+
+        The numpy backend's pending curves are materialized into
+        equivalent :class:`SolutionCurve` instances (same buckets, same
+        dict order); python-backend curves pass through unchanged.
+        """
+        if self.use_numpy:
+            return [curve.to_solution_curve() for curve in curves]
+        return list(curves)
 
     # ------------------------------------------------------------------
     # Base-curve construction
@@ -147,7 +187,7 @@ class PTreeContext:
                     self._buffer_all(curve, (direct,))
             curve.prune()
         self._relocate(curves)
-        return [curve.solutions for curve in curves]
+        return self.freeze_curves(curves)
 
     # ------------------------------------------------------------------
     # The DP proper
@@ -169,7 +209,7 @@ class PTreeContext:
         if count == 0:
             raise ValueError("*PTREE needs at least one leaf")
         if count == 1:
-            return self._curves_from_lists(leaf_curves[0])
+            return self.thaw_curves(self._curves_from_lists(leaf_curves[0]))
 
         with active_recorder().span(metric.SPAN_PTREE):
             # table[(i, j)] = per-candidate solution lists for leaves i..j.
@@ -189,9 +229,9 @@ class PTreeContext:
                     if length == count:
                         result = curves
                     else:
-                        table[(i, j)] = [c.solutions for c in curves]
+                        table[(i, j)] = self.freeze_curves(curves)
             assert result is not None
-            return result
+            return self.thaw_curves(result)
 
     def active_indices(self, points: Sequence[Point],
                        margin: float) -> List[int]:
@@ -231,6 +271,7 @@ class PTreeContext:
         rec_enabled = rec.enabled
         pairs = 0
         indices = range(len(curves)) if active is None else active
+        use_numpy = self.use_numpy
         for c in indices:
             curve = curves[c]
             left_list = lefts[c]
@@ -239,6 +280,9 @@ class PTreeContext:
                 continue
             if rec_enabled:
                 pairs += len(left_list) * len(right_list)
+            if use_numpy:
+                kernels.pending_join(curve, left_list, right_list)
+                continue
             accept_key = curve.accept_key
             add_keyed = curve.add_keyed
             root = curve.root
@@ -265,7 +309,7 @@ class PTreeContext:
         for c in indices:
             curve = curves[c]
             curve.prune()
-            self._buffer_all(curve, list(curve))
+            self._buffer_all(curve, list(curve), from_curve=True)
             curve.prune()
         self._relocate(curves, active)
 
@@ -273,12 +317,22 @@ class PTreeContext:
     # Kernel helpers
     # ------------------------------------------------------------------
 
-    def _buffer_all(self, curve: SolutionCurve, solutions) -> None:
-        """Offer every library buffer at the root of each solution."""
+    def _buffer_all(self, curve: SolutionCurve, solutions,
+                    from_curve: bool = False) -> None:
+        """Offer every library buffer at the root of each solution.
+
+        ``from_curve`` marks ``solutions`` as the curve's own (just
+        pruned) contents in dict order, unlocking the numpy backend's
+        prune-time attribute cache.
+        """
         rec = active_recorder()
         if rec.enabled:
             rec.incr(metric.PTREE_BUFFER_OFFERS,
                      len(solutions) * len(self.buffer_params))
+        if self.use_numpy:
+            kernels.pending_buffer(curve, solutions, self.buffer_vecs,
+                                   from_curve=from_curve)
+            return
         accept_key = curve.accept_key
         add_keyed = curve.add_keyed
         root = curve.root
@@ -304,6 +358,22 @@ class PTreeContext:
         """
         rec = active_recorder()
         targets = list(range(len(curves))) if active is None else active
+        if self.use_numpy:
+            for _ in range(self.relocation_rounds):
+                rec.incr(metric.PTREE_RELOCATE_PASSES)
+                snapshots = kernels.pending_snapshots(curves)
+                changed = False
+                for to_idx in targets:
+                    if kernels.pending_relocate(
+                            curves[to_idx], to_idx, snapshots,
+                            self.wire_res, self.wire_cap, self.candidates,
+                            self.wire_widths, self.buffer_vecs):
+                        changed = True
+                for curve in curves:
+                    curve.prune()
+                if not changed:
+                    break
+            return
         for _ in range(self.relocation_rounds):
             rec.incr(metric.PTREE_RELOCATE_PASSES)
             snapshots = [list(curve) for curve in curves]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.curves import kernels
 from repro.curves.solution import Solution
 from repro.geometry.point import Point
 from repro.instrument import names as metric
@@ -26,17 +27,32 @@ class CurveConfig:
     when it trips, solutions are thinned evenly along the area axis while
     the three extreme points (best required time, min load, min area) are
     always retained, so both objective variants keep their optima.
+
+    ``backend`` selects the curve-kernel implementation: ``"python"``
+    (default, dependency-free) or ``"numpy"`` (vectorized structure-of-
+    arrays kernels, bit-identical results; see
+    :mod:`repro.curves.kernels`).  Requesting ``"numpy"`` without NumPy
+    installed degrades gracefully to ``"python"``.
     """
 
     load_step: float = 1.0
     area_step: float = 30.0
     max_solutions: int = 64
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.load_step <= 0 or self.area_step <= 0:
             raise ValueError("quantization steps must be positive")
         if self.max_solutions < 3:
             raise ValueError("max_solutions must be >= 3")
+        if self.backend not in kernels.BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {kernels.BACKENDS}")
+
+    def resolved_backend(self) -> str:
+        """The backend that will actually run (after NumPy availability)."""
+        return kernels.resolve_backend(self.backend)
 
     def bucket(self, solution: Solution) -> Tuple[int, int]:
         """Return the (load, area) quantization bucket of ``solution``."""
@@ -59,7 +75,7 @@ class SolutionCurve:
     """
 
     __slots__ = ("root", "config", "_by_bucket", "_pruned",
-                 "_inv_load", "_inv_area")
+                 "_inv_load", "_inv_area", "_numpy")
 
     def __init__(self, root: Point, config: Optional[CurveConfig] = None):
         self.root = root
@@ -68,6 +84,7 @@ class SolutionCurve:
         self._pruned = True
         self._inv_load = 1.0 / self.config.load_step
         self._inv_area = 1.0 / self.config.area_step
+        self._numpy = self.config.resolved_backend() == "numpy"
 
     def __len__(self) -> int:
         return len(self._by_bucket)
@@ -129,7 +146,18 @@ class SolutionCurve:
         return True
 
     def extend(self, solutions) -> int:
-        """Insert many solutions; return how many were kept."""
+        """Insert many solutions; return how many were stored.
+
+        On the numpy backend a :class:`~repro.curves.kernels.CurveSoA`
+        input is inserted as one vectorized batch (same final curve
+        state; the returned count then reflects per-bucket winners
+        rather than every transiently accepted solution).
+        """
+        if (self._numpy and isinstance(solutions, kernels.CurveSoA)
+                and len(solutions) >= kernels.EXTEND_MIN_ITEMS):
+            return kernels.batch_insert(
+                self, solutions.loads, solutions.reqs, solutions.areas,
+                solutions.sols.__getitem__)
         return sum(1 for s in solutions if self.add(s))
 
     def prune(self) -> None:
@@ -138,7 +166,12 @@ class SolutionCurve:
             return
         rec = active_recorder()
         before = len(self._by_bucket)
-        survivors = _pareto_prune(self._by_bucket)
+        survivors = None
+        if self._numpy:
+            survivors = kernels.pareto_prune_items(
+                list(self._by_bucket.items()))
+        if survivors is None:
+            survivors = _pareto_prune(self._by_bucket)
         if len(survivors) > self.config.max_solutions:
             survivors = _thin(survivors, self.config.max_solutions)
         self._by_bucket = dict(survivors)
@@ -192,8 +225,9 @@ def _pareto_prune(by_bucket: Dict[Tuple[int, int], Solution]
         if idx > 0 and stair_reqs[idx - 1] >= sol.required_time:
             continue  # dominated
         kept.append((key, sol))
-        # Insert into the staircase, preserving both invariants.
-        pos = bisect_right(stair_areas, sol.area)
+        # Insert into the staircase, preserving both invariants; the
+        # insertion point is the same index the dominance query used.
+        pos = idx
         stair_areas.insert(pos, sol.area)
         best_before = stair_reqs[pos - 1] if pos > 0 else float("-inf")
         stair_reqs.insert(pos, max(best_before, sol.required_time))

@@ -1,0 +1,960 @@
+"""Vectorized (NumPy) curve kernels — the ``"numpy"`` backend.
+
+The engines spend nearly all of their time in four loops over solution
+attributes: the cross-product *join*, the *buffer* offer, the root
+*relocation* relaxation, and the 3-D Pareto *prune*.  Each loop touches
+only the ``(load, required_time, area)`` triples; the traceback detail of
+a solution matters only if the solution survives pruning and is frozen
+into a Γ/range result.  That split is what this module exploits:
+
+* frozen solution lists are mirrored as structure-of-arrays
+  (:class:`CurveSoA`) — one float64 vector per attribute, built lazily,
+  with the solution list itself as the traceback column;
+* live curves under accumulation are :class:`PendingCurve` instances
+  whose bucket map holds lightweight ``(load, req, area, ctx, i)``
+  entries: the attribute triple plus a *traceback index* — ``ctx``
+  describes the batch that produced the entry and ``i`` is its flat
+  position inside that batch.  No :class:`Solution` (or its detail
+  record) is constructed while candidates are being generated and
+  culled; only the entries that survive the final prune of a range are
+  materialized, by :func:`resolve_entry`, when the curve is frozen.
+* candidate triples are produced by whole-array arithmetic, and bucket
+  acceptance for a whole batch is resolved at once by a grouped arg-max
+  (:func:`_winner_stream`).
+
+Small batches (a few dozen elements) stay on scalar loops — array
+setup would cost more than it saves — but still store pending entries
+(or, where cheaper, eagerly materialized ones), so both paths feed the
+same curve representation.
+
+Bit-identical results
+---------------------
+The numpy backend is a drop-in replacement verified by the golden
+fingerprints, which requires exact — not approximate — equivalence:
+
+* All attribute arithmetic uses float64 with the same operation order and
+  associativity as the scalar code, so every produced triple is
+  bit-identical (NumPy does not contract ``a - b*c`` into an FMA).
+* Bucket keys use :func:`numpy.rint`, which rounds half-to-even exactly
+  like Python's :func:`round`.
+* Sequentially inserting a candidate stream into a bucket map — where a
+  candidate replaces the incumbent iff it has strictly higher required
+  time — ends, per bucket, with the *first* candidate attaining the
+  maximum required time, and new buckets appear in first-occurrence
+  order.  :func:`_winner_stream` computes exactly that fixed point, so
+  the final bucket map (contents *and* dict insertion order) matches the
+  scalar loop.
+* The scalar Pareto staircase keeps an entry iff no earlier entry in
+  ``(load, area, -required_time)`` order dominates it; dominance is
+  transitive, so "dominated by a kept earlier entry" equals "dominated by
+  *any* earlier entry", which the vectorized prune evaluates as one
+  boolean matrix.
+
+Availability
+------------
+NumPy is an optional extra (``pip install repro[fast]``).  When it is
+missing, requesting the ``"numpy"`` backend degrades to ``"python"`` with
+a single logged event — never an ImportError.
+"""
+
+from __future__ import annotations
+
+import logging
+from bisect import bisect_right
+from itertools import repeat
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.curves.solution import Buffered, Extend, Join, Solution
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder
+
+try:  # pragma: no cover - exercised via tests that stub _np to None
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+logger = logging.getLogger(__name__)
+
+#: Backend names accepted by :class:`repro.curves.curve.CurveConfig`.
+BACKENDS = ("python", "numpy")
+
+#: Minimum batch sizes (stream elements) below which the scalar loops
+#: win; measured on CPython 3.11 + NumPy 2.x.  Results are identical
+#: either way — these trade nothing but speed.
+JOIN_MIN_PAIRS = 128
+BUFFER_MIN_OFFERS = 128
+RELOCATE_MIN_STREAM = 192
+EXTEND_MIN_ITEMS = 64
+PRUNE_MIN_ITEMS = 40
+
+_fallback_logged = False
+
+
+def numpy_available() -> bool:
+    """True when the NumPy runtime was importable."""
+    return _np is not None
+
+
+def resolve_backend(requested: str) -> str:
+    """Map a requested backend name to the one that will actually run.
+
+    ``"numpy"`` without NumPy installed degrades gracefully to
+    ``"python"``, emitting a single log record per process (and never an
+    ImportError) so batch runs are not flooded.
+    """
+    global _fallback_logged
+    if requested not in BACKENDS:
+        raise ValueError(
+            f"unknown curve backend {requested!r}; expected one of {BACKENDS}")
+    if requested == "numpy" and _np is None:
+        if not _fallback_logged:
+            _fallback_logged = True
+            logger.warning(
+                "curve backend 'numpy' requested but NumPy is not "
+                "installed; falling back to the pure-Python backend "
+                "(pip install repro[fast] to enable it)")
+        return "python"
+    return requested
+
+
+class CurveSoA:
+    """A frozen solution list mirrored as structure-of-arrays.
+
+    ``sols`` is the traceback column: ``sols[i]`` is the full
+    :class:`Solution` whose attributes sit at row ``i`` of the ``loads`` /
+    ``reqs`` / ``areas`` vectors.  The vectors are built lazily on first
+    access — a frozen curve that only ever feeds scalar-dispatched (small)
+    batches never pays for them.  Iteration and indexing delegate to the
+    solution list, so a ``CurveSoA`` can stand in anywhere the engine
+    consumes a frozen ``List[Solution]``.
+    """
+
+    __slots__ = ("sols", "_loads", "_reqs", "_areas")
+
+    def __init__(self, sols: Sequence[Solution]):
+        self.sols: List[Solution] = list(sols)
+        self._loads = None
+        self._reqs = None
+        self._areas = None
+
+    def _build(self) -> None:
+        flat = [x for s in self.sols
+                for x in (s.load, s.required_time, s.area)]
+        matrix = _np.array(flat, dtype=_np.float64).reshape(len(self.sols), 3)
+        self._loads = _np.ascontiguousarray(matrix[:, 0])
+        self._reqs = _np.ascontiguousarray(matrix[:, 1])
+        self._areas = _np.ascontiguousarray(matrix[:, 2])
+
+    @property
+    def loads(self):
+        if self._loads is None:
+            self._build()
+        return self._loads
+
+    @property
+    def reqs(self):
+        if self._reqs is None:
+            self._build()
+        return self._reqs
+
+    @property
+    def areas(self):
+        if self._areas is None:
+            self._build()
+        return self._areas
+
+    def __len__(self) -> int:
+        return len(self.sols)
+
+    def __iter__(self):
+        return iter(self.sols)
+
+    def __getitem__(self, index):
+        return self.sols[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.sols)
+
+
+def as_soa(solutions) -> CurveSoA:
+    """Return ``solutions`` as a :class:`CurveSoA`, converting if needed."""
+    if isinstance(solutions, CurveSoA):
+        return solutions
+    return CurveSoA(solutions)
+
+
+class BufferVectors:
+    """Per-library-buffer affine delay parameters as column vectors.
+
+    Built once per net (the buffer library is fixed), consumed by the
+    batched buffer-offer and relocation kernels so a whole
+    ``(solutions, buffers)`` matrix is produced with a handful of
+    broadcast operations instead of a per-buffer column loop.
+    ``params`` keeps the original ``(buffer, input_cap, area, d0, slope)``
+    tuples for scalar fallbacks and traceback resolution.
+    """
+
+    __slots__ = ("params", "caps", "areas", "d0", "slope")
+
+    def __init__(self, buffer_params):
+        self.params = list(buffer_params)
+        if _np is not None:
+            self.caps = _np.array([p[1] for p in self.params])
+            self.areas = _np.array([p[2] for p in self.params])
+            self.d0 = _np.array([p[3] for p in self.params])
+            self.slope = _np.array([p[4] for p in self.params])
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+
+class TupleSoA:
+    """Lazy attribute vectors over a list of pending-entry tuples.
+
+    The relocation pass snapshots every live curve once per round and
+    reads each snapshot from multiple targets; this wrapper builds the
+    three attribute vectors at most once per snapshot.
+    """
+
+    __slots__ = ("entries", "_loads", "_reqs", "_areas")
+
+    def __init__(self, entries: list):
+        self.entries = entries
+        self._loads = None
+        self._reqs = None
+        self._areas = None
+
+    def _build(self) -> None:
+        flat = [x for t in self.entries for x in (t[0], t[1], t[2])]
+        matrix = _np.array(flat, dtype=_np.float64).reshape(
+            len(self.entries), 3)
+        self._loads = _np.ascontiguousarray(matrix[:, 0])
+        self._reqs = _np.ascontiguousarray(matrix[:, 1])
+        self._areas = _np.ascontiguousarray(matrix[:, 2])
+
+    @property
+    def loads(self):
+        if self._loads is None:
+            self._build()
+        return self._loads
+
+    @property
+    def reqs(self):
+        if self._reqs is None:
+            self._build()
+        return self._reqs
+
+    @property
+    def areas(self):
+        if self._areas is None:
+            self._build()
+        return self._areas
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# Batched bucket-winner selection
+# ----------------------------------------------------------------------
+
+def _winner_stream(inv_load: float, inv_area: float, loads, reqs, areas):
+    """Reduce a candidate stream to its per-bucket winners.
+
+    Returns six parallel lists — flat stream index, the two bucket key
+    halves, and the attribute triple — one row per bucket, in
+    first-occurrence order of the bucket within the stream.  Merging the
+    rows into a bucket map (replace iff strictly higher required time)
+    yields exactly the state sequential scalar insertion would have
+    reached, including dict insertion order.
+    """
+    # Quantized bucket keys; rint == round-half-to-even == Python round().
+    klo = _np.rint(loads * inv_load).astype(_np.int64)
+    kar = _np.rint(areas * inv_area).astype(_np.int64)
+    packed = klo * (1 << 32) + kar
+    n = len(packed)
+    # One stable sort by (bucket, -req, position): the head of each
+    # bucket block is its winner — the first stream entry attaining the
+    # bucket's maximum required time.
+    positions = _np.arange(n)
+    perm = _np.lexsort((positions, -reqs, packed))
+    sorted_keys = packed[perm]
+    head = _np.empty(n, dtype=bool)
+    head[0] = True
+    head[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = _np.flatnonzero(head)
+    winners = perm[starts]
+    # Replay winners in first-occurrence order so newly created buckets
+    # enter the dict exactly where the scalar loop would have put them.
+    firsts = _np.minimum.reduceat(perm, starts)
+    winners = winners[_np.argsort(firsts, kind="stable")]
+    return (winners.tolist(), klo[winners].tolist(), kar[winners].tolist(),
+            loads[winners].tolist(), reqs[winners].tolist(),
+            areas[winners].tolist())
+
+
+def _merge_entries(curve, keys, entries) -> int:
+    """Merge a winner stream (parallel key/entry iterators, C-level zip
+    tuples) into a pending curve's bucket map; return how many stored."""
+    by_bucket = curve._by_bucket
+    if not by_bucket:
+        # First batch into a fresh curve: winners already carry unique
+        # keys in first-occurrence order — build the dict directly.
+        by_bucket.update(zip(keys, entries))
+        stored = len(by_bucket)
+    else:
+        stored = 0
+        get = by_bucket.get
+        for key, entry in zip(keys, entries):
+            incumbent = get(key)
+            if incumbent is None or incumbent[1] < entry[1]:
+                by_bucket[key] = entry
+                stored += 1
+    if stored:
+        curve._pruned = False
+    return stored
+
+
+def batch_insert(curve, loads, reqs, areas,
+                 make_solution: Callable[[int], Solution]) -> int:
+    """Insert a candidate stream into a :class:`SolutionCurve` at once.
+
+    ``make_solution(i)`` materializes the solution for stream position
+    ``i`` and is called only for per-bucket winners that beat the curve's
+    incumbent (or open a new bucket).  Returns the number of solutions
+    stored — non-zero exactly when the scalar loop would have had at
+    least one successful ``accept_key``.
+    """
+    if len(loads) == 0:
+        return 0
+    stream = _winner_stream(curve._inv_load, curve._inv_area,
+                            loads, reqs, areas)
+    by_bucket = curve._by_bucket
+    stored = 0
+    for w, key_l, key_a, _load, req, _area in zip(*stream):
+        key = (key_l, key_a)
+        incumbent = by_bucket.get(key)
+        if incumbent is None or incumbent.required_time < req:
+            by_bucket[key] = make_solution(w)
+            stored += 1
+    if stored:
+        curve._pruned = False
+    return stored
+
+
+# ----------------------------------------------------------------------
+# Pending entries: deferred materialization
+# ----------------------------------------------------------------------
+#
+# A pending entry is the 5-tuple ``(load, req, area, ctx, i)``.  ``ctx``
+# is None when ``i`` already is the materialized Solution; otherwise it
+# is one of:
+#
+#   ("join", root, left_sols, right_sols, nb)
+#       flat i -> Join(left_sols[i // nb], right_sols[i % nb])
+#   ("buf", root, sources, buffer_params)
+#       flat i -> Buffered(resolve(sources[i // m]), buffer i % m)
+#   ("reloc", root, starts, blocks, opts, flat_loads, flat_reqs,
+#    buffer_params)
+#       flat i -> the unbuffered moved solution, or a buffer driving it
+#       (the moved triple is recovered from row i's column 0)
+#
+# Sources inside a context may themselves be pending entries (buffer and
+# relocation chain within one range accumulation), so resolution recurses
+# — with a memo, since snapshots share entries.  Chains are shallow: a
+# freeze materializes everything, so the next range starts from plain
+# Solutions again.
+
+def resolve_entry(entry, memo: dict) -> Solution:
+    """Materialize a pending entry (recursively) into a :class:`Solution`."""
+    ctx = entry[3]
+    if ctx is None:
+        return entry[4]
+    key = id(entry)
+    sol = memo.get(key)
+    if sol is not None:
+        return sol
+    load, req, area = entry[0], entry[1], entry[2]
+    i = entry[4]
+    kind = ctx[0]
+    if kind == "join":
+        _, root, left_sols, right_sols, nb = ctx
+        ai, bi = divmod(i, nb)
+        sol = Solution(root, load, req, area,
+                       Join(left_sols[ai], right_sols[bi]))
+    elif kind == "buf":
+        _, root, sources, buffer_params = ctx
+        si, bj = divmod(i, len(buffer_params))
+        src = sources[si]
+        if not isinstance(src, Solution):
+            src = resolve_entry(src, memo)
+        sol = Solution(root, load, req, area,
+                       Buffered(src, buffer_params[bj][0]))
+    else:  # "reloc"
+        _, root, starts, blocks, opts, flat_loads, flat_reqs, \
+            buffer_params = ctx
+        bi = bisect_right(starts, i) - 1
+        start, sources, length, width = blocks[bi]
+        si, opt = divmod(i - start, opts)
+        src = sources[si]
+        if not isinstance(src, Solution):
+            src = resolve_entry(src, memo)
+        if opt == 0:
+            sol = Solution(root, load, req, area, Extend(src, length, width))
+        else:
+            # Rebuild the intermediate moved solution the buffer drives;
+            # its triple sits in column 0 of the same row.
+            base_i = start + si * opts
+            moved = Solution(root, float(flat_loads[base_i]),
+                             float(flat_reqs[base_i]),
+                             area - buffer_params[opt - 1][2],
+                             Extend(src, length, width))
+            sol = Solution(root, load, req, area,
+                           Buffered(moved, buffer_params[opt - 1][0]))
+    memo[key] = sol
+    return sol
+
+
+class PendingCurve:
+    """Engine-internal live curve for the numpy backend.
+
+    Same bucket-map semantics as :class:`~repro.curves.curve.SolutionCurve`
+    — per ``(load bucket, area bucket)`` cell, keep the entry with the
+    strictly highest required time, first occupant winning ties — but the
+    stored values are pending-entry tuples, so generating and culling
+    candidates never constructs :class:`Solution` objects.  Survivors are
+    materialized by :attr:`solutions` (sorted, for freezing) or
+    :meth:`to_solution_curve` (dict order, for handing live curves back
+    to backend-agnostic callers).
+
+    Iterating a ``PendingCurve`` yields the raw entry tuples; that is the
+    engine-facing snapshot format the pending kernels consume.
+    """
+
+    __slots__ = ("root", "config", "_by_bucket", "_pruned",
+                 "_inv_load", "_inv_area", "_cache")
+
+    def __init__(self, root, config):
+        self.root = root
+        self.config = config
+        self._by_bucket: dict = {}
+        self._pruned = True
+        self._inv_load = 1.0 / config.load_step
+        self._inv_area = 1.0 / config.area_step
+        #: Attribute vectors (loads, reqs, areas) aligned with the bucket
+        #: map's dict order, produced as a by-product of the vectorized
+        #: prune.  Valid only while ``_pruned`` is True; consumed by the
+        #: buffer and relocation-snapshot stages to skip re-extraction.
+        self._cache = None
+
+    def __len__(self) -> int:
+        return len(self._by_bucket)
+
+    def __iter__(self):
+        return iter(self._by_bucket.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._by_bucket)
+
+    def add(self, solution: Solution) -> bool:
+        """Insert one already-materialized solution."""
+        key = (round(solution.load * self._inv_load),
+               round(solution.area * self._inv_area))
+        incumbent = self._by_bucket.get(key)
+        if incumbent is None or incumbent[1] < solution.required_time:
+            self._by_bucket[key] = (solution.load, solution.required_time,
+                                    solution.area, None, solution)
+            self._pruned = False
+            return True
+        return False
+
+    def extend(self, solutions) -> int:
+        """Insert a frozen solution sequence; return how many stored."""
+        if (isinstance(solutions, CurveSoA)
+                and len(solutions) >= EXTEND_MIN_ITEMS):
+            sols = solutions.sols
+            win, klo, kar, loads, reqs, areas = _winner_stream(
+                self._inv_load, self._inv_area,
+                solutions.loads, solutions.reqs, solutions.areas)
+            return _merge_entries(
+                self, zip(klo, kar),
+                zip(loads, reqs, areas, repeat(None),
+                    map(sols.__getitem__, win)))
+        return sum(1 for s in solutions if self.add(s))
+
+    def prune(self) -> None:
+        """Remove 3-D dominated entries and enforce the capacity cap.
+
+        Mirrors ``SolutionCurve.prune`` (same survivors, same resulting
+        dict order, same instrumentation) over pending entries.
+        """
+        if self._pruned:
+            return
+        rec = active_recorder()
+        before = len(self._by_bucket)
+        items = list(self._by_bucket.items())
+        result = _pending_prune_vector(items, self.config.max_solutions)
+        if result is None:
+            survivors = _pending_prune_scalar(items)
+            if len(survivors) > self.config.max_solutions:
+                survivors = _pending_thin(survivors,
+                                          self.config.max_solutions)
+            self._cache = None
+        else:
+            survivors, self._cache = result
+        self._by_bucket = dict(survivors)
+        self._pruned = True
+        if rec.enabled:
+            kept = len(self._by_bucket)
+            rec.incr(metric.CURVE_PRUNE_CALLS)
+            rec.incr(metric.CURVE_PRUNE_REMOVED, before - kept)
+            rec.record(metric.CURVE_PRUNE_SURVIVOR_RATIO,
+                       kept / before if before else 1.0)
+
+    @property
+    def solutions(self) -> List[Solution]:
+        """Materialized survivors, sorted by ascending load.
+
+        Same order as ``SolutionCurve.solutions``: stable sort of the
+        dict values by ``(load, -required_time, area)``.
+        """
+        entries = sorted(self._by_bucket.values(),
+                         key=lambda t: (t[0], -t[1], t[2]))
+        memo: dict = {}
+        return [resolve_entry(t, memo) for t in entries]
+
+    def to_solution_curve(self):
+        """Materialize into an equivalent :class:`SolutionCurve`.
+
+        Preserves bucket keys, dict order, and the pruned flag, so
+        backend-agnostic callers receive exactly the live-curve state the
+        python backend would have produced.
+        """
+        from repro.curves.curve import SolutionCurve
+
+        curve = SolutionCurve(self.root, self.config)
+        memo: dict = {}
+        curve._by_bucket = {key: resolve_entry(t, memo)
+                            for key, t in self._by_bucket.items()}
+        curve._pruned = self._pruned
+        return curve
+
+
+# ----------------------------------------------------------------------
+# The three DP combinators over pending curves
+# ----------------------------------------------------------------------
+
+def pending_join(curve: PendingCurve, lefts, rights) -> None:
+    """Cross-product join of two frozen curves into ``curve``.
+
+    Equivalent to the scalar double loop (left-major): loads and areas
+    add, required time takes the branch minimum; winners store a pending
+    entry indexing into the flattened cross product.
+    """
+    lefts = as_soa(lefts)
+    rights = as_soa(rights)
+    nb = len(rights.sols)
+    ctx = ("join", curve.root, lefts.sols, rights.sols, nb)
+    by_bucket = curve._by_bucket
+    inv_load = curve._inv_load
+    inv_area = curve._inv_area
+    if len(lefts.sols) * nb < JOIN_MIN_PAIRS:
+        stored = 0
+        i = 0
+        for a in lefts.sols:
+            a_load = a.load
+            a_req = a.required_time
+            a_area = a.area
+            for b in rights.sols:
+                load = a_load + b.load
+                req = a_req if a_req < b.required_time else b.required_time
+                area = a_area + b.area
+                key = (round(load * inv_load), round(area * inv_area))
+                incumbent = by_bucket.get(key)
+                if incumbent is None or incumbent[1] < req:
+                    by_bucket[key] = (load, req, area, ctx, i)
+                    stored += 1
+                i += 1
+        if stored:
+            curve._pruned = False
+        return
+    loads = _np.add.outer(lefts.loads, rights.loads).ravel()
+    reqs = _np.minimum.outer(lefts.reqs, rights.reqs).ravel()
+    areas = _np.add.outer(lefts.areas, rights.areas).ravel()
+    win, klo, kar, w_loads, w_reqs, w_areas = _winner_stream(
+        inv_load, inv_area, loads, reqs, areas)
+    _merge_entries(curve, zip(klo, kar),
+                   zip(w_loads, w_reqs, w_areas, repeat(ctx), win))
+
+
+def pending_buffer(curve: PendingCurve, sources, bufvecs: BufferVectors,
+                   from_curve: bool = False) -> None:
+    """Offer every library buffer at the root of each source.
+
+    ``sources`` holds pending entries (``list(curve)``) or plain
+    Solutions (sink base construction).  Stream order is source-major,
+    buffer-minor — the scalar ``_buffer_all`` order.  ``from_curve``
+    asserts that ``sources`` is the curve's own bucket map in dict order,
+    allowing the prune-time attribute cache to be reused.
+    """
+    sources = list(sources)
+    buffer_params = bufvecs.params
+    ns = len(sources)
+    m = len(buffer_params)
+    if ns == 0 or m == 0:
+        return
+    by_bucket = curve._by_bucket
+    inv_load = curve._inv_load
+    inv_area = curve._inv_area
+    solution_sources = isinstance(sources[0], Solution)
+    if ns * m < BUFFER_MIN_OFFERS:
+        root = curve.root
+        stored = 0
+        memo: dict = {}
+        for s in sources:
+            if solution_sources:
+                load, req, area = s.load, s.required_time, s.area
+            else:
+                load, req, area = s[0], s[1], s[2]
+            resolved = s if solution_sources else None
+            for buffer, input_cap, buf_area, d0, slope in buffer_params:
+                new_req = req - d0 - slope * load
+                new_area = area + buf_area
+                key = (round(input_cap * inv_load),
+                       round(new_area * inv_area))
+                incumbent = by_bucket.get(key)
+                if incumbent is None or incumbent[1] < new_req:
+                    if resolved is None:
+                        resolved = resolve_entry(s, memo)
+                    by_bucket[key] = (
+                        input_cap, new_req, new_area, None,
+                        Solution(root, input_cap, new_req, new_area,
+                                 Buffered(resolved, buffer)))
+                    stored += 1
+        if stored:
+            curve._pruned = False
+        return
+    if (from_curve and curve._pruned and curve._cache is not None
+            and len(curve._cache[0]) == ns):
+        base_loads, base_reqs, base_areas = curve._cache
+    elif solution_sources:
+        base = CurveSoA(sources)
+        base_loads, base_reqs, base_areas = base.loads, base.reqs, base.areas
+    else:
+        base = TupleSoA(sources)
+        base_loads, base_reqs, base_areas = base.loads, base.reqs, base.areas
+    loads = _np.broadcast_to(bufvecs.caps, (ns, m))
+    reqs = (base_reqs[:, None] - bufvecs.d0) \
+        - bufvecs.slope * base_loads[:, None]
+    areas = base_areas[:, None] + bufvecs.areas
+    ctx = ("buf", curve.root, sources, buffer_params)
+    win, klo, kar, w_loads, w_reqs, w_areas = _winner_stream(
+        inv_load, inv_area, loads.reshape(-1), reqs.ravel(), areas.ravel())
+    _merge_entries(curve, zip(klo, kar),
+                   zip(w_loads, w_reqs, w_areas, repeat(ctx), win))
+
+
+def pending_snapshots(curves: Sequence[PendingCurve]) -> List[TupleSoA]:
+    """Snapshot every live curve for one relocation round.
+
+    Curves that are freshly pruned donate their prune-time attribute
+    cache (same dict order), so the snapshot's vectors come for free.
+    """
+    snaps = []
+    for curve in curves:
+        snap = TupleSoA(list(curve))
+        if curve._pruned and curve._cache is not None \
+                and len(curve._cache[0]) == len(snap.entries):
+            snap._loads, snap._reqs, snap._areas = curve._cache
+        snaps.append(snap)
+    return snaps
+
+
+def pending_relocate(curve: PendingCurve, to_idx: int,
+                     snapshots: Sequence[TupleSoA], wire_res, wire_cap,
+                     candidates, wire_widths,
+                     bufvecs: BufferVectors) -> bool:
+    """One target's relocation relaxation, batched over all sources.
+
+    Builds the scalar stream — sources ascending, then wire widths, then
+    snapshot solutions, each offering the unbuffered move followed by
+    every buffer — as one concatenated triple batch.  Returns the scalar
+    loop's ``changed`` flag (any bucket accepted an entry).
+    """
+    buffer_params = bufvecs.params
+    m = len(buffer_params)
+    opts = 1 + m
+    root = curve.root
+    stream_total = 0
+    for frm_idx, snapshot in enumerate(snapshots):
+        if frm_idx != to_idx:
+            stream_total += len(snapshot) * len(wire_widths) * opts
+    if stream_total == 0:
+        return False
+    if stream_total < RELOCATE_MIN_STREAM:
+        return _pending_relocate_scalar(
+            curve, to_idx, snapshots, wire_res, wire_cap, candidates,
+            wire_widths, buffer_params)
+    blocks = []       # (flat offset, snapshot entries, length, width)
+    starts = []
+    sizes = []        # per-block source count
+    block_res = []    # per-block scalar wire parameters
+    block_cap = []
+    src_loads = []
+    src_reqs = []
+    src_areas = []
+    offset = 0
+    for frm_idx, snapshot in enumerate(snapshots):
+        if frm_idx == to_idx or not snapshot.entries:
+            continue
+        base_res = wire_res[frm_idx][to_idx]
+        base_cap = wire_cap[frm_idx][to_idx]
+        length = candidates[frm_idx].manhattan_to(root)
+        ns = len(snapshot.entries)
+        for width in wire_widths:
+            blocks.append((offset, snapshot.entries, length, width))
+            starts.append(offset)
+            sizes.append(ns)
+            block_res.append(base_res / width)
+            block_cap.append(base_cap * width)
+            src_loads.append(snapshot.loads)
+            src_reqs.append(snapshot.reqs)
+            src_areas.append(snapshot.areas)
+            offset += ns * opts
+    if not blocks:
+        return False
+    cat_loads = _np.concatenate(src_loads)
+    cat_reqs = _np.concatenate(src_reqs)
+    cat_areas = _np.concatenate(src_areas)
+    sizes = _np.array(sizes)
+    res_rep = _np.repeat(_np.array(block_res), sizes)
+    cap_rep = _np.repeat(_np.array(block_cap), sizes)
+    moved_load = cat_loads + cap_rep
+    moved_req = cat_reqs - res_rep * (0.5 * cap_rep + cat_loads)
+    n = len(cat_loads)
+    loads = _np.empty((n, opts))
+    reqs = _np.empty((n, opts))
+    areas = _np.empty((n, opts))
+    loads[:, 0] = moved_load
+    reqs[:, 0] = moved_req
+    areas[:, 0] = cat_areas
+    if m:
+        loads[:, 1:] = bufvecs.caps
+        reqs[:, 1:] = (moved_req[:, None] - bufvecs.d0) \
+            - bufvecs.slope * moved_load[:, None]
+        areas[:, 1:] = cat_areas[:, None] + bufvecs.areas
+    flat_loads = loads.ravel()
+    flat_reqs = reqs.ravel()
+    flat_areas = areas.ravel()
+    ctx = ("reloc", root, starts, blocks, opts, flat_loads, flat_reqs,
+           buffer_params)
+    win, klo, kar, w_loads, w_reqs, w_areas = _winner_stream(
+        curve._inv_load, curve._inv_area, flat_loads, flat_reqs, flat_areas)
+    return _merge_entries(
+        curve, zip(klo, kar),
+        zip(w_loads, w_reqs, w_areas, repeat(ctx), win)) > 0
+
+
+def _pending_relocate_scalar(curve: PendingCurve, to_idx: int,
+                             snapshots, wire_res, wire_cap, candidates,
+                             wire_widths, buffer_params) -> bool:
+    """Scalar relocation for small streams; materializes winners eagerly
+    (sharing the intermediate moved solution, like the scalar backend)."""
+    root = curve.root
+    by_bucket = curve._by_bucket
+    inv_load = curve._inv_load
+    inv_area = curve._inv_area
+    changed = False
+    memo: dict = {}
+    for frm_idx, snapshot in enumerate(snapshots):
+        if frm_idx == to_idx or not snapshot.entries:
+            continue
+        base_res = wire_res[frm_idx][to_idx]
+        base_cap = wire_cap[frm_idx][to_idx]
+        length = candidates[frm_idx].manhattan_to(root)
+        for width in wire_widths:
+            res = base_res / width
+            cap = base_cap * width
+            half_self = 0.5 * cap
+            for t in snapshot.entries:
+                s_load, s_req, s_area = t[0], t[1], t[2]
+                load = s_load + cap
+                req = s_req - res * (half_self + s_load)
+                area = s_area
+                moved: Optional[Solution] = None
+                key = (round(load * inv_load), round(area * inv_area))
+                incumbent = by_bucket.get(key)
+                if incumbent is None or incumbent[1] < req:
+                    moved = Solution(root, load, req, area,
+                                     Extend(resolve_entry(t, memo),
+                                            length, width))
+                    by_bucket[key] = (load, req, area, None, moved)
+                    changed = True
+                for buffer, input_cap, buf_area, d0, slope in buffer_params:
+                    b_req = req - d0 - slope * load
+                    b_area = area + buf_area
+                    b_key = (round(input_cap * inv_load),
+                             round(b_area * inv_area))
+                    incumbent = by_bucket.get(b_key)
+                    if incumbent is None or incumbent[1] < b_req:
+                        if moved is None:
+                            moved = Solution(root, load, req, area,
+                                             Extend(resolve_entry(t, memo),
+                                                    length, width))
+                        by_bucket[b_key] = (
+                            input_cap, b_req, b_area, None,
+                            Solution(root, input_cap, b_req, b_area,
+                                     Buffered(moved, buffer)))
+                        changed = True
+    if changed:
+        curve._pruned = False
+    return changed
+
+
+# ----------------------------------------------------------------------
+# Pruning helpers (pending entries)
+# ----------------------------------------------------------------------
+
+def _survivor_indices(loads, areas, reqs):
+    """Indices of 3-D Pareto survivors, in ``(load, area, -req)`` order.
+
+    A numpy ``lexsort`` replaces the Python attribute-key sort (the
+    expensive part of the scalar prune at scale), then the staircase
+    sweep of ``curve._pareto_prune`` runs over the sorted columns as
+    plain floats: entry i is dominated iff some kept earlier entry has
+    ``area <= area_i`` and ``req >= req_i`` (earlier position already
+    guarantees ``load <= load_i``).  Restricting dominators to *kept*
+    entries loses nothing, by transitivity: a removed dominator is
+    itself dominated by a kept entry that also dominates i.
+    """
+    n = len(loads)
+    order = _np.lexsort((_np.arange(n), -reqs, areas, loads))
+    s_areas = areas[order].tolist()
+    s_reqs = reqs[order].tolist()
+    kept_pos: List[int] = []
+    keep = kept_pos.append
+    stair_areas: List[float] = []    # ascending
+    stair_reqs: List[float] = []     # prefix-max of required times
+    br = bisect_right
+    pos = -1
+    for area, req in zip(s_areas, s_reqs):
+        pos += 1
+        idx = br(stair_areas, area)
+        if idx and stair_reqs[idx - 1] >= req:
+            continue  # dominated
+        keep(pos)
+        stair_areas.insert(idx, area)
+        best_before = stair_reqs[idx - 1] if idx else float("-inf")
+        stair_reqs.insert(idx, max(best_before, req))
+        for later in range(idx + 1, len(stair_reqs)):
+            if stair_reqs[later] >= stair_reqs[later - 1]:
+                break
+            stair_reqs[later] = stair_reqs[later - 1]
+    return order[kept_pos]
+
+
+def pareto_prune_items(items) -> Optional[list]:
+    """Vectorized staircase prune over ``(key, Solution)`` items.
+
+    Returns survivors in the scalar sweep's order, or None when the batch
+    is too small to be worth vectorizing (caller runs the scalar sweep).
+    """
+    n = len(items)
+    if n < PRUNE_MIN_ITEMS:
+        return None
+    flat = [x for kv in items
+            for x in (kv[1].load, kv[1].area, kv[1].required_time)]
+    matrix = _np.array(flat, dtype=_np.float64).reshape(n, 3)
+    keep = _survivor_indices(matrix[:, 0], matrix[:, 1], matrix[:, 2])
+    return [items[i] for i in keep.tolist()]
+
+
+def _pending_prune_vector(items, cap: int):
+    """Vectorized prune + capacity thin over ``(key, entry)`` items.
+
+    Returns ``(survivors, (loads, reqs, areas))`` — the surviving items
+    in the scalar sweep's order plus their attribute vectors in that same
+    order — or None when the batch is outside the vectorization window.
+    Thinning replicates ``curve._thin`` exactly: the three extreme points
+    (first-occurrence ties, like ``max``/``min``) are forced, the rest is
+    index-even sampled along the ``(load, required_time)``-sorted front.
+    """
+    n = len(items)
+    if n < PRUNE_MIN_ITEMS:
+        return None
+    flat = [x for kv in items for x in (kv[1][0], kv[1][2], kv[1][1])]
+    matrix = _np.array(flat, dtype=_np.float64).reshape(n, 3)
+    keep = _survivor_indices(matrix[:, 0], matrix[:, 1], matrix[:, 2])
+    s_loads = matrix[:, 0][keep]
+    s_areas = matrix[:, 1][keep]
+    s_reqs = matrix[:, 2][keep]
+    k = len(keep)
+    if k <= cap:
+        survivors = [items[i] for i in keep.tolist()]
+        return survivors, (s_loads, s_reqs, s_areas)
+    forced = []
+    for i in (int(_np.argmax(s_reqs)), int(_np.argmin(s_loads)),
+              int(_np.argmin(s_areas))):
+        if i not in forced:
+            forced.append(i)
+    rest_mask = _np.ones(k, dtype=bool)
+    rest_mask[forced] = False
+    rest = _np.flatnonzero(rest_mask)
+    rorder = _np.lexsort((_np.arange(len(rest)),
+                          s_reqs[rest], s_loads[rest]))
+    rest_sorted = rest[rorder]
+    slots = cap - len(forced)
+    nr = len(rest_sorted)
+    if slots <= 0:
+        picked = []
+    elif nr <= slots:
+        picked = rest_sorted.tolist()
+    else:
+        stride = nr / slots
+        picked = [int(rest_sorted[int(i * stride)]) for i in range(slots)]
+    sel = _np.array(forced + picked, dtype=_np.intp)
+    survivors = [items[i] for i in keep[sel].tolist()]
+    return survivors, (s_loads[sel], s_reqs[sel], s_areas[sel])
+
+
+def _pending_prune_scalar(items) -> list:
+    """Scalar staircase sweep over ``(key, entry)`` items — the pending
+    mirror of ``repro.curves.curve._pareto_prune``."""
+    items = sorted(items, key=lambda kv: (kv[1][0], kv[1][2], -kv[1][1]))
+    kept = []
+    stair_areas: List[float] = []
+    stair_reqs: List[float] = []
+    for key, t in items:
+        area = t[2]
+        req = t[1]
+        idx = bisect_right(stair_areas, area)
+        if idx > 0 and stair_reqs[idx - 1] >= req:
+            continue  # dominated
+        kept.append((key, t))
+        stair_areas.insert(idx, area)
+        best_before = stair_reqs[idx - 1] if idx > 0 else float("-inf")
+        stair_reqs.insert(idx, max(best_before, req))
+        for later in range(idx + 1, len(stair_reqs)):
+            if stair_reqs[later] >= stair_reqs[later - 1]:
+                break
+            stair_reqs[later] = stair_reqs[later - 1]
+    return kept
+
+
+def _pending_thin(items: list, cap: int) -> list:
+    """Capacity cap over pending items — mirrors ``curve._thin``."""
+    by_req = max(items, key=lambda kv: kv[1][1])
+    by_load = min(items, key=lambda kv: kv[1][0])
+    by_area = min(items, key=lambda kv: kv[1][2])
+    forced = {id(kv[1]): kv for kv in (by_req, by_load, by_area)}
+    rest = [kv for kv in items if id(kv[1]) not in forced]
+    slots = cap - len(forced)
+    rest.sort(key=lambda kv: (kv[1][0], kv[1][1]))
+    if slots <= 0:
+        picked = []
+    elif len(rest) <= slots:
+        picked = rest
+    else:
+        stride = len(rest) / slots
+        picked = [rest[int(i * stride)] for i in range(slots)]
+    return list(forced.values()) + picked

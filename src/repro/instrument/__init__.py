@@ -27,6 +27,7 @@ from repro.instrument.recorder import (
 from repro.instrument.report import (
     dump_report,
     load_report,
+    merge_reports,
     report_from_json,
     report_to_json,
     validate_report,
@@ -42,6 +43,7 @@ __all__ = [
     "active_recorder",
     "install_recorder",
     "use_recorder",
+    "merge_reports",
     "report_to_json",
     "report_from_json",
     "dump_report",

@@ -9,9 +9,14 @@ consumer (``repro.analysis.instrument_summary``) agrees on one format.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Union
+from typing import Any, Dict, Iterable, Union
 
-from repro.instrument.recorder import REPORT_VERSION, Recorder
+from repro.instrument.recorder import (
+    REPORT_VERSION,
+    Recorder,
+    SeriesStats,
+    SpanStats,
+)
 
 _SECTIONS = ("counters", "series", "spans", "events")
 
@@ -52,6 +57,49 @@ def validate_report(report: Any) -> None:
     for section in _SECTIONS:
         if not isinstance(report.get(section), dict):
             raise ValueError(f"report section {section!r} missing or invalid")
+
+
+def merge_reports(reports: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-worker reports into one, deterministically.
+
+    The merge is a pure fold over ``reports`` *in the given order* —
+    callers (the :mod:`repro.parallel` drivers) pass reports in task
+    submission order, so the merged output is independent of worker
+    scheduling and completion order.  Counters and span aggregates sum;
+    series combine their streaming summaries (``last`` takes the value
+    from the last report that observed the series); event streams
+    concatenate.
+    """
+    merged = Recorder()
+    for report in reports:
+        validate_report(report)
+        for name, value in report["counters"].items():
+            merged.incr(str(name), int(value))
+        for name, data in report["series"].items():
+            incoming = SeriesStats.from_dict(data)
+            if incoming.count == 0:
+                continue
+            stats = merged.series.get(str(name))
+            if stats is None:
+                merged.series[str(name)] = incoming
+                continue
+            stats.count += incoming.count
+            stats.total += incoming.total
+            stats.minimum = min(stats.minimum, incoming.minimum)
+            stats.maximum = max(stats.maximum, incoming.maximum)
+            stats.last = incoming.last
+        for name, data in report["spans"].items():
+            incoming_span = SpanStats.from_dict(data)
+            span = merged.spans.get(str(name))
+            if span is None:
+                merged.spans[str(name)] = incoming_span
+            else:
+                span.count += incoming_span.count
+                span.total_s += incoming_span.total_s
+        for name, events in report["events"].items():
+            merged.events.setdefault(str(name), []).extend(
+                dict(e) for e in events)
+    return merged.report()
 
 
 def coerce_recorder(source: Union[Recorder, Dict[str, Any], str]) -> Recorder:

@@ -17,6 +17,7 @@ then review the diff of ``goldens.json`` like any other code change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import sys
@@ -26,6 +27,7 @@ import pytest
 from repro.core.config import MerlinConfig
 from repro.core.merlin import merlin
 from repro.core.objective import Objective
+from repro.curves import kernels
 from repro.routing.export import tree_signature
 from repro.tech.technology import default_technology
 
@@ -43,11 +45,22 @@ CASES = (
     ("golden_6s", 6, 7),
 )
 
+#: Both curve-kernel backends must reproduce the same goldens — the
+#: bit-identity contract of the vectorized kernels (PR-2 tentpole).
+BACKENDS = (
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not kernels.numpy_available(), reason="NumPy not installed")),
+)
 
-def _run_case(name: str, sinks: int, seed: int) -> dict:
+
+def _run_case(name: str, sinks: int, seed: int,
+              backend: str = "python") -> dict:
     net = build_net(sinks, seed=seed, name=name)
     tech = default_technology()
     config = MerlinConfig.test_preset()
+    config = config.with_(curve=dataclasses.replace(
+        config.curve, backend=backend))
     objective = Objective.max_required_time()
     result = merlin(net, tech, config=config, objective=objective)
     return {
@@ -68,11 +81,13 @@ def _load_goldens() -> dict:
         return json.load(handle)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("name,sinks,seed", CASES,
                          ids=[c[0] for c in CASES])
-def test_merlin_matches_golden(name: str, sinks: int, seed: int):
+def test_merlin_matches_golden(name: str, sinks: int, seed: int,
+                               backend: str):
     golden = _load_goldens()[name]
-    actual = _run_case(name, sinks, seed)
+    actual = _run_case(name, sinks, seed, backend=backend)
 
     # Exact structural facts first — these give the sharpest diffs.
     assert actual["signature"] == golden["signature"]

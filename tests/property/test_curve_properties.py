@@ -1,13 +1,23 @@
 """Property-based tests for the solution-curve machinery (hypothesis)."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.curves import kernels
 from repro.curves.curve import CurveConfig, SolutionCurve
 from repro.curves.solution import SinkLeaf, Solution
 from repro.geometry.point import Point
 
 P = Point(0, 0)
+
+#: Every pruning property must hold identically on both curve-kernel
+#: backends (bit-identity contract of the vectorized kernels).
+BACKENDS = (
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not kernels.numpy_available(), reason="NumPy not installed")),
+)
 
 # Integer-valued attributes: the exactness property below compares the
 # bucketed curve against an un-bucketed reference, which is only a fair
@@ -34,12 +44,14 @@ def brute_force_pareto(sols):
     return kept
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=200, deadline=None)
-@given(solution_lists)
-def test_prune_leaves_exactly_the_pareto_front(sols):
+@given(sols=solution_lists)
+def test_prune_leaves_exactly_the_pareto_front(backend, sols):
     """With fine buckets and no cap, prune == brute-force Pareto."""
     curve = SolutionCurve(P, CurveConfig(load_step=0.5, area_step=0.5,
-                                         max_solutions=10 ** 6))
+                                         max_solutions=10 ** 6,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()
@@ -47,23 +59,27 @@ def test_prune_leaves_exactly_the_pareto_front(sols):
     assert kept == brute_force_pareto(sols)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists)
-def test_pruned_curve_is_mutually_non_inferior(sols):
+@given(sols=solution_lists)
+def test_pruned_curve_is_mutually_non_inferior(backend, sols):
     curve = SolutionCurve(P, CurveConfig(load_step=2.0, area_step=30.0,
-                                         max_solutions=16))
+                                         max_solutions=16,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()
     assert curve.is_non_inferior_set()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists)
-def test_best_required_time_never_lost(sols):
+@given(sols=solution_lists)
+def test_best_required_time_never_lost(backend, sols):
     """Lemma 9-flavored: pruning (even with cap) keeps the req optimum."""
     curve = SolutionCurve(P, CurveConfig(load_step=5.0, area_step=50.0,
-                                         max_solutions=4))
+                                         max_solutions=4,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()
@@ -71,12 +87,14 @@ def test_best_required_time_never_lost(sols):
     assert best_kept == max(s.required_time for s in sols)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists)
-def test_min_area_never_lost(sols):
+@given(sols=solution_lists)
+def test_min_area_never_lost(backend, sols):
     """The area optimum survives for the variant II objective."""
     curve = SolutionCurve(P, CurveConfig(load_step=5.0, area_step=50.0,
-                                         max_solutions=4))
+                                         max_solutions=4,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()
@@ -85,22 +103,26 @@ def test_min_area_never_lost(sols):
     assert min(s.area for s in curve) <= min(s.area for s in sols) + 50.0
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists)
-def test_capacity_cap_respected(sols):
+@given(sols=solution_lists)
+def test_capacity_cap_respected(backend, sols):
     curve = SolutionCurve(P, CurveConfig(load_step=1e-6, area_step=1e-6,
-                                         max_solutions=5))
+                                         max_solutions=5,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()
     assert len(curve) <= 5
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists)
-def test_prune_idempotent(sols):
+@given(sols=solution_lists)
+def test_prune_idempotent(backend, sols):
     curve = SolutionCurve(P, CurveConfig(load_step=3.0, area_step=40.0,
-                                         max_solutions=8))
+                                         max_solutions=8,
+                                         backend=backend))
     for s in sols:
         curve.add(s)
     curve.prune()

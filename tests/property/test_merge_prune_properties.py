@@ -9,9 +9,13 @@ through the *public* curve/ops API, the same path the engines use.
 
 from __future__ import annotations
 
+import dataclasses
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.curves import kernels
 from repro.curves.curve import CurveConfig, SolutionCurve
 from repro.curves.ops import (
     buffer_solution,
@@ -43,33 +47,67 @@ FINE = CurveConfig(load_step=0.5, area_step=0.5, max_solutions=10 ** 6)
 #: A realistic config: coarse buckets plus a tight cap.
 COARSE = CurveConfig(load_step=4.0, area_step=50.0, max_solutions=6)
 
+#: Every merge/prune property must hold identically on both curve-kernel
+#: backends (bit-identity contract of the vectorized kernels).
+BACKENDS = (
+    "python",
+    pytest.param("numpy", marks=pytest.mark.skipif(
+        not kernels.numpy_available(), reason="NumPy not installed")),
+)
 
-def _pruned_curve(sols, config) -> SolutionCurve:
-    curve = SolutionCurve(P, config)
+
+def _with_backend(config: CurveConfig, backend: str) -> CurveConfig:
+    return dataclasses.replace(config, backend=backend)
+
+
+def _pruned_curve(sols, config, backend: str = "python") -> SolutionCurve:
+    curve = SolutionCurve(P, _with_backend(config, backend))
     for s in sols:
         curve.add(s)
     curve.prune()
     return curve
 
 
+def _curve_contents(curve: SolutionCurve):
+    """Bucket keys and attribute triples, in dict (insertion) order."""
+    return [(key, s.load, s.required_time, s.area)
+            for key, s in curve._by_bucket.items()]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=150, deadline=None)
-@given(solution_lists, solution_lists)
-def test_merge_then_prune_is_non_inferior(lefts, rights):
+@given(lefts=solution_lists, rights=solution_lists)
+def test_merge_then_prune_is_non_inferior(backend, lefts, rights):
     """Joined-and-pruned sets contain no dominated solution."""
     merged = list(join_curves(lefts, rights))
     for config in (FINE, COARSE):
-        assert _pruned_curve(merged, config).is_non_inferior_set()
+        assert _pruned_curve(merged, config, backend).is_non_inferior_set()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=150, deadline=None)
-@given(solution_lists, solution_lists)
-def test_merge_then_prune_keeps_best_required_time(lefts, rights):
+@given(lefts=solution_lists, rights=solution_lists)
+def test_merge_then_prune_keeps_best_required_time(backend, lefts, rights):
     """Pruning a merged set never loses its required-time optimum."""
     merged = list(join_curves(lefts, rights))
     best = max(s.required_time for s in merged)
     for config in (FINE, COARSE):
-        curve = _pruned_curve(merged, config)
+        curve = _pruned_curve(merged, config, backend)
         assert max(s.required_time for s in curve) == best
+
+
+@pytest.mark.skipif(not kernels.numpy_available(),
+                    reason="NumPy not installed")
+@settings(max_examples=150, deadline=None)
+@given(lefts=solution_lists, rights=solution_lists)
+def test_backends_agree_on_curve_contents(lefts, rights):
+    """The numpy backend's pruned curve is *identical* to python's —
+    same buckets, same solutions, same dict order."""
+    merged = list(join_curves(lefts, rights))
+    for config in (FINE, COARSE):
+        py = _pruned_curve(merged, config, "python")
+        np_ = _pruned_curve(merged, config, "numpy")
+        assert _curve_contents(py) == _curve_contents(np_)
 
 
 @settings(max_examples=150, deadline=None)
@@ -94,14 +132,15 @@ def test_join_is_commutative_on_attributes(lefts, rights):
     assert ab == ba
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solutions)
-def test_buffered_options_then_prune_non_inferior(sol):
+@given(sol=solutions)
+def test_buffered_options_then_prune_non_inferior(backend, sol):
     """Offering the library at a root and pruning stays non-inferior and
     keeps the best achievable required time."""
     options = buffered_options(sol, SMALL_TECH)
     best = max(s.required_time for s in options)
-    curve = _pruned_curve(options, FINE)
+    curve = _pruned_curve(options, FINE, backend)
     assert curve.is_non_inferior_set()
     assert max(s.required_time for s in curve) == best
 
@@ -135,13 +174,14 @@ def test_extend_monotone_and_identity(sol, dx, dy):
         assert moved.area == sol.area
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=100, deadline=None)
-@given(solution_lists, solution_lists, solution_lists)
-def test_merge_prune_merge_keeps_feasible_best(a, b, c):
+@given(a=solution_lists, b=solution_lists, c=solution_lists)
+def test_merge_prune_merge_keeps_feasible_best(backend, a, b, c):
     """Pruning between joins cannot beat-or-lose the direct optimum:
     the best required time of (A ⋈ B ⋈ C) survives staged pruning."""
     direct_best = max(s.required_time
                       for s in join_curves(join_curves(a, b), c))
-    staged = _pruned_curve(join_curves(a, b), FINE)
-    final = _pruned_curve(join_curves(staged.solutions, c), FINE)
+    staged = _pruned_curve(join_curves(a, b), FINE, backend)
+    final = _pruned_curve(join_curves(staged.solutions, c), FINE, backend)
     assert max(s.required_time for s in final) == direct_best

@@ -1,0 +1,93 @@
+"""Tests for the benchmark harness (``python -m repro.bench``).
+
+The harness doubles as the cross-backend equivalence gate, so what
+matters here is (a) the suite actually runs and records the agreed
+schema, and (b) divergences are detected and turned into a non-zero
+exit — not the timing numbers themselves.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+from repro.core.config import MerlinConfig
+from repro.curves import kernels
+
+TINY_CASE = {
+    "name": "tiny4",
+    "sinks": 4,
+    "seed": 2,
+    "config": MerlinConfig.test_preset(),
+}
+
+TINY_PARALLEL = {
+    "name": "tinypar",
+    "sinks": 4,
+    "seed": 5,
+    "config": MerlinConfig.test_preset(),
+    "seeds": (None, 1),
+}
+
+BACKENDS = ["python", "numpy"] if kernels.numpy_available() \
+    else ["python"]
+
+
+def test_engine_case_schema_and_equivalence():
+    result = bench.run_engine_case(TINY_CASE, BACKENDS)
+    assert result["kind"] == "engine"
+    assert result["signatures_match"] is True
+    for backend in BACKENDS:
+        run = result["runs"][backend]
+        assert run["wall_s"] > 0
+        assert run["signature"]
+        assert "counters" in run["instrument"]
+    if kernels.numpy_available():
+        assert result["runs"]["numpy"]["resolved_backend"] == "numpy"
+        assert result["numpy_speedup"] > 0
+
+
+def test_parallel_case_worker_invariance():
+    result = bench.run_parallel_case(TINY_PARALLEL, [1, 2], "python")
+    assert result["kind"] == "multi_start"
+    assert result["worker_invariant"] is True
+    assert result["start_labels"] == ["tsp", "seed=1"]
+    assert result["runs"]["1"]["signatures"] == \
+        result["runs"]["2"]["signatures"]
+
+
+def test_check_suite_flags_divergence():
+    ok_engine = {"name": "a", "kind": "engine", "signatures_match": True}
+    ok_par = {"name": "b", "kind": "multi_start", "worker_invariant": True}
+    suite = {"cases": [ok_engine, ok_par]}
+    assert bench.check_suite(suite) == []
+
+    bad = copy.deepcopy(suite)
+    bad["cases"][0]["signatures_match"] = False
+    bad["cases"][1]["worker_invariant"] = False
+    failures = bench.check_suite(bad)
+    assert len(failures) == 2
+    assert "a" in failures[0] and "b" in failures[1]
+
+
+def test_main_writes_versioned_json(tmp_path, monkeypatch):
+    out = tmp_path / "BENCH_test.json"
+    monkeypatch.setattr(bench, "_engine_cases", lambda quick: [TINY_CASE])
+    monkeypatch.setattr(bench, "_parallel_cases",
+                        lambda quick: [TINY_PARALLEL])
+    code = bench.main(["--quick", "--tag", "test", "--out", str(out),
+                       "--workers", "1"])
+    assert code == 0
+    suite = json.loads(out.read_text())
+    assert suite["version"] == bench.BENCH_VERSION
+    assert suite["tag"] == "test"
+    assert suite["environment"]["python"]
+    assert {c["kind"] for c in suite["cases"]} == {"engine", "multi_start"}
+
+
+def test_main_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit):
+        bench.main(["--backends", "fortran"])
