@@ -10,14 +10,18 @@ netlist/STA/placement flow for the circuit-level experiment.
 
 Quick start::
 
-    from repro import Net, Sink, Point, default_technology, merlin
+    from repro import Net, Sink, Point, optimize
 
     net = Net("demo", source=Point(0, 0), sinks=(
         Sink("a", Point(900, 300), load=12.0, required_time=900.0),
         Sink("b", Point(300, 1200), load=20.0, required_time=880.0),
     ))
-    result = merlin(net, default_technology())
-    print(result.tree.buffer_area, result.iterations)
+    outcome = optimize(net)
+    print(outcome.tree.buffer_area, outcome.iterations)
+
+:func:`optimize` is the facade over every execution path (single run,
+multi-start restarts, the cached batch service); ``merlin()`` remains
+the bare deterministic engine underneath it.
 
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
@@ -33,8 +37,15 @@ from repro.core.bubble_construct import BubbleConstructResult, bubble_construct
 from repro.routing.evaluate import TreeEvaluation, evaluate_tree
 from repro.routing.tree import RoutingTree
 from repro.instrument import NullRecorder, Recorder, use_recorder
+from repro.api import OptimizeOutcome, optimize
+from repro.service import (
+    OptimizationService,
+    ResultCache,
+    ServiceResult,
+    optimize_many,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Point",
@@ -55,5 +66,11 @@ __all__ = [
     "Recorder",
     "NullRecorder",
     "use_recorder",
+    "optimize",
+    "OptimizeOutcome",
+    "OptimizationService",
+    "ServiceResult",
+    "ResultCache",
+    "optimize_many",
     "__version__",
 ]

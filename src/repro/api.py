@@ -1,0 +1,162 @@
+"""The one-call public API: :func:`repro.optimize`.
+
+The library grew several ways to run the engine — a bare ``merlin()``
+call, the multi-start parallel driver, and the cached batch service —
+each with its own argument and result shapes.  ``optimize()`` routes all
+of them through one signature and returns one result type, so casual
+users never touch the per-path drivers:
+
+* default — one deterministic MERLIN run (identical, bit for bit, to
+  calling :func:`repro.core.merlin.merlin` yourself);
+* ``multi_start=K`` (or an explicit ``seeds`` sequence) — restart from
+  several initial orders via :mod:`repro.parallel`, keep the best tree;
+* ``service=...`` — route through a long-lived
+  :class:`repro.service.OptimizationService`, getting its canonical-net
+  cache and warm worker pool.
+
+The per-path drivers remain public for power users; this facade is the
+front door, not a replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
+
+if TYPE_CHECKING:  # annotation only — keep `import repro` lean
+    from repro.service.engine import OptimizationService
+
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.core.objective import Objective
+from repro.net import Net
+from repro.orders.order import Order
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.export import tree_signature
+from repro.routing.tree import RoutingTree
+from repro.tech.technology import Technology, default_technology
+
+
+@dataclass
+class OptimizeOutcome:
+    """The unified answer of :func:`optimize`, whichever path ran."""
+
+    #: The chosen routing tree (best across starts when multi-starting).
+    tree: RoutingTree
+    #: Deterministic topology fingerprint (``routing.export``).
+    signature: str
+    #: Objective scalar of the winning solution (lower is better).
+    cost: float
+    #: Outer-loop iterations of the winning run.
+    iterations: int
+    converged: bool
+    #: Which path produced this: "merlin", "multi_start", or "service";
+    #: service answers that skipped the DP report "service-cache".
+    source: str
+    #: True iff the answer came out of the service's canonical-net cache.
+    cached: bool = False
+    #: Elmore evaluation of :attr:`tree` as plain data (JSON-ready).
+    evaluation: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+
+def optimize(net: Net, tech: Optional[Technology] = None,
+             config: Optional[MerlinConfig] = None, *,
+             objective: Optional[Objective] = None,
+             initial_order: Optional[Order] = None,
+             multi_start: Optional[int] = None,
+             seeds: Optional[Sequence[Optional[int]]] = None,
+             workers: Optional[int] = None,
+             service: Optional["OptimizationService"] = None,
+             timeout_s: Optional[float] = None) -> OptimizeOutcome:
+    """Optimize one net; see the module docstring for path selection.
+
+    Parameters beyond the common three are path-specific and mutually
+    independent:
+
+    ``multi_start`` / ``seeds``
+        Multi-start path.  ``multi_start=K`` runs the TSP order plus
+        ``K-1`` seeded shuffles; ``seeds`` names the starts explicitly
+        (``None`` entry = TSP order).  ``workers`` fans the starts
+        across processes (default: ``config.workers``).
+    ``service``
+        Cached-service path: delegates to
+        :meth:`repro.service.OptimizationService.optimize`, using the
+        service's own technology/config/objective (passing a conflicting
+        ``tech``/``config``/``objective`` here is an error — the cache
+        key is the service's configuration).  ``timeout_s`` bounds the
+        job.
+    ``initial_order``
+        Single-run path only: override the TSP initial order.
+    """
+    if service is not None:
+        if tech is not None or config is not None or objective is not None:
+            raise ValueError(
+                "optimize(service=...) uses the service's own tech/config/"
+                "objective; configure the OptimizationService instead")
+        if multi_start is not None or seeds is not None \
+                or initial_order is not None:
+            raise ValueError(
+                "multi_start/seeds/initial_order do not apply to the "
+                "service path")
+        result = service.optimize(net, timeout_s=timeout_s)
+        if not result.ok:
+            raise RuntimeError(
+                f"service optimization of net {net.name!r} failed: "
+                f"{result.error}")
+        return OptimizeOutcome(
+            tree=result.tree,
+            signature=result.signature,
+            cost=result.cost,
+            iterations=result.iterations,
+            converged=result.converged,
+            source="service-cache" if result.cached else "service",
+            cached=result.cached,
+            evaluation=dict(result.evaluation or {}),
+        )
+
+    tech = tech or default_technology()
+    config = config or MerlinConfig()
+    objective = objective or Objective.max_required_time()
+
+    if multi_start is not None or seeds is not None:
+        from repro import parallel
+
+        if initial_order is not None:
+            raise ValueError(
+                "initial_order conflicts with multi_start/seeds (the "
+                "starts *are* the initial orders)")
+        if seeds is None:
+            if multi_start < 1:
+                raise ValueError("multi_start must be >= 1")
+            seeds = [None] + list(range(1, multi_start))
+        outcome = parallel.run_multi_start(net, tech, config=config,
+                                           objective=objective, seeds=seeds,
+                                           workers=workers)
+        best = outcome.best
+        return OptimizeOutcome(
+            tree=best.tree,
+            signature=best.signature,
+            cost=best.cost,
+            iterations=best.iterations,
+            converged=best.converged,
+            source="multi_start",
+            evaluation=_evaluation(best.tree, tech),
+        )
+
+    result = merlin(net, tech, config=config, objective=objective,
+                    initial_order=initial_order)
+    return OptimizeOutcome(
+        tree=result.tree,
+        signature=tree_signature(result.tree),
+        cost=objective.cost(result.best.solution),
+        iterations=result.iterations,
+        converged=result.converged,
+        source="merlin",
+        evaluation=_evaluation(result.tree, tech),
+    )
+
+
+def _evaluation(tree: RoutingTree, tech: Technology) -> Dict[str, Any]:
+    from repro.routing.export import evaluation_to_dict
+
+    return evaluation_to_dict(evaluate_tree(tree, tech))

@@ -1,9 +1,10 @@
 """Benchmark harness: ``python -m repro.bench``.
 
 Runs a pinned suite of nets across curve-kernel backends and worker
-counts, records engine wall-clock plus instrumentation counters, and
-writes a versioned ``BENCH_<tag>.json`` so every future PR has a
-trajectory to beat.
+counts — plus a service-throughput scenario (warm persistent pool vs
+per-net cold fan-out vs cache hits) — records engine wall-clock plus
+instrumentation counters, and writes a versioned ``BENCH_<tag>.json``
+so every future PR has a trajectory to beat.
 
 The suite is *pinned*: net generators, seeds, and configs are fixed
 here, so two runs of the same code measure the same work.  Besides
@@ -87,6 +88,27 @@ def _parallel_cases(quick: bool) -> List[Dict[str, Any]]:
         "config": MerlinConfig(alpha=3, max_candidates=5,
                                library_subset=4, max_iterations=2),
         "seeds": (None, 1, 2, 3),
+    }]
+
+
+def _service_cases(quick: bool) -> List[Dict[str, Any]]:
+    """Service-throughput cases: a stream of distinct nets optimized
+    through the warm-pool batch engine vs per-net cold pools."""
+    if quick:
+        return [{
+            "name": "service6",
+            "n_nets": 6,
+            "sinks": 3,
+            "config": MerlinConfig.test_preset(),
+            "workers": 2,
+        }]
+    return [{
+        # >= 20 nets: the PR-3 acceptance criterion's batch size.
+        "name": "service24",
+        "n_nets": 24,
+        "sinks": 4,
+        "config": MerlinConfig.test_preset(),
+        "workers": 2,
     }]
 
 
@@ -184,6 +206,78 @@ def run_parallel_case(case: Dict[str, Any],
     }
 
 
+def run_service_case(case: Dict[str, Any], backend: str) -> Dict[str, Any]:
+    """Measure the batch engine three ways on one pinned net stream.
+
+    * ``cold``: a fresh service (fresh pool, fresh cache) per net — every
+      net pays process spawn, the pre-PR-3 cost model;
+    * ``warm``: one persistent service streams the whole batch through
+      its warm pool (``optimize_many``);
+    * ``cache``: the same warm service asked again — every net is a
+      canonical-cache hit, no DP at all.
+
+    All three must produce identical tree signatures (checked).
+    """
+    from repro.service import OptimizationService, ResultCache
+
+    config = _with_backend(case["config"], backend)
+    nets = [
+        make_experiment_net(f"{case['name']}_n{i}", case["sinks"], 100 + i)
+        for i in range(case["n_nets"])
+    ]
+    tech = default_technology()
+
+    start = time.perf_counter()
+    cold_results = []
+    for net in nets:
+        with OptimizationService(tech=tech, config=config,
+                                 cache=ResultCache(),
+                                 workers=case["workers"]) as svc:
+            cold_results.append(svc.optimize(net))
+    cold_wall = time.perf_counter() - start
+
+    warm_service = OptimizationService(tech=tech, config=config,
+                                       cache=ResultCache(),
+                                       workers=case["workers"])
+    with warm_service:
+        start = time.perf_counter()
+        warm_results = warm_service.optimize_many(nets)
+        warm_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        cache_results = warm_service.optimize_many(nets)
+        cache_wall = time.perf_counter() - start
+        cache_stats = warm_service.cache.stats()
+
+    all_ok = all(r.ok for r in cold_results + warm_results + cache_results)
+    signatures_match = (
+        [r.signature for r in cold_results]
+        == [r.signature for r in warm_results]
+        == [r.signature for r in cache_results])
+    all_cached = all(r.cached for r in cache_results)
+    out = {
+        "name": case["name"],
+        "kind": "service",
+        "n_nets": len(nets),
+        "sinks": case["sinks"],
+        "workers": case["workers"],
+        "backend": backend,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "cache_wall_s": cache_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else None,
+        "cache_speedup": (warm_wall / cache_wall if cache_wall > 0
+                          else None),
+        "cache_stats": cache_stats,
+        "all_ok": all_ok,
+        "all_cached_on_second_pass": all_cached,
+        "signatures_match": signatures_match,
+    }
+    print(f"  {case['name']:12s} nets={len(nets)} cold={cold_wall:7.2f}s "
+          f"warm={warm_wall:7.2f}s cache={cache_wall:7.3f}s "
+          f"warm_speedup={out['warm_speedup']:.2f}x")
+    return out
+
+
 def _environment() -> Dict[str, Any]:
     import os
     env = {
@@ -208,6 +302,8 @@ def run_suite(quick: bool, backends: Sequence[str],
     par_backend = "numpy" if "numpy" in backends else backends[0]
     for case in _parallel_cases(quick):
         cases.append(run_parallel_case(case, worker_counts, par_backend))
+    for case in _service_cases(quick):
+        cases.append(run_service_case(case, par_backend))
     return {
         "version": BENCH_VERSION,
         "tag": tag,
@@ -229,6 +325,15 @@ def check_suite(suite: Dict[str, Any]) -> List[str]:
         if case["kind"] == "multi_start" and not case["worker_invariant"]:
             failures.append(
                 f"{case['name']}: outcome changed with worker count")
+        if case["kind"] == "service":
+            if not case["signatures_match"]:
+                failures.append(
+                    f"{case['name']}: cold/warm/cache trees diverge")
+            if not case["all_ok"]:
+                failures.append(f"{case['name']}: a service job failed")
+            if not case["all_cached_on_second_pass"]:
+                failures.append(
+                    f"{case['name']}: second pass missed the result cache")
     return failures
 
 

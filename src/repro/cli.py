@@ -6,8 +6,13 @@ Usage (after ``pip install -e .``)::
     merlin-repro table2 [--quick] [--seed N]
     merlin-repro net --sinks N [--seed N] [--stats] [--stats-out FILE]
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
+    merlin-repro serve --port N [--workers K] [--cache-dir DIR]
 
 ``python -m repro ...`` is equivalent.
+
+``--backend`` and ``--workers`` are thin overrides of the
+``MerlinConfig.backend`` / ``MerlinConfig.workers`` fields — library
+users get the same knobs without the CLI.
 """
 
 from __future__ import annotations
@@ -40,16 +45,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_net.add_argument("--sinks", type=int, default=7)
     p_net.add_argument("--seed", type=int, default=1)
     p_net.add_argument("--backend", choices=["python", "numpy"],
-                       default="python",
-                       help="curve-kernel backend (numpy degrades to "
-                            "python when NumPy is unavailable)")
+                       default=None,
+                       help="curve-kernel backend override (default: the "
+                            "config's backend, i.e. python; numpy degrades "
+                            "to python when NumPy is unavailable)")
     p_net.add_argument("--multi-start", type=int, default=0, metavar="K",
                        help="restart MERLIN from K initial orders (TSP "
                             "plus K-1 seeded shuffles) and keep the best "
                             "tree, instead of running the flow comparison")
-    p_net.add_argument("--workers", type=int, default=1,
-                       help="process fan-out for --multi-start "
-                            "(0 = one per CPU)")
+    p_net.add_argument("--workers", type=int, default=None,
+                       help="process fan-out override for --multi-start "
+                            "(default: the config's workers, i.e. 1; "
+                            "0 = one per CPU)")
     p_net.add_argument("--dot", action="store_true",
                        help="print the winning tree as Graphviz DOT")
     p_net.add_argument("--stats", action="store_true",
@@ -65,6 +72,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ab.add_argument("--sinks", type=int, default=6)
     p_ab.add_argument("--seed", type=int, default=1)
 
+    p_srv = sub.add_parser(
+        "serve", help="run the HTTP optimization service "
+                      "(POST /optimize, GET /stats, GET /healthz)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8731)
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="warm-pool size (default: the config's "
+                            "workers; 0 = one per CPU; 1 = serial)")
+    p_srv.add_argument("--backend", choices=["python", "numpy"],
+                       default=None,
+                       help="curve-kernel backend override")
+    p_srv.add_argument("--preset", choices=["fast", "test", "paper"],
+                       default="fast",
+                       help="MerlinConfig preset the service optimizes "
+                            "with (part of the cache key)")
+    p_srv.add_argument("--job-timeout", type=float, default=None,
+                       metavar="S", help="per-request engine timeout "
+                                         "(seconds; default none)")
+    p_srv.add_argument("--cache-capacity", type=int, default=256,
+                       help="in-memory LRU entries (default 256)")
+    p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist results as JSON under DIR (off by "
+                            "default)")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     args = parser.parse_args(argv)
     if args.command == "table1":
         return _run_table1(args)
@@ -72,6 +105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_table2(args)
     if args.command == "net":
         return _run_net(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return _run_ablation(args)
 
 
@@ -92,8 +127,6 @@ def _run_table2(args) -> int:
 
 
 def _run_net(args) -> int:
-    import dataclasses
-
     from repro.baselines.flows import ALL_FLOWS, run_flow
     from repro.experiments.nets import make_experiment_net
     from repro.routing.export import tree_to_dot
@@ -101,8 +134,8 @@ def _run_net(args) -> int:
     net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
     tech = default_technology()
     config = MerlinConfig().with_(max_iterations=3)
-    config = config.with_(curve=dataclasses.replace(
-        config.curve, backend=args.backend))
+    if args.backend is not None:
+        config = config.with_(backend=args.backend)
     if args.multi_start:
         return _run_multi_start(args, net, tech, config)
     recorder = None
@@ -146,7 +179,7 @@ def _run_multi_start(args, net, tech, config) -> int:
 
     from repro import parallel
 
-    workers = args.workers or parallel.default_worker_count()
+    workers = _resolve_cli_workers(args.workers, config)
     seeds = [None] + list(range(1, args.multi_start))
     start = time.perf_counter()
     outcome = parallel.run_multi_start(net, tech, config=config,
@@ -158,6 +191,41 @@ def _run_multi_start(args, net, tech, config) -> int:
               f"iterations={result.iterations}{marker}")
     print(f"{len(outcome.results)} starts, workers={workers}, "
           f"wall={wall:.2f}s")
+    return 0
+
+
+def _resolve_cli_workers(cli_workers, config) -> int:
+    """CLI worker override: None = config's value, 0 = one per CPU."""
+    from repro import parallel
+
+    if cli_workers is None:
+        return config.workers
+    if cli_workers == 0:
+        return parallel.default_worker_count()
+    return cli_workers
+
+
+def _run_serve(args) -> int:
+    from repro.service import OptimizationService, ResultCache, serve
+
+    presets = {
+        "fast": MerlinConfig.fast_preset,
+        "test": MerlinConfig.test_preset,
+        "paper": MerlinConfig.paper_preset,
+    }
+    config = presets[args.preset]()
+    if args.backend is not None:
+        config = config.with_(backend=args.backend)
+    workers = _resolve_cli_workers(args.workers, config)
+    service = OptimizationService(
+        tech=default_technology(),
+        config=config,
+        cache=ResultCache(capacity=args.cache_capacity,
+                          disk_dir=args.cache_dir),
+        workers=workers,
+        job_timeout_s=args.job_timeout,
+    )
+    serve(args.host, args.port, service=service, verbose=args.verbose)
     return 0
 
 

@@ -9,9 +9,11 @@ small nets when runtime is no object.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.curves import kernels
 from repro.curves.curve import CurveConfig
 from repro.geometry.candidates import CandidateStrategy
 from repro.instrument.recorder import Recorder
@@ -66,11 +68,19 @@ class MerlinConfig:
     #: while cutting the DP's k and k^2 terms sharply.
     active_margin_frac: Optional[float] = 0.30
     #: Default process fan-out for the outer-search drivers in
-    #: :mod:`repro.parallel` (multi-seed starts, batch multi-net runs).
+    #: :mod:`repro.parallel` (multi-seed starts, batch multi-net runs)
+    #: and for :class:`repro.service.OptimizationService`'s warm pool.
     #: 1 runs everything inline in this process; the engine itself is
     #: always single-threaded per run, so results are identical for any
     #: value — this is a scheduling knob, not an optimization knob.
     workers: int = 1
+    #: Curve-kernel backend ("python" or "numpy"); results are
+    #: bit-identical either way (enforced by the bench equivalence gate).
+    #: None follows ``curve.backend``; when set it takes precedence and is
+    #: normalized into ``curve.backend`` at construction time, so library
+    #: users get the vectorized kernels with ``MerlinConfig(backend=
+    #: "numpy")`` instead of hand-replacing the nested CurveConfig.
+    backend: Optional[str] = None
     #: Wire-sizing multipliers tried for every wire the DP creates
     #: (1.0 = minimum width; resistance scales 1/w, capacitance w).
     #: The default single width disables sizing; pass e.g. (1.0, 2.0, 4.0)
@@ -99,6 +109,16 @@ class MerlinConfig:
                 any(w <= 0 for w in self.wire_width_options):
             raise ValueError("wire_width_options must be positive and "
                              "non-empty")
+        if self.backend is not None:
+            if self.backend not in kernels.BACKENDS:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"expected one of {kernels.BACKENDS}")
+            if self.curve.backend != self.backend:
+                # Frozen dataclass: normalize via object.__setattr__ so
+                # curve.backend and backend can never disagree.
+                object.__setattr__(self, "curve", dataclasses.replace(
+                    self.curve, backend=self.backend))
 
     @classmethod
     def fast_preset(cls) -> "MerlinConfig":

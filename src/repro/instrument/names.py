@@ -55,6 +55,21 @@ OPS_BUFFER = "curve.ops.buffer"
 #: van Ginneken buffer-insertion candidate sites visited (hops).
 VG_HOPS = "vg.hops"
 
+#: Optimization-service requests served (HTTP and library entry points).
+SERVICE_REQUESTS = "service.requests"
+#: Requests rejected or failed (bad payload, engine error, timeout).
+SERVICE_ERRORS = "service.errors"
+#: Canonical-net cache hits (memory or disk) — no DP run needed.
+SERVICE_CACHE_HITS = "service.cache.hits"
+#: Canonical-net cache misses — a full engine run was paid.
+SERVICE_CACHE_MISSES = "service.cache.misses"
+#: Batch-engine jobs dispatched (cache misses that became pool work).
+SERVICE_JOBS = "service.jobs"
+#: Jobs that raised inside a worker (isolated, not fatal to the batch).
+SERVICE_JOB_FAILURES = "service.job.failures"
+#: Jobs abandoned after exceeding the per-job timeout.
+SERVICE_JOB_TIMEOUTS = "service.job.timeouts"
+
 # -- series (value distributions) --------------------------------------
 
 #: Objective cost after each MERLIN iteration.
@@ -69,6 +84,16 @@ BUBBLE_PRUNE_RATIO = "bubble.prune_ratio"
 CURVE_PRUNE_SURVIVOR_RATIO = "curve.prune.survivor_ratio"
 #: Wall-clock seconds of one flow run (per flow, see ``flow_runtime``).
 FLOW_RUNTIME_S = "flow.runtime_s"
+#: End-to-end latency (s) of one service request (cache hits included).
+SERVICE_REQUEST_LATENCY_S = "service.request.latency_s"
+#: Engine wall-clock (s) of one service job (cache misses only).
+SERVICE_JOB_LATENCY_S = "service.job.latency_s"
+
+
+def service_endpoint_requests(endpoint: str) -> str:
+    """Per-endpoint request counter (``service.endpoint.<name>.requests``,
+    endpoint names without the leading slash: optimize, stats, healthz)."""
+    return f"service.endpoint.{endpoint}.requests"
 
 
 def level_curve_size_pre(level_size: int) -> str:

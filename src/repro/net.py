@@ -10,7 +10,7 @@ in :mod:`repro.orders`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
@@ -110,3 +110,64 @@ def make_net(name: str, source_xy: Tuple[float, float],
         for i, (x, y, load, req) in enumerate(sink_specs)
     )
     return Net(name=name, source=Point(*source_xy), sinks=sinks)
+
+
+def net_to_dict(net: Net) -> Dict[str, Any]:
+    """Serialize ``net`` to the plain-JSON net interchange schema.
+
+    This is the request format of the optimization service
+    (``POST /optimize``) and the inverse of :func:`net_from_dict`::
+
+        {"name": "...", "source": [x, y],
+         "driver_resistance": ... | null, "driver_intrinsic": ... | null,
+         "sinks": [{"name": "...", "position": [x, y],
+                    "load": ..., "required_time": ...}, ...]}
+    """
+    data: Dict[str, Any] = {
+        "name": net.name,
+        "source": list(net.source.as_tuple()),
+        "sinks": [
+            {
+                "name": s.name,
+                "position": list(s.position.as_tuple()),
+                "load": s.load,
+                "required_time": s.required_time,
+            }
+            for s in net.sinks
+        ],
+    }
+    if net.driver_resistance is not None:
+        data["driver_resistance"] = net.driver_resistance
+    if net.driver_intrinsic is not None:
+        data["driver_intrinsic"] = net.driver_intrinsic
+    return data
+
+
+def net_from_dict(data: Dict[str, Any]) -> Net:
+    """Deserialize a net; validation is delegated to ``Net`` itself."""
+    try:
+        sinks = tuple(
+            Sink(
+                name=str(entry["name"]),
+                position=Point(float(entry["position"][0]),
+                               float(entry["position"][1])),
+                load=float(entry["load"]),
+                required_time=float(entry["required_time"]),
+            )
+            for entry in data["sinks"]
+        )
+        source = Point(float(data["source"][0]), float(data["source"][1]))
+        name = str(data["name"])
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ValueError(f"malformed net payload: {exc!r}") from exc
+    resistance = data.get("driver_resistance")
+    intrinsic = data.get("driver_intrinsic")
+    return Net(
+        name=name,
+        source=source,
+        sinks=sinks,
+        driver_resistance=float(resistance) if resistance is not None
+        else None,
+        driver_intrinsic=float(intrinsic) if intrinsic is not None
+        else None,
+    )

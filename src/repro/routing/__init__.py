@@ -21,7 +21,13 @@ from repro.routing.builder import build_tree
 from repro.routing.evaluate import TreeEvaluation, evaluate_tree
 from repro.routing.sink_order import extract_sink_order
 from repro.routing.validate import validate_tree
-from repro.routing.export import tree_to_dict, tree_to_dot
+from repro.routing.export import (
+    evaluation_to_dict,
+    tree_from_dict,
+    tree_signature,
+    tree_to_dict,
+    tree_to_dot,
+)
 
 __all__ = [
     "TreeNode",
@@ -36,5 +42,8 @@ __all__ = [
     "extract_sink_order",
     "validate_tree",
     "tree_to_dict",
+    "tree_from_dict",
+    "tree_signature",
+    "evaluation_to_dict",
     "tree_to_dot",
 ]

@@ -1,16 +1,22 @@
-"""Export routing trees to plain dictionaries and Graphviz DOT."""
+"""Export routing trees to plain dictionaries and Graphviz DOT — and
+rebuild trees from those dictionaries (the service-cache round trip)."""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
+from repro.geometry.point import Point
+from repro.net import Net
+from repro.routing.evaluate import TreeEvaluation
 from repro.routing.tree import (
     BufferNode,
     RoutingTree,
     SinkNode,
     SourceNode,
+    SteinerNode,
     TreeNode,
 )
+from repro.tech.buffer import BufferLibrary
 
 
 def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
@@ -33,9 +39,75 @@ def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
         entry["buffer"] = node.buffer.name
     if isinstance(node, SinkNode):
         entry["sink_index"] = node.sink_index
+    if node.upstream_width != 1.0:
+        entry["upstream_width"] = node.upstream_width
     if node.children:
         entry["children"] = [_node_to_dict(c) for c in node.children]
     return entry
+
+
+def tree_from_dict(data: Dict[str, Any], net: Net, buffers: BufferLibrary,
+                   offset: Tuple[float, float] = (0.0, 0.0)) -> RoutingTree:
+    """Rebuild a :class:`RoutingTree` from :func:`tree_to_dict` output.
+
+    ``buffers`` resolves buffer-node cell names back to library cells
+    (unknown names raise ``ValueError``).  ``offset`` is added to every
+    steiner/buffer node position — the service cache stores trees in the
+    producing net's frame and rebuilds them in the requesting net's
+    frame; a zero offset reproduces the exported tree bit-identically
+    (``x + 0.0 == x`` for every finite ``x``).  Source and sink nodes
+    are pinned to ``net``'s exact pin coordinates rather than offset
+    arithmetic, so the rebuilt tree passes ``validate_tree`` even when
+    the two frames differ by an amount that doesn't survive float
+    subtraction exactly.
+    """
+    dx, dy = offset
+    return RoutingTree(net=net,
+                       root=_node_from_dict(data["root"], net, buffers,
+                                            dx, dy))
+
+
+def _node_from_dict(entry: Dict[str, Any], net: Net, buffers: BufferLibrary,
+                    dx: float, dy: float) -> TreeNode:
+    kind = entry["kind"]
+    position = Point(entry["position"][0] + dx, entry["position"][1] + dy)
+    node: TreeNode
+    if kind == "SourceNode":
+        node = SourceNode(net.source)
+    elif kind == "BufferNode":
+        try:
+            buffer = buffers.by_name(entry["buffer"])
+        except KeyError:
+            raise ValueError(
+                f"tree references unknown buffer cell {entry['buffer']!r}")
+        node = BufferNode(position, buffer)
+    elif kind == "SinkNode":
+        node = SinkNode(net.sink(entry["sink_index"]).position,
+                        entry["sink_index"])
+    elif kind == "SteinerNode":
+        node = SteinerNode(position)
+    else:
+        raise ValueError(f"unknown tree node kind: {kind!r}")
+    node.upstream_width = entry.get("upstream_width", 1.0)
+    for child in entry.get("children", ()):
+        node.children.append(_node_from_dict(child, net, buffers, dx, dy))
+    return node
+
+
+def evaluation_to_dict(evaluation: TreeEvaluation) -> Dict[str, Any]:
+    """JSON-serializable view of a :class:`TreeEvaluation` (service
+    response body; sink arrival keys become strings as JSON requires)."""
+    return {
+        "sink_arrivals": {str(i): t
+                          for i, t in evaluation.sink_arrivals.items()},
+        "required_time_at_driver": evaluation.required_time_at_driver,
+        "driver_load": evaluation.driver_load,
+        "buffer_area": evaluation.buffer_area,
+        "wire_length": evaluation.wire_length,
+        "buffer_count": evaluation.buffer_count,
+        "delay": evaluation.delay,
+        "slack_is_met": evaluation.slack_is_met,
+    }
 
 
 def tree_signature(tree: RoutingTree) -> str:

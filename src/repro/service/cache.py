@@ -1,0 +1,147 @@
+"""The canonical-net result cache: in-memory LRU plus optional disk tier.
+
+Values are the picklable/JSON-able result payloads produced by the batch
+engine (:mod:`repro.service.engine`): the tree exported in
+source-relative coordinates, the evaluation, and the scalar outcome.
+Keys are :func:`repro.service.canonical.canonical_key` digests, so a hit
+means "the engine is guaranteed to produce this exact answer" and the
+DP is skipped entirely.
+
+The memory tier is a plain ``OrderedDict`` LRU guarded by one lock — the
+HTTP front end serves from many threads.  The optional disk tier writes
+one ``<key>.json`` file per entry under ``disk_dir`` and never evicts;
+memory misses fall through to disk and promote back on hit, so a
+restarted service warms itself from its own history.  Disk writes are
+atomic (temp file + rename) so a killed process can't leave a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+#: Payload schema version stored in every disk entry; mismatches are
+#: treated as misses so old caches age out instead of crashing.
+PAYLOAD_VERSION = 1
+
+
+class ResultCache:
+    """LRU result cache with an optional persistent JSON tier."""
+
+    def __init__(self, capacity: int = 256,
+                 disk_dir: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._evictions = 0
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the payload stored under ``key`` or None on a miss.
+
+        Payloads are deep-copied on the way out so callers can mutate
+        their copy without corrupting the cache (and so a memory hit and
+        a disk hit are indistinguishable to the caller).
+        """
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return copy.deepcopy(payload)
+        payload = self._read_disk(key)
+        with self._lock:
+            if payload is not None:
+                self._hits += 1
+                self._disk_hits += 1
+                self._store(key, payload)
+                return copy.deepcopy(payload)
+            self._misses += 1
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (memory, then disk when on)."""
+        payload = copy.deepcopy(payload)
+        with self._lock:
+            self._store(key, payload)
+        self._write_disk(key, payload)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier is left untouched)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for ``GET /stats`` and the bench harness."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "disk_hits": self._disk_hits,
+                "evictions": self._evictions,
+                "disk_dir": self.disk_dir,
+            }
+
+    # -- internals (callers hold self._lock where noted) ----------------
+
+    def _store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Insert under LRU discipline; caller holds the lock."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = payload
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def _disk_path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, f"{key}.json")
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) \
+                or entry.get("version") != PAYLOAD_VERSION:
+            return None
+        return entry.get("payload")
+
+    def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"version": PAYLOAD_VERSION, "payload": payload},
+                          handle)
+            os.replace(tmp, path)
+        except OSError:
+            # Disk tier is best-effort: a full/read-only disk degrades the
+            # cache to memory-only rather than failing the request.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

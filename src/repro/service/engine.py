@@ -1,0 +1,469 @@
+"""The batch optimization engine: a warm process pool behind a cache.
+
+:class:`OptimizationService` is the long-lived object the ROADMAP's
+serving axis asks for.  Construction is cheap; the first cache-missing
+job spawns a ``ProcessPoolExecutor`` **once**, and every subsequent
+batch streams jobs into the same warm workers — the process-spawn and
+import cost that dominates short jobs is paid once per service lifetime
+instead of once per net (the bench harness's ``service`` scenario
+measures exactly this against per-net cold fan-out).
+
+Contract per job:
+
+* **Cache first.**  Each net is canonicalized
+  (:mod:`repro.service.canonical`); a hit rebuilds the stored tree in
+  the requesting net's coordinate frame and skips the DP entirely.  An
+  exact repeat rebuilds with a zero offset and is bit-identical —
+  same ``tree_signature`` — to the cold run that populated the entry.
+  Canonical twins *within one batch* are deduplicated too: the DP runs
+  once and the twins resolve from the freshly cached entry.
+* **Error isolation.**  A job that raises (in a worker or inline) yields
+  a ``ServiceResult`` with ``ok=False`` and the error string; the other
+  jobs of the batch are unaffected.  A worker process that *dies*
+  (``BrokenProcessPool``) fails its job, the pool is rebuilt, and the
+  remaining jobs are resubmitted.
+* **Per-job timeout.**  ``timeout_s`` bounds the wait for each result.
+  ``ProcessPoolExecutor`` cannot kill a running task, so a timed-out
+  job's worker finishes (and is discarded) in the background; its slot
+  returns to the pool when it does.
+* **Graceful degradation.**  When process pools are unavailable
+  (sandboxes, restricted platforms) or ``workers == 1``, jobs run
+  serially inline — same results, no pool, timeouts not enforceable.
+
+Determinism: results are collected by submission index (never completion
+order), and workers run with ``config.recorder`` stripped, exactly like
+:mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.core.objective import Objective
+from repro.instrument import Recorder
+from repro.instrument import names as metric
+from repro.net import Net
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.export import (
+    evaluation_to_dict,
+    tree_from_dict,
+    tree_signature,
+    tree_to_dict,
+)
+from repro.routing.tree import RoutingTree
+from repro.service.cache import ResultCache
+from repro.service.canonical import canonical_key
+from repro.tech.technology import Technology, default_technology
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One cache-missing optimization (picklable unit of pool work)."""
+
+    net: Net
+    tech: Technology
+    config: MerlinConfig
+    objective: Objective
+
+
+def _run_job(job: _Job) -> Dict[str, Any]:
+    """Run MERLIN on one job and return the cacheable payload.
+
+    The tree is exported together with the source it was computed at, so
+    a cache hit from a translate-equivalent net can rebuild it in its
+    own frame (offset = new source - stored source; zero for repeats).
+    """
+    start = time.perf_counter()
+    result = merlin(job.net, job.tech, config=job.config,
+                    objective=job.objective)
+    evaluation = evaluate_tree(result.tree, job.tech)
+    return {
+        "source": [job.net.source.x, job.net.source.y],
+        "tree": tree_to_dict(result.tree),
+        "evaluation": evaluation_to_dict(evaluation),
+        "cost": job.objective.cost(result.best.solution),
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "cost_trace": list(result.cost_trace),
+        "engine_wall_s": time.perf_counter() - start,
+    }
+
+
+def _invoke_job(job: _Job) -> Dict[str, Any]:
+    """Pool entry point: resolves the runner at call time in the worker,
+    so tests can monkeypatch ``_JOB_RUNNER`` (inherited via fork) to
+    inject failures and stalls without touching the engine."""
+    return _JOB_RUNNER(job)
+
+
+#: Indirection target of :func:`_invoke_job`; tests swap this.
+_JOB_RUNNER = _run_job
+
+
+@dataclass
+class ServiceResult:
+    """The service's answer for one net (one entry per requested net)."""
+
+    net_name: str
+    #: False when the job errored or timed out (see :attr:`error`).
+    ok: bool
+    #: True when the answer came from the canonical-net cache.
+    cached: bool
+    #: Wall-clock seconds from request to answer (queueing included).
+    elapsed_s: float
+    error: Optional[str] = None
+    signature: Optional[str] = None
+    cost: Optional[float] = None
+    iterations: Optional[int] = None
+    converged: Optional[bool] = None
+    tree: Optional[RoutingTree] = field(default=None, repr=False)
+    evaluation: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable response body (``POST /optimize`` shape)."""
+        data: Dict[str, Any] = {
+            "net": self.net_name,
+            "ok": self.ok,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+        }
+        if not self.ok:
+            data["error"] = self.error
+            return data
+        data.update({
+            "tree_signature": self.signature,
+            "cost": self.cost,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "tree": tree_to_dict(self.tree),
+            "evaluation": self.evaluation,
+        })
+        return data
+
+
+class OptimizationService:
+    """Long-lived, cache-fronted, pool-backed multi-net optimizer.
+
+    Usable as a context manager; :meth:`close` shuts the warm pool down.
+    All entry points are thread-safe (the HTTP front end calls
+    :meth:`optimize` from many handler threads).
+    """
+
+    def __init__(self, tech: Optional[Technology] = None,
+                 config: Optional[MerlinConfig] = None,
+                 objective: Optional[Objective] = None,
+                 cache: Optional[ResultCache] = None,
+                 workers: Optional[int] = None,
+                 job_timeout_s: Optional[float] = None,
+                 recorder: Optional[Recorder] = None) -> None:
+        self.tech = tech or default_technology()
+        # Workers never share the parent's recorder (unpicklable, racy).
+        self.config = (config or MerlinConfig()).with_(recorder=None)
+        self.objective = objective or Objective.max_required_time()
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers if workers is not None else self.config.workers
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.job_timeout_s = job_timeout_s
+        self.recorder = recorder or Recorder()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_disabled: Optional[str] = None
+        self._lock = Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "OptimizationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the warm pool (idempotent; service stays usable
+        serially afterwards only via a fresh pool on next use)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _acquire_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The warm pool, spawned on first use; None => run serially."""
+        if self.workers == 1:
+            return None
+        with self._lock:
+            if self._pool is not None:
+                return self._pool
+            if self._pool_disabled is not None:
+                return None
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ImportError, NotImplementedError) as exc:
+                # No process support here: degrade to serial, remember why.
+                self._pool_disabled = repr(exc)
+                return None
+            return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- the service API ------------------------------------------------
+
+    def optimize(self, net: Net,
+                 timeout_s: Optional[float] = None) -> ServiceResult:
+        """Optimize one net (cache-aware); single-net :meth:`optimize_many`."""
+        return self.optimize_many([net], timeout_s=timeout_s)[0]
+
+    def optimize_many(self, nets: Sequence[Net],
+                      timeout_s: Optional[float] = None
+                      ) -> List[ServiceResult]:
+        """Optimize ``nets``; returns one result per net, in order.
+
+        ``timeout_s`` (default: the service's ``job_timeout_s``) bounds
+        each job individually; see the module docstring for semantics.
+        """
+        nets = list(nets)
+        timeout_s = timeout_s if timeout_s is not None else self.job_timeout_s
+        started = [time.perf_counter()] * len(nets)
+        results: List[Optional[ServiceResult]] = [None] * len(nets)
+        keys: List[Optional[str]] = [None] * len(nets)
+        misses: List[int] = []
+        duplicates: List[int] = []
+        dispatched: set = set()
+
+        for i, net in enumerate(nets):
+            started[i] = time.perf_counter()
+            self._record(metric.SERVICE_REQUESTS)
+            try:
+                key = canonical_key(net, self.tech, self.config,
+                                    self.objective)
+            except Exception as exc:  # un-canonicalizable input
+                results[i] = self._error_result(net, started[i], repr(exc))
+                continue
+            keys[i] = key
+            payload = self.cache.get(key)
+            if payload is not None:
+                self._record(metric.SERVICE_CACHE_HITS)
+                results[i] = self._from_payload(net, payload, cached=True,
+                                                started=started[i])
+            elif key in dispatched:
+                # Canonical twin of an earlier miss in this same batch:
+                # run the DP once, resolve this one from the cache after.
+                duplicates.append(i)
+            else:
+                self._record(metric.SERVICE_CACHE_MISSES)
+                dispatched.add(key)
+                misses.append(i)
+
+        if misses:
+            self._run_misses(nets, misses, keys, started, results, timeout_s)
+        for i in duplicates:
+            self._resolve_duplicate(nets[i], i, keys, started, results)
+
+        for i, result in enumerate(results):
+            assert result is not None
+            self._record_series(metric.SERVICE_REQUEST_LATENCY_S,
+                                result.elapsed_s)
+        return [r for r in results if r is not None]
+
+    def stats(self) -> Dict[str, Any]:
+        """Everything ``GET /stats`` reports."""
+        with self._lock:
+            mode = "pool" if self._pool is not None else (
+                "serial" if self.workers == 1 or self._pool_disabled
+                else "pool-cold")
+            disabled = self._pool_disabled
+            report = self.recorder.report()
+        return {
+            "workers": self.workers,
+            "execution_mode": mode,
+            "pool_disabled_reason": disabled,
+            "job_timeout_s": self.job_timeout_s,
+            "cache": self.cache.stats(),
+            "counters": report["counters"],
+            "latency": report["series"],
+        }
+
+    # -- miss execution -------------------------------------------------
+
+    def _run_misses(self, nets: Sequence[Net], misses: List[int],
+                    keys: List[Optional[str]], started: List[float],
+                    results: List[Optional[ServiceResult]],
+                    timeout_s: Optional[float]) -> None:
+        jobs = {i: _Job(net=nets[i], tech=self.tech, config=self.config,
+                        objective=self.objective) for i in misses}
+        pool = self._acquire_pool()
+        if pool is None:
+            for i in misses:
+                self._finish_job(nets[i], i, keys, started, results,
+                                 self._run_inline(jobs[i]))
+            return
+
+        pending = list(misses)
+        while pending:
+            try:
+                futures = {i: pool.submit(_invoke_job, jobs[i])
+                           for i in pending}
+            except RuntimeError as exc:  # pool already shut down
+                self._discard_pool(pool)
+                pool = self._acquire_pool()
+                if pool is None:
+                    for i in pending:
+                        self._finish_job(nets[i], i, keys, started, results,
+                                         self._run_inline(jobs[i]))
+                    return
+                continue
+            broken_at: Optional[int] = None
+            for i in pending:
+                future = futures[i]
+                try:
+                    payload = future.result(timeout=timeout_s)
+                    outcome: Any = payload
+                except FutureTimeoutError:
+                    future.cancel()
+                    self._record(metric.SERVICE_JOB_TIMEOUTS)
+                    self._record(metric.SERVICE_ERRORS)
+                    outcome = (f"job timed out after {timeout_s}s "
+                               f"(worker still draining)")
+                except BrokenProcessPool:
+                    # This worker process died; fail the job, rebuild the
+                    # pool, and resubmit everything not yet collected.
+                    self._record(metric.SERVICE_JOB_FAILURES)
+                    self._record(metric.SERVICE_ERRORS)
+                    broken_at = i
+                    break
+                except Exception as exc:
+                    self._record(metric.SERVICE_JOB_FAILURES)
+                    self._record(metric.SERVICE_ERRORS)
+                    outcome = repr(exc)
+                self._finish_job(nets[i], i, keys, started, results, outcome)
+            if broken_at is None:
+                return
+            self._finish_job(nets[broken_at], broken_at, keys, started,
+                             results, "worker process died (pool rebuilt)")
+            pending = [i for i in pending
+                       if results[i] is None]
+            self._discard_pool(pool)
+            pool = self._acquire_pool()
+            if pool is None:
+                for i in pending:
+                    self._finish_job(nets[i], i, keys, started, results,
+                                     self._run_inline(jobs[i]))
+                return
+
+    def _run_inline(self, job: _Job) -> Any:
+        """Serial fallback: payload dict on success, error string on
+        failure (same isolation contract as the pool path)."""
+        try:
+            return _JOB_RUNNER(job)
+        except Exception as exc:
+            self._record(metric.SERVICE_JOB_FAILURES)
+            self._record(metric.SERVICE_ERRORS)
+            return repr(exc)
+
+    def _finish_job(self, net: Net, i: int, keys: List[Optional[str]],
+                    started: List[float],
+                    results: List[Optional[ServiceResult]],
+                    outcome: Any) -> None:
+        """Record one job's outcome: payload dict = success (cached for
+        next time), string = error message."""
+        self._record(metric.SERVICE_JOBS)
+        if isinstance(outcome, str):
+            results[i] = self._error_result(net, started[i], outcome)
+            return
+        self._record_series(metric.SERVICE_JOB_LATENCY_S,
+                            outcome.get("engine_wall_s", 0.0))
+        key = keys[i]
+        if key is not None:
+            self.cache.put(key, outcome)
+        results[i] = self._from_payload(net, outcome, cached=False,
+                                        started=started[i])
+
+    def _resolve_duplicate(self, net: Net, i: int,
+                           keys: List[Optional[str]], started: List[float],
+                           results: List[Optional[ServiceResult]]) -> None:
+        """Answer a within-batch canonical twin from the entry its
+        primary just cached (or mirror the primary's failure)."""
+        key = keys[i]
+        payload = self.cache.get(key) if key is not None else None
+        if payload is not None:
+            self._record(metric.SERVICE_CACHE_HITS)
+            results[i] = self._from_payload(net, payload, cached=True,
+                                            started=started[i])
+            return
+        primary = next((r for j, r in enumerate(results)
+                        if r is not None and keys[j] == key and r.error),
+                       None)
+        error = primary.error if primary is not None \
+            else "canonically identical job in this batch failed"
+        self._record(metric.SERVICE_ERRORS)
+        results[i] = self._error_result(net, started[i], error)
+
+    # -- result assembly ------------------------------------------------
+
+    def _from_payload(self, net: Net, payload: Dict[str, Any], cached: bool,
+                      started: float) -> ServiceResult:
+        """Rebuild a tree-bearing result in ``net``'s coordinate frame."""
+        sx, sy = payload["source"]
+        offset = (net.source.x - sx, net.source.y - sy)
+        tree = tree_from_dict(payload["tree"], net, self.tech.buffers,
+                              offset=offset)
+        return ServiceResult(
+            net_name=net.name,
+            ok=True,
+            cached=cached,
+            elapsed_s=time.perf_counter() - started,
+            signature=tree_signature(tree),
+            cost=payload["cost"],
+            iterations=payload["iterations"],
+            converged=payload["converged"],
+            tree=tree,
+            evaluation=payload["evaluation"],
+        )
+
+    def _error_result(self, net: Net, started: float,
+                      error: str) -> ServiceResult:
+        return ServiceResult(
+            net_name=net.name,
+            ok=False,
+            cached=False,
+            elapsed_s=time.perf_counter() - started,
+            error=error,
+        )
+
+    # -- recorder (thread-safe wrappers) --------------------------------
+
+    def _record(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.recorder.incr(name, n)
+
+    def _record_series(self, name: str, value: float) -> None:
+        with self._lock:
+            self.recorder.record(name, value)
+
+
+def optimize_many(nets: Sequence[Net], tech: Optional[Technology] = None,
+                  config: Optional[MerlinConfig] = None,
+                  objective: Optional[Objective] = None,
+                  workers: Optional[int] = None,
+                  cache: Optional[ResultCache] = None,
+                  timeout_s: Optional[float] = None) -> List[ServiceResult]:
+    """One-shot convenience: optimize ``nets`` through a transient
+    :class:`OptimizationService` (spawn pool, stream jobs, shut down).
+
+    Long-running callers should hold an :class:`OptimizationService` of
+    their own so the pool and cache stay warm across batches.
+    """
+    with OptimizationService(tech=tech, config=config, objective=objective,
+                             cache=cache, workers=workers) as service:
+        return service.optimize_many(nets, timeout_s=timeout_s)

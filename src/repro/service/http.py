@@ -1,0 +1,153 @@
+"""Stdlib HTTP front end for the optimization service.
+
+``merlin-repro serve --port N`` exposes a long-lived
+:class:`~repro.service.engine.OptimizationService` over three endpoints:
+
+* ``POST /optimize`` — body is a net JSON object (the
+  :func:`repro.net.net_from_dict` schema, optionally wrapped as
+  ``{"net": {...}}``); the response is the
+  :meth:`~repro.service.engine.ServiceResult.to_dict` body: the tree
+  (``repro.routing.export`` schema), its signature, the evaluation, and
+  the ``cached`` flag.  Per-request ``{"timeout_s": ...}`` is honored.
+* ``GET /stats`` — cache hit/miss counters and the request-latency
+  series recorded through :mod:`repro.instrument`.
+* ``GET /healthz`` — liveness probe.
+
+Built on ``http.server.ThreadingHTTPServer`` only (no third-party web
+stack): each request runs in its own thread, the service object is
+shared, and everything inside it is thread-safe.  This is a
+reproduction-scale serving layer, not a hardened internet-facing one —
+run it behind a real proxy if you must expose it.
+
+Example::
+
+    curl -s -X POST localhost:8731/optimize -d '{
+      "name": "demo", "source": [0, 0],
+      "sinks": [{"name": "a", "position": [900, 300],
+                 "load": 12.0, "required_time": 900.0}]}'
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.instrument import names as metric
+from repro.net import net_from_dict
+from repro.service.engine import OptimizationService
+
+#: Request bodies above this size are rejected outright (a net of tens of
+#: thousands of sinks is far beyond what the DP can serve anyway).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one shared optimization service."""
+
+    #: Handler threads die with the process; no lingering shutdown waits.
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: OptimizationService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    #: Quiet by default; ``merlin-repro serve --verbose`` re-enables.
+    verbose = False
+
+    # -- routing --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        service = self.server.service
+        if self.path == "/healthz":
+            service._record(metric.service_endpoint_requests("healthz"))
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            service._record(metric.service_endpoint_requests("stats"))
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path != "/optimize":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        service = self.server.service
+        service._record(metric.service_endpoint_requests("optimize"))
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(400, {"error": str(exc)})
+            return
+        try:
+            net_data = body.get("net", body) if isinstance(body, dict) \
+                else body
+            net = net_from_dict(net_data)
+        except (ValueError, TypeError, AttributeError) as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(400, {"error": f"invalid net payload: {exc}"})
+            return
+        timeout_s = body.get("timeout_s") if isinstance(body, dict) else None
+        result = service.optimize(net, timeout_s=timeout_s)
+        self._reply(200 if result.ok else 500, result.to_dict())
+
+    # -- plumbing -------------------------------------------------------
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ValueError("empty request body (expected net JSON)")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}")
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.verbose:
+            super().log_message(fmt, *args)
+
+
+def make_server(service: OptimizationService, host: str = "127.0.0.1",
+                port: int = 0) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks a free one; see ``server_port``).
+
+    The caller drives ``serve_forever()`` — typically on a thread in
+    tests, or via :func:`serve` from the CLI — and owns ``service``'s
+    lifetime.
+    """
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(host: str, port: int, service: Optional[OptimizationService] = None,
+          verbose: bool = False) -> None:
+    """Blocking entry point behind ``merlin-repro serve``."""
+    service = service or OptimizationService()
+    _Handler.verbose = verbose
+    server = make_server(service, host, port)
+    print(f"merlin-repro service listening on http://{host}:"
+          f"{server.server_port}  (POST /optimize, GET /stats, "
+          f"GET /healthz; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

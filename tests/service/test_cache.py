@@ -1,0 +1,99 @@
+"""ResultCache: LRU discipline, stats, and the disk tier."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.cache import PAYLOAD_VERSION, ResultCache
+
+
+def _payload(i):
+    return {"cost": float(i), "tree": {"kind": "SourceNode"}}
+
+
+def test_miss_then_hit():
+    cache = ResultCache(capacity=4)
+    assert cache.get("k1") is None
+    cache.put("k1", _payload(1))
+    assert cache.get("k1") == _payload(1)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["size"] == 1
+
+
+def test_returned_payload_is_a_private_copy():
+    cache = ResultCache()
+    cache.put("k", _payload(1))
+    out = cache.get("k")
+    out["cost"] = 999.0
+    out["tree"]["kind"] = "corrupted"
+    assert cache.get("k") == _payload(1)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(capacity=2)
+    cache.put("a", _payload(1))
+    cache.put("b", _payload(2))
+    assert cache.get("a") is not None  # refresh a; b is now LRU
+    cache.put("c", _payload(3))
+    assert cache.get("b") is None
+    assert cache.get("a") is not None and cache.get("c") is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+
+
+def test_clear_drops_memory():
+    cache = ResultCache()
+    cache.put("k", _payload(1))
+    cache.clear()
+    assert cache.get("k") is None
+
+
+def test_disk_tier_round_trip(tmp_path):
+    disk = str(tmp_path / "cache")
+    first = ResultCache(capacity=4, disk_dir=disk)
+    first.put("key1", _payload(7))
+    # A fresh cache (fresh process, conceptually) warms from disk.
+    second = ResultCache(capacity=4, disk_dir=disk)
+    assert second.get("key1") == _payload(7)
+    stats = second.stats()
+    assert stats["disk_hits"] == 1 and stats["hits"] == 1
+    # ... and the promoted entry now also hits in memory.
+    assert second.get("key1") == _payload(7)
+    assert second.stats()["disk_hits"] == 1
+
+
+def test_disk_entries_survive_memory_eviction(tmp_path):
+    disk = str(tmp_path / "cache")
+    cache = ResultCache(capacity=1, disk_dir=disk)
+    cache.put("a", _payload(1))
+    cache.put("b", _payload(2))  # evicts a from memory, not from disk
+    assert cache.get("a") == _payload(1)
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    disk = str(tmp_path / "cache")
+    cache = ResultCache(disk_dir=disk)
+    with open(os.path.join(disk, "bad.json"), "w") as handle:
+        handle.write("{not json")
+    assert cache.get("bad") is None
+
+
+def test_stale_payload_version_is_a_miss(tmp_path):
+    disk = str(tmp_path / "cache")
+    cache = ResultCache(disk_dir=disk)
+    with open(os.path.join(disk, "old.json"), "w") as handle:
+        json.dump({"version": PAYLOAD_VERSION + 1,
+                   "payload": _payload(1)}, handle)
+    assert cache.get("old") is None
+
+
+def test_memory_only_cache_has_no_disk_dir():
+    assert ResultCache().stats()["disk_dir"] is None

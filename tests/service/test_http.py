@@ -1,0 +1,130 @@
+"""HTTP front end: round trips against an in-process server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from tests.conftest import build_net
+from repro.core.config import MerlinConfig
+from repro.net import net_to_dict
+from repro.routing.export import tree_from_dict, tree_signature
+from repro.routing.validate import validate_tree
+from repro.service import OptimizationService, ResultCache, make_server
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CONFIG = MerlinConfig.test_preset()
+
+
+@pytest.fixture()
+def server():
+    service = OptimizationService(
+        tech=TECH, config=CONFIG, cache=ResultCache(), workers=1)
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+def _url(httpd, path):
+    host, port = httpd.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(httpd, path):
+    with urllib.request.urlopen(_url(httpd, path), timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(httpd, path, body):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        _url(httpd, path), data=data,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def test_healthz(server):
+    status, body = _get(server, "/healthz")
+    assert status == 200
+    assert body == {"status": "ok"}
+
+
+def test_optimize_round_trip_returns_a_valid_tree(server):
+    net = build_net(3, seed=11)
+    status, body = _post(server, "/optimize", {"net": net_to_dict(net)})
+    assert status == 200
+    assert body["ok"] and not body["cached"]
+    tree = tree_from_dict(body["tree"], net, TECH.buffers)
+    validate_tree(tree)
+    assert tree_signature(tree) == body["tree_signature"]
+
+
+def test_second_post_is_a_cache_hit_with_identical_signature(server):
+    net = build_net(3, seed=12)
+    payload = {"net": net_to_dict(net)}
+    _, cold = _post(server, "/optimize", payload)
+    status, warm = _post(server, "/optimize", payload)
+    assert status == 200
+    assert warm["cached"] is True
+    assert warm["tree_signature"] == cold["tree_signature"]
+    assert warm["tree"] == cold["tree"]
+
+    _, stats = _get(server, "/stats")
+    assert stats["cache"]["hits"] == 1
+    assert stats["cache"]["misses"] == 1
+    assert stats["counters"]["service.cache.hits"] == 1
+
+
+def test_bare_net_payload_is_accepted(server):
+    net = build_net(2, seed=13)
+    status, body = _post(server, "/optimize", net_to_dict(net))
+    assert status == 200 and body["ok"]
+
+
+def test_bad_json_is_rejected(server):
+    status, body = _post(server, "/optimize", b"{not json")
+    assert status == 400
+    assert "error" in body
+
+
+def test_malformed_net_is_rejected(server):
+    status, body = _post(server, "/optimize", {"net": {"name": "broken"}})
+    assert status == 400
+    assert "malformed" in body["error"]
+
+
+def test_empty_body_is_rejected(server):
+    status, _ = _post(server, "/optimize", b"")
+    assert status == 400
+
+
+def test_unknown_paths_are_404(server):
+    request = urllib.request.Request(_url(server, "/nope"))
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 404
+    status, _ = _post(server, "/nope", {})
+    assert status == 404
+
+
+def test_stats_reports_execution_mode(server):
+    status, stats = _get(server, "/stats")
+    assert status == 200
+    assert stats["execution_mode"] == "serial"
+    assert stats["workers"] == 1

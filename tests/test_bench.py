@@ -85,7 +85,8 @@ def test_main_writes_versioned_json(tmp_path, monkeypatch):
     assert suite["version"] == bench.BENCH_VERSION
     assert suite["tag"] == "test"
     assert suite["environment"]["python"]
-    assert {c["kind"] for c in suite["cases"]} == {"engine", "multi_start"}
+    assert {c["kind"] for c in suite["cases"]} == \
+        {"engine", "multi_start", "service"}
 
 
 def test_main_rejects_unknown_backend(capsys):

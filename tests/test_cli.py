@@ -36,3 +36,70 @@ class TestCli:
         assert main(["ablation", "convergence", "--sinks", "4"]) == 0
         out = capsys.readouterr().out
         assert "iteration_1" in out
+
+    def test_net_backend_flag_is_a_thin_override(self, capsys):
+        import re
+
+        def scrub(text):  # wall-clock fields differ run to run
+            return re.sub(r"time=\s*[\d.]+", "time=X", text)
+
+        # No flag: config backend untouched (python); with flag: same
+        # result either way (backends are bit-identical).
+        assert main(["net", "--sinks", "3", "--seed", "1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["net", "--sinks", "3", "--seed", "1",
+                     "--backend", "python"]) == 0
+        assert scrub(capsys.readouterr().out) == scrub(plain)
+
+
+class TestResolveCliWorkers:
+    def test_none_falls_back_to_config(self):
+        from repro.cli import _resolve_cli_workers
+        from repro.core.config import MerlinConfig
+
+        assert _resolve_cli_workers(None, MerlinConfig()) == 1
+        assert _resolve_cli_workers(
+            None, MerlinConfig().with_(workers=3)) == 3
+
+    def test_zero_means_one_per_cpu(self):
+        from repro.cli import _resolve_cli_workers
+        from repro.core.config import MerlinConfig
+        from repro.parallel import default_worker_count
+
+        assert _resolve_cli_workers(0, MerlinConfig()) \
+            == default_worker_count()
+
+    def test_explicit_value_wins(self):
+        from repro.cli import _resolve_cli_workers
+        from repro.core.config import MerlinConfig
+
+        assert _resolve_cli_workers(5, MerlinConfig().with_(workers=2)) == 5
+
+
+class TestServeCommand:
+    def test_serve_wires_the_service(self, monkeypatch, tmp_path):
+        import repro.service as service_mod
+
+        captured = {}
+
+        def fake_serve(host, port, service=None, verbose=False):
+            captured.update(host=host, port=port, service=service,
+                            verbose=verbose)
+            service.close()
+
+        monkeypatch.setattr(service_mod, "serve", fake_serve)
+        assert main(["serve", "--port", "9999", "--workers", "3",
+                     "--preset", "test", "--job-timeout", "7.5",
+                     "--cache-capacity", "11",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        assert captured["host"] == "127.0.0.1"
+        assert captured["port"] == 9999
+        svc = captured["service"]
+        assert svc.workers == 3
+        assert svc.job_timeout_s == 7.5
+        assert svc.cache.stats()["capacity"] == 11
+        assert svc.cache.stats()["disk_dir"] == str(tmp_path / "c")
+
+    def test_serve_rejects_bad_preset(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--preset", "bogus"])
