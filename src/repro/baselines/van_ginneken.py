@@ -39,6 +39,7 @@ from repro.routing.tree import (
     TreeNode,
 )
 from repro.tech.technology import Technology
+from repro.units import fzero
 
 
 @dataclass
@@ -182,7 +183,7 @@ def _split_points(frm: Point, to: Point, spacing: float,
     import math
 
     total = frm.manhattan_to(to)
-    if total == 0.0:
+    if fzero(total):
         return []
     # Fewest segments of length <= spacing, capped.
     segments = min(max_segments, max(1, math.ceil(total / spacing)))

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     merlin-repro net --sinks N [--seed N] [--stats] [--stats-out FILE]
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
     merlin-repro serve --port N [--workers K] [--cache-dir DIR]
+    merlin-repro check [--format json] [--rules ID,...] [paths ...]
 
 ``python -m repro ...`` is equivalent.
 
@@ -98,7 +99,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
+    p_chk = sub.add_parser(
+        "check", help="run the domain static analyzer "
+                      "(determinism / pool-safety / numerics / layering)")
+    from repro.staticcheck.cli import add_arguments as _add_check_arguments
+
+    _add_check_arguments(p_chk)
+
     args = parser.parse_args(argv)
+    if args.command == "check":
+        return _run_check(args)
     if args.command == "table1":
         return _run_table1(args)
     if args.command == "table2":
@@ -108,6 +118,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _run_serve(args)
     return _run_ablation(args)
+
+
+def _run_check(args) -> int:
+    from repro.staticcheck.cli import run_from_args
+
+    return run_from_args(args)
 
 
 def _run_table1(args) -> int:

@@ -47,6 +47,7 @@ from repro.instrument import names as metric
 from repro.instrument.recorder import active_recorder
 from repro.tech.buffer import Buffer
 from repro.tech.technology import Technology
+from repro.units import fzero
 
 #: A leaf's base solutions, indexed by candidate index.  Each entry is a
 #: frozen solution sequence: a plain list (python backend) or a
@@ -170,7 +171,7 @@ class PTreeContext:
         for idx, p in enumerate(self.candidates):
             curve = curves[idx]
             length = p.manhattan_to(position)
-            if length == 0.0:
+            if fzero(length):
                 curve.add(pin)
                 self._buffer_all(curve, (pin,))
             else:

@@ -249,11 +249,14 @@ def _thin(items: List[Tuple[Tuple[int, int], Solution]], cap: int
     points — best required time, minimum load, minimum area — are always
     retained so both objective variants keep their optima.
     """
-    by_req = max(items, key=lambda kv: kv[1].required_time)
-    by_load = min(items, key=lambda kv: kv[1].load)
-    by_area = min(items, key=lambda kv: kv[1].area)
-    forced = {id(kv[1]): kv for kv in (by_req, by_load, by_area)}
-    rest = [kv for kv in items if id(kv[1]) not in forced]
+    indices = range(len(items))
+    by_req = max(indices, key=lambda i: items[i][1].required_time)
+    by_load = min(indices, key=lambda i: items[i][1].load)
+    by_area = min(indices, key=lambda i: items[i][1].area)
+    # Positional dedup (insertion-ordered, like the extremes above) —
+    # not id()-keyed, so nothing here depends on allocation addresses.
+    forced = {i: items[i] for i in dict.fromkeys((by_req, by_load, by_area))}
+    rest = [kv for i, kv in enumerate(items) if i not in forced]
     slots = cap - len(forced)
     rest.sort(key=lambda kv: (kv[1].load, kv[1].required_time))
     if slots <= 0:

@@ -943,11 +943,13 @@ def _pending_prune_scalar(items) -> list:
 
 def _pending_thin(items: list, cap: int) -> list:
     """Capacity cap over pending items — mirrors ``curve._thin``."""
-    by_req = max(items, key=lambda kv: kv[1][1])
-    by_load = min(items, key=lambda kv: kv[1][0])
-    by_area = min(items, key=lambda kv: kv[1][2])
-    forced = {id(kv[1]): kv for kv in (by_req, by_load, by_area)}
-    rest = [kv for kv in items if id(kv[1]) not in forced]
+    indices = range(len(items))
+    by_req = max(indices, key=lambda i: items[i][1][1])
+    by_load = min(indices, key=lambda i: items[i][1][0])
+    by_area = min(indices, key=lambda i: items[i][1][2])
+    # Positional dedup, mirroring curve._thin (no id()-derived keys).
+    forced = {i: items[i] for i in dict.fromkeys((by_req, by_load, by_area))}
+    rest = [kv for i, kv in enumerate(items) if i not in forced]
     slots = cap - len(forced)
     rest.sort(key=lambda kv: (kv[1][0], kv[1][1]))
     if slots <= 0:

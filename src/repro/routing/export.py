@@ -17,6 +17,7 @@ from repro.routing.tree import (
     TreeNode,
 )
 from repro.tech.buffer import BufferLibrary
+from repro.units import feq
 
 
 def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
@@ -39,7 +40,7 @@ def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
         entry["buffer"] = node.buffer.name
     if isinstance(node, SinkNode):
         entry["sink_index"] = node.sink_index
-    if node.upstream_width != 1.0:
+    if not feq(node.upstream_width, 1.0):
         entry["upstream_width"] = node.upstream_width
     if node.children:
         entry["children"] = [_node_to_dict(c) for c in node.children]

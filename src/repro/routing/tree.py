@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional
 from repro.geometry.point import Point
 from repro.net import Net
 from repro.tech.buffer import Buffer
+from repro.units import fzero
 
 
 class TreeNode:
@@ -149,7 +150,7 @@ def _simplify(node: TreeNode) -> TreeNode:
     flattened: List[TreeNode] = []
     for child in children:
         if (isinstance(child, SteinerNode) and len(child.children) == 1
-                and node.position.manhattan_to(child.position) == 0.0):
+                and fzero(node.position.manhattan_to(child.position))):
             flattened.append(child.children[0])
         else:
             flattened.append(child)

@@ -1,0 +1,147 @@
+"""``[tool.staticcheck]`` configuration from ``pyproject.toml``.
+
+Keys (all optional):
+
+* ``enable``  — list of rule ids; when non-empty, *only* these run.
+* ``disable`` — list of rule ids removed from the run.
+* ``exclude`` — glob patterns (relative to the pyproject directory)
+  skipped during directory expansion; explicitly named files are still
+  checked (that is how the test suite points the CLI at quarantined
+  fixtures).
+
+Python 3.11+ parses with :mod:`tomllib`; on 3.9/3.10 (no tomllib, and
+this project adds no dependencies) a minimal fallback parser handles
+exactly the flat string-list shape this block uses.
+"""
+
+from __future__ import annotations
+
+import ast as _pyast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    _toml = None
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Resolved analyzer configuration."""
+
+    enable: Tuple[str, ...] = ()
+    disable: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+    #: Directory containing the pyproject.toml the config came from;
+    #: exclude globs are matched relative to it.  None for an ad-hoc
+    #: (test-constructed) config.
+    root: Optional[str] = None
+
+
+_SECTION_RE = re.compile(r"^\s*\[tool\.staticcheck\]\s*$")
+_TABLE_RE = re.compile(r"^\s*\[")
+_KEY_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_\-]*)\s*=\s*(.+?)\s*$")
+
+
+def _parse_fallback(text: str) -> dict:
+    """Parse the ``[tool.staticcheck]`` block without tomllib.
+
+    Handles single-line keys whose values are TOML string arrays,
+    strings, booleans, or integers — the only shapes this block uses.
+    Multi-line arrays are folded first.
+    """
+    lines = text.splitlines()
+    inside = False
+    entries: dict = {}
+    buffer = ""
+    for line in lines:
+        stripped = _strip_comment(line)
+        if _SECTION_RE.match(line):
+            inside = True
+            continue
+        if inside and _TABLE_RE.match(line) and not _SECTION_RE.match(line):
+            break
+        if not inside:
+            continue
+        buffer = (buffer + " " + stripped).strip() if buffer else stripped
+        if buffer.count("[") > buffer.count("]"):
+            continue  # unterminated multi-line array — keep folding
+        match = _KEY_RE.match(buffer)
+        buffer = ""
+        if not match:
+            continue
+        key, raw = match.group(1), match.group(2)
+        raw = raw.replace("true", "True").replace("false", "False")
+        try:
+            entries[key] = _pyast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            continue
+    return entries
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, respecting double-quoted strings."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _load_block(pyproject_path: str) -> dict:
+    with open(pyproject_path, "rb") as handle:
+        data = handle.read()
+    if _toml is not None:
+        try:
+            document = _toml.loads(data.decode("utf-8"))
+        except _toml.TOMLDecodeError:
+            return {}
+        return document.get("tool", {}).get("staticcheck", {})
+    return _parse_fallback(data.decode("utf-8"))  # pragma: no cover
+
+
+def _as_tuple(value) -> Tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (list, tuple)):
+        return tuple(str(item) for item in value)
+    return ()
+
+
+def find_pyproject(start: str) -> Optional[str]:
+    """Walk upward from ``start`` to the first pyproject.toml."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        candidate = os.path.join(current, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def load_config(start: Optional[str] = None) -> CheckConfig:
+    """Discover and load the config for a check rooted at ``start``.
+
+    ``start`` defaults to the current directory; discovery walks up to
+    the nearest ``pyproject.toml``.  A missing file or block yields the
+    all-defaults config (every rule on, nothing excluded).
+    """
+    pyproject = find_pyproject(start or os.getcwd())
+    if pyproject is None:
+        return CheckConfig()
+    block = _load_block(pyproject)
+    return CheckConfig(
+        enable=_as_tuple(block.get("enable")),
+        disable=_as_tuple(block.get("disable")),
+        exclude=_as_tuple(block.get("exclude")),
+        root=os.path.dirname(os.path.abspath(pyproject)),
+    )

@@ -1,0 +1,91 @@
+"""Layering rules over the ``repro.*`` import graph.
+
+``LAY-UPWARD`` enforces the package layer map
+(:data:`repro.staticcheck.imports.PACKAGE_LAYERS`, mirroring the
+DESIGN.md §1 inventory): a module may import its own layer or below at
+module-import time, never above.  Deferred (function-body) imports and
+``if TYPE_CHECKING:`` imports are exempt — they are the sanctioned
+escape hatch for top-layer glue.
+
+``LAY-CYCLE`` reports strongly connected components of the
+module-level runtime import graph; every cycle is reported once,
+anchored at its alphabetically first member, listing the full loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.staticcheck.engine import (
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    register,
+)
+from repro.staticcheck.imports import (
+    build_graph,
+    find_cycles,
+    layer_of,
+    package_of,
+    project_edges,
+)
+
+
+@register
+class UpwardImportRule(ProjectRule):
+    id = "LAY-UPWARD"
+    title = "lower layer importing a higher layer"
+
+    def check_project(self,
+                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for edge in project_edges(modules):
+            if not edge.runtime:
+                continue
+            source_layer = layer_of(edge.source)
+            target_layer = layer_of(edge.target)
+            if target_layer > source_layer:
+                findings.append(Finding(
+                    path=edge.path, line=edge.line, col=0,
+                    rule_id=self.id,
+                    message=(
+                        f"{edge.source} (layer {source_layer}, package "
+                        f"{package_of(edge.source)!r}) imports "
+                        f"{edge.target} (layer {target_layer}, package "
+                        f"{package_of(edge.target)!r}): lower layers "
+                        f"must not import higher ones — move the shared "
+                        f"symbol down or defer the import into the "
+                        f"using function")))
+        return findings
+
+
+@register
+class ImportCycleRule(ProjectRule):
+    id = "LAY-CYCLE"
+    title = "module-level import cycle"
+
+    def check_project(self,
+                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        edges = [e for e in project_edges(modules) if e.runtime]
+        graph = build_graph(edges)
+        by_module = {m.module: m for m in modules if m.module}
+        for cycle in find_cycles(graph):
+            anchor = by_module.get(cycle[0])
+            # Point at the anchor's first edge into the cycle, when the
+            # anchor was among the checked files.
+            line = 1
+            path = anchor.path if anchor else cycle[0]
+            members = set(cycle)
+            if anchor is not None:
+                for edge in edges:
+                    if edge.source == cycle[0] and edge.target in members:
+                        line = edge.line
+                        break
+            loop = " -> ".join(cycle + [cycle[0]])
+            findings.append(Finding(
+                path=path, line=line, col=0, rule_id=self.id,
+                message=(f"import cycle at module import time: {loop} — "
+                         f"break it by moving a symbol down a layer or "
+                         f"deferring one import into a function")))
+        return findings

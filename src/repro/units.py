@@ -21,6 +21,28 @@ bounding box is comparable to a gate delay.
 
 from __future__ import annotations
 
+#: Tolerance of the quantized float comparators below.  1e-9 is far
+#: below every physical quantum in this unit system (1e-9 um is a
+#: nanometer's thousandth; curve buckets are ~1 fF / ~30 um^2), so the
+#: comparators only ever merge values that differ by arithmetic noise.
+FLOAT_EQ_TOL = 1e-9
+
+
+def feq(a: float, b: float, tol: float = FLOAT_EQ_TOL) -> bool:
+    """Quantized float equality: ``|a - b| <= tol``.
+
+    Exact ``==`` between floats that went through arithmetic is banned
+    in the engine packages (staticcheck rule ``NUM-FLOAT-EQ``); this is
+    the sanctioned comparator.
+    """
+    return abs(a - b) <= tol
+
+
+def fzero(x: float, tol: float = FLOAT_EQ_TOL) -> bool:
+    """Quantized zero test: ``|x| <= tol`` (see :func:`feq`)."""
+    return abs(x) <= tol
+
+
 #: Wire sheet resistance per micron of routed length (kOhm/um).
 #: 0.075 Ohm/um is typical for a 0.35um-process metal-3 wire.
 DEFAULT_WIRE_RESISTANCE = 7.5e-5

@@ -1,0 +1,8 @@
+"""Bad example, half 1: mutual module-level imports (LAY-CYCLE)."""
+# staticcheck: module=repro.fixcycle.cycle_a
+
+import repro.fixcycle.cycle_b
+
+
+def ping():
+    return repro.fixcycle.cycle_b.pong()

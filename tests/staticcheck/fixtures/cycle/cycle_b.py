@@ -1,0 +1,8 @@
+"""Bad example, half 2: mutual module-level imports (LAY-CYCLE)."""
+# staticcheck: module=repro.fixcycle.cycle_b
+
+import repro.fixcycle.cycle_a
+
+
+def pong():
+    return repro.fixcycle.cycle_a.ping()

@@ -1,0 +1,5 @@
+"""Bad example: id()-derived dict keys (DET-ID-HASH)."""
+
+
+def index_by_identity(solutions):
+    return {id(solution): solution for solution in solutions}

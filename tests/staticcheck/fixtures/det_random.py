@@ -1,0 +1,7 @@
+"""Bad example: draws from the hidden global RNG (DET-RANDOM)."""
+
+import random
+
+
+def jitter(value):
+    return value + random.random()

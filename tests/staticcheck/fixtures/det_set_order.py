@@ -1,0 +1,8 @@
+"""Bad example: bare-set iteration builds a list (DET-SET-ORDER)."""
+
+
+def order_names(extra):
+    names = []
+    for name in {"sink_b", "sink_a", extra}:
+        names.append(name)
+    return names

@@ -1,0 +1,8 @@
+"""Bad example: wall-clock read inside an engine package (DET-TIME)."""
+# staticcheck: module=repro.core.fixture_det_time
+
+import time
+
+
+def stamp(result):
+    return (time.time(), result)

@@ -1,0 +1,8 @@
+"""Bad example: a curves-layer module importing the service (LAY-UPWARD)."""
+# staticcheck: module=repro.curves.fixture_lay_upward
+
+from repro.service.engine import OptimizationService
+
+
+def warm(nets):
+    return OptimizationService().optimize_serial(nets)

@@ -1,0 +1,6 @@
+"""Bad example: exact float equality in an engine package (NUM-FLOAT-EQ)."""
+# staticcheck: module=repro.curves.fixture_num_float_eq
+
+
+def at_origin(length):
+    return length == 0.0

@@ -1,0 +1,5 @@
+"""Bad example: a lambda shipped to a worker pool (POOL-CALLABLE)."""
+
+
+def fan_out(pool, payloads):
+    return [pool.submit(lambda p=payload: p * 2) for payload in payloads]

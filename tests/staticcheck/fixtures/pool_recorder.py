@@ -1,0 +1,5 @@
+"""Bad example: a recorder captured into a worker payload (POOL-RECORDER)."""
+
+
+def fan_out(pool, job, recorder):
+    return pool.submit(job, recorder)

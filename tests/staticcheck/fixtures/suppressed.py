@@ -1,0 +1,13 @@
+"""Clean example: violations carrying justified inline suppressions."""
+
+import random
+
+
+def jitter(value):
+    # Test fixture: module-level RNG suppressed by the named form.
+    return value + random.random()  # staticcheck: ignore[DET-RANDOM]
+
+
+def index_by_identity(solutions):
+    # Test fixture: blanket form suppresses every rule on the line.
+    return {id(s): s for s in solutions}  # staticcheck: ignore

@@ -1,0 +1,50 @@
+"""Meta: the analyzer must pass on the shipped tree, via the real CLI."""
+
+import json
+import os
+
+from repro.cli import main as cli_main
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+TESTS = os.path.join(REPO_ROOT, "tests")
+
+
+def test_shipped_tree_is_clean(capsys):
+    assert cli_main(["check", SRC]) == 0
+    out = capsys.readouterr().out
+    assert out.strip().endswith("files checked)")
+
+
+def test_tests_tree_is_clean_too():
+    # Same invocation CI runs: fixtures are quarantined by the
+    # [tool.staticcheck] exclude globs, everything else must be clean.
+    assert cli_main(["check", "--format", "json", SRC, TESTS]) == 0
+
+
+def test_ci_json_invocation_shape(capsys):
+    assert cli_main(["check", "--format", "json", SRC]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["findings"] == []
+    assert document["files_checked"] > 50
+    assert len(document["rules_run"]) == 9
+
+
+def test_list_rules(capsys):
+    assert cli_main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET-RANDOM", "POOL-CALLABLE", "NUM-FLOAT-EQ",
+                    "LAY-UPWARD", "LAY-CYCLE"):
+        assert rule_id in out
+
+
+def test_unknown_rule_is_a_usage_error(capsys):
+    assert cli_main(["check", "--rules", "NO-SUCH-RULE", SRC]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert cli_main(["check", os.path.join(REPO_ROOT, "no-such-dir")]) == 2
+    assert "no such path" in capsys.readouterr().err
