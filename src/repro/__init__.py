@@ -37,6 +37,14 @@ from repro.core.bubble_construct import BubbleConstructResult, bubble_construct
 from repro.routing.evaluate import TreeEvaluation, evaluate_tree
 from repro.routing.tree import RoutingTree
 from repro.instrument import NullRecorder, Recorder, use_recorder
+from repro.resilience import (
+    ComputeBudget,
+    FaultPlan,
+    MerlinError,
+    MerlinInputError,
+    MerlinInternalError,
+    MerlinResourceError,
+)
 from repro.api import OptimizeOutcome, optimize
 from repro.service import (
     OptimizationService,
@@ -45,7 +53,7 @@ from repro.service import (
     optimize_many,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Point",
@@ -66,6 +74,12 @@ __all__ = [
     "Recorder",
     "NullRecorder",
     "use_recorder",
+    "ComputeBudget",
+    "FaultPlan",
+    "MerlinError",
+    "MerlinInputError",
+    "MerlinResourceError",
+    "MerlinInternalError",
     "optimize",
     "OptimizeOutcome",
     "OptimizationService",

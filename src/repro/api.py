@@ -20,7 +20,7 @@ front door, not a replacement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
 
 if TYPE_CHECKING:  # annotation only — keep `import repro` lean
@@ -31,6 +31,7 @@ from repro.core.merlin import merlin
 from repro.core.objective import Objective
 from repro.net import Net
 from repro.orders.order import Order
+from repro.resilience.errors import MerlinInputError, error_from_record
 from repro.routing.evaluate import evaluate_tree
 from repro.routing.export import tree_signature
 from repro.routing.tree import RoutingTree
@@ -55,6 +56,9 @@ class OptimizeOutcome:
     source: str
     #: True iff the answer came out of the service's canonical-net cache.
     cached: bool = False
+    #: True iff a compute budget forced the degradation ladder to a
+    #: fallback rung (service path only; always a valid tree).
+    degraded: bool = False
     #: Elmore evaluation of :attr:`tree` as plain data (JSON-ready).
     evaluation: Dict[str, Any] = field(default_factory=dict, repr=False)
 
@@ -90,19 +94,28 @@ def optimize(net: Net, tech: Optional[Technology] = None,
     """
     if service is not None:
         if tech is not None or config is not None or objective is not None:
-            raise ValueError(
+            raise MerlinInputError(
                 "optimize(service=...) uses the service's own tech/config/"
                 "objective; configure the OptimizationService instead")
         if multi_start is not None or seeds is not None \
                 or initial_order is not None:
-            raise ValueError(
+            raise MerlinInputError(
                 "multi_start/seeds/initial_order do not apply to the "
                 "service path")
         result = service.optimize(net, timeout_s=timeout_s)
         if not result.ok:
-            raise RuntimeError(
-                f"service optimization of net {net.name!r} failed: "
-                f"{result.error}")
+            # Re-raise as the taxonomy kind the service recorded, so
+            # callers can distinguish bad input from resource exhaustion
+            # from engine bugs (each base also subclasses ValueError or
+            # RuntimeError, so pre-taxonomy handlers keep working).
+            record = result.error_record
+            assert record is not None
+            record = replace(
+                record,
+                stage=record.stage or "service",
+                message=f"service optimization of net {net.name!r} "
+                        f"failed: {record.message}")
+            raise error_from_record(record)
         return OptimizeOutcome(
             tree=result.tree,
             signature=result.signature,
@@ -111,6 +124,7 @@ def optimize(net: Net, tech: Optional[Technology] = None,
             converged=result.converged,
             source="service-cache" if result.cached else "service",
             cached=result.cached,
+            degraded=result.degraded,
             evaluation=dict(result.evaluation or {}),
         )
 
@@ -122,12 +136,12 @@ def optimize(net: Net, tech: Optional[Technology] = None,
         from repro import parallel
 
         if initial_order is not None:
-            raise ValueError(
+            raise MerlinInputError(
                 "initial_order conflicts with multi_start/seeds (the "
                 "starts *are* the initial orders)")
         if seeds is None:
             if multi_start < 1:
-                raise ValueError("multi_start must be >= 1")
+                raise MerlinInputError("multi_start must be >= 1")
             seeds = [None] + list(range(1, multi_start))
         outcome = parallel.run_multi_start(net, tech, config=config,
                                            objective=objective, seeds=seeds,

@@ -1,0 +1,43 @@
+"""The buffered-star baseline: the degradation ladder's floor.
+
+A star is the simplest valid buffered routing tree: the source drives
+one buffer placed at the source, and that buffer drives every sink
+directly.  It needs no candidate generation, no solution curves, and no
+search — construction is O(n) with zero failure modes beyond an invalid
+net — which is exactly the property the resilience ladder
+(:mod:`repro.resilience.degrade`) needs from its final rung: *always*
+return a valid tree, however adversarial the instance or exhausted the
+budget.
+
+Quality is deliberately not the point.  The one buffer decouples the
+driver from the full wire+pin load (usually better than nothing on
+multi-sink nets), but no topology or sizing optimization happens.  The
+tree is deterministic in (net, tech), so its
+:func:`~repro.routing.export.tree_signature` is a stable fingerprint —
+chaos tests pin degraded answers to it.
+"""
+
+from __future__ import annotations
+
+from repro.net import Net
+from repro.routing.tree import BufferNode, RoutingTree, SinkNode, SourceNode
+from repro.tech.buffer import Buffer
+from repro.tech.technology import Technology
+
+
+def star_buffer(tech: Technology) -> Buffer:
+    """The library cell the star uses: the strongest driver (lowest
+    drive resistance, ties broken by name) — the safe default when one
+    buffer must drive every sink."""
+    return min(tech.buffers, key=lambda b: (b.drive_resistance, b.name))
+
+
+def buffered_star(net: Net, tech: Technology) -> RoutingTree:
+    """Build the deterministic buffered star for ``net``; see module
+    docstring.  Sinks hang off the buffer in net index order."""
+    root = SourceNode(net.source)
+    buffer_node = BufferNode(net.source, star_buffer(tech))
+    root.add_child(buffer_node)
+    for index, sink in enumerate(net.sinks):
+        buffer_node.add_child(SinkNode(sink.position, index))
+    return RoutingTree(net=net, root=root)

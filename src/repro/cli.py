@@ -4,9 +4,10 @@ Usage (after ``pip install -e .``)::
 
     merlin-repro table1 [--quick] [--seed N]
     merlin-repro table2 [--quick] [--seed N]
-    merlin-repro net --sinks N [--seed N] [--stats] [--stats-out FILE]
+    merlin-repro net --sinks N [--seed N] [--net-file FILE] [--stats]
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
     merlin-repro serve --port N [--workers K] [--cache-dir DIR]
+                       [--budget-ops N] [--deadline S] [--pool-retries N]
     merlin-repro check [--format json] [--rules ID,...] [paths ...]
 
 ``python -m repro ...`` is equivalent.
@@ -45,6 +46,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_net = sub.add_parser("net", help="optimize one synthetic net verbosely")
     p_net.add_argument("--sinks", type=int, default=7)
     p_net.add_argument("--seed", type=int, default=1)
+    p_net.add_argument("--net-file", metavar="FILE", default=None,
+                       help="optimize the net in FILE (net interchange "
+                            "JSON, see net_to_dict) instead of a synthetic "
+                            "one; malformed input exits 2 with a one-line "
+                            "error naming the offending field")
     p_net.add_argument("--backend", choices=["python", "numpy"],
                        default=None,
                        help="curve-kernel backend override (default: the "
@@ -91,6 +97,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_srv.add_argument("--job-timeout", type=float, default=None,
                        metavar="S", help="per-request engine timeout "
                                          "(seconds; default none)")
+    p_srv.add_argument("--budget-ops", type=int, default=None, metavar="N",
+                       help="deterministic per-job compute budget; on "
+                            "exhaustion the job degrades down the ladder "
+                            "instead of failing (default: unlimited)")
+    p_srv.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="per-job wall-clock deadline in seconds, "
+                            "same degradation semantics as --budget-ops")
+    p_srv.add_argument("--pool-retries", type=int, default=2, metavar="N",
+                       help="rebuild a crashed worker pool up to N times "
+                            "before finishing jobs serially (default 2)")
     p_srv.add_argument("--cache-capacity", type=int, default=256,
                        help="in-memory LRU entries (default 256)")
     p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -142,12 +158,42 @@ def _run_table2(args) -> int:
     return 0
 
 
+def _load_net_file(path: str):
+    """Read a net interchange JSON file; raises ValueError with a
+    one-line, human-readable message on any malformed input."""
+    import json
+
+    from repro.net import net_from_dict
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read net file {path!r}: "
+                         f"{exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"net file {path!r} is not valid JSON: "
+                         f"{exc}") from exc
+    if isinstance(data, dict) and isinstance(data.get("net"), dict):
+        data = data["net"]  # accept the service's request wrapper too
+    return net_from_dict(data)
+
+
 def _run_net(args) -> int:
     from repro.baselines.flows import ALL_FLOWS, run_flow
     from repro.experiments.nets import make_experiment_net
     from repro.routing.export import tree_to_dot
 
-    net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
+    if args.net_file is not None:
+        try:
+            net = _load_net_file(args.net_file)
+        except ValueError as exc:
+            # One line, no traceback: the message already names the
+            # offending file/field (MalformedNetError is a ValueError).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        net = make_experiment_net(f"net_s{args.seed}", args.sinks, args.seed)
     tech = default_technology()
     config = MerlinConfig().with_(max_iterations=3)
     if args.backend is not None:
@@ -240,6 +286,9 @@ def _run_serve(args) -> int:
                           disk_dir=args.cache_dir),
         workers=workers,
         job_timeout_s=args.job_timeout,
+        budget_ops=args.budget_ops,
+        deadline_s=args.deadline,
+        pool_retries=args.pool_retries,
     )
     serve(args.host, args.port, service=service, verbose=args.verbose)
     return 0

@@ -170,6 +170,9 @@ class _Engine:
         self.order = order
         self.config = config
         self.context = context
+        #: Cooperative compute budget; charged once per parent cell and
+        #: per computed range, the DP's natural units of work.
+        self.budget = config.budget
         self.stats: Dict[str, int] = {
             "cells": 0, "ranges": 0, "range_memo_hits": 0, "levels": 0,
         }
@@ -226,6 +229,8 @@ class _Engine:
         return self.gamma[(n, 0, n - 1)]
 
     def _build_parent(self, parent: Group) -> None:
+        if self.budget is not None:
+            self.budget.charge(1, what="bubble.cell")
         rec = self.rec
         curves = self.context.new_curves()
         contributed = False
@@ -301,6 +306,8 @@ class _Engine:
             self.stats["range_memo_hits"] += 1
             return cached
 
+        if self.budget is not None:
+            self.budget.charge(1, what="bubble.range")
         active = self._active_for(leaf_ids)
         curves = self.context.new_curves()
         for u in range(1, len(leaf_ids)):

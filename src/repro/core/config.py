@@ -17,6 +17,8 @@ from repro.curves import kernels
 from repro.curves.curve import CurveConfig
 from repro.geometry.candidates import CandidateStrategy
 from repro.instrument.recorder import Recorder
+from repro.resilience.budget import ComputeBudget
+from repro.resilience.errors import MerlinInputError
 
 
 @dataclass(frozen=True)
@@ -94,24 +96,37 @@ class MerlinConfig:
     #: not part of the optimization problem.
     recorder: Optional[Recorder] = field(
         default=None, compare=False, repr=False)
+    #: Cooperative compute budget (:mod:`repro.resilience.budget`).
+    #: When set, ``merlin()``/``bubble_construct()`` charge it at their
+    #: unit-of-work boundaries and raise ``BudgetExhaustedError`` on
+    #: exhaustion — the degradation ladder catches that and falls back.
+    #: Like ``recorder`` it is an execution-control channel, not part of
+    #: the optimization problem: excluded from equality/repr and from
+    #: the service's canonical cache key (degraded results are never
+    #: cached, so a budget cannot poison full-quality lookups).
+    budget: Optional[ComputeBudget] = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
+        # MerlinInputError subclasses ValueError, so pre-taxonomy callers
+        # catching ValueError keep working.
         if self.alpha < 2:
-            raise ValueError("alpha must be >= 2 (a buffer must drive "
-                             "at least a sub-group and one sink)")
+            raise MerlinInputError(
+                "alpha must be >= 2 (a buffer must drive "
+                "at least a sub-group and one sink)")
         if self.relocation_rounds < 0:
-            raise ValueError("relocation_rounds must be >= 0")
+            raise MerlinInputError("relocation_rounds must be >= 0")
         if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
+            raise MerlinInputError("max_iterations must be >= 1")
         if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise MerlinInputError("workers must be >= 1")
         if not self.wire_width_options or \
                 any(w <= 0 for w in self.wire_width_options):
-            raise ValueError("wire_width_options must be positive and "
-                             "non-empty")
+            raise MerlinInputError("wire_width_options must be positive "
+                                   "and non-empty")
         if self.backend is not None:
             if self.backend not in kernels.BACKENDS:
-                raise ValueError(
+                raise MerlinInputError(
                     f"unknown backend {self.backend!r}; "
                     f"expected one of {kernels.BACKENDS}")
             if self.curve.backend != self.backend:

@@ -88,7 +88,13 @@ def merlin(net: Net, tech: Technology,
         converged = False
         iterations = 0
 
+        budget = config.budget
         while iterations < config.max_iterations:
+            if budget is not None:
+                # One charge per outer iteration; the inner DP charges
+                # the same budget per cell/range, so exhaustion can land
+                # mid-iteration too.
+                budget.charge(1, what="merlin.iteration")
             iterations += 1
             order_trace.append(order)
             result = bubble_construct(net, order, tech, config=config,

@@ -70,6 +70,22 @@ SERVICE_JOB_FAILURES = "service.job.failures"
 #: Jobs abandoned after exceeding the per-job timeout.
 SERVICE_JOB_TIMEOUTS = "service.job.timeouts"
 
+#: Faults fired by the injection framework (chaos runs only; zero in
+#: production unless a FaultPlan is active).
+RESILIENCE_FAULTS_INJECTED = "resilience.faults.injected"
+#: Warm-pool rebuilds after a worker process died (BrokenProcessPool).
+RESILIENCE_POOL_REBUILDS = "resilience.pool.rebuilds"
+#: Jobs resubmitted to a rebuilt pool (each retry of each job counts).
+RESILIENCE_JOB_RETRIES = "resilience.job.retries"
+#: Disk-cache entries that failed their checksum/schema check.
+RESILIENCE_CACHE_CORRUPTIONS = "resilience.cache.corruptions"
+#: Corrupt disk-cache entries moved aside into the quarantine directory.
+RESILIENCE_CACHE_QUARANTINED = "resilience.cache.quarantined"
+#: Jobs answered by a degradation-ladder fallback (valid but degraded).
+RESILIENCE_DEGRADED = "resilience.degraded"
+#: Ladder rungs abandoned because their compute budget ran out.
+RESILIENCE_BUDGET_EXHAUSTED = "resilience.budget.exhausted"
+
 # -- series (value distributions) --------------------------------------
 
 #: Objective cost after each MERLIN iteration.
@@ -96,6 +112,12 @@ def service_endpoint_requests(endpoint: str) -> str:
     return f"service.endpoint.{endpoint}.requests"
 
 
+def resilience_fault(site: str) -> str:
+    """Per-site injected-fault counter
+    (``resilience.fault.<site>.injected``)."""
+    return f"resilience.fault.{site}.injected"
+
+
 def level_curve_size_pre(level_size: int) -> str:
     """Per-level pre-prune curve-size series (level = group size)."""
     return f"bubble.level.{level_size}.curve_size_pre"
@@ -119,6 +141,9 @@ EVENT_MERLIN_ITERATION = "merlin.iteration"
 #: One record per MERLIN run
 #: (fields: net, sinks, iterations, converged, best_cost).
 EVENT_MERLIN_RESULT = "merlin.result"
+#: One record per degraded answer
+#: (fields: net, rung, reason, attempts).
+EVENT_DEGRADATION = "resilience.degradation"
 
 # -- span names --------------------------------------------------------
 

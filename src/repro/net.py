@@ -14,6 +14,7 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import Point
+from repro.resilience.errors import MalformedNetError
 
 
 @dataclass(frozen=True)
@@ -143,31 +144,86 @@ def net_to_dict(net: Net) -> Dict[str, Any]:
     return data
 
 
-def net_from_dict(data: Dict[str, Any]) -> Net:
-    """Deserialize a net; validation is delegated to ``Net`` itself."""
-    try:
-        sinks = tuple(
-            Sink(
-                name=str(entry["name"]),
-                position=Point(float(entry["position"][0]),
-                               float(entry["position"][1])),
-                load=float(entry["load"]),
-                required_time=float(entry["required_time"]),
-            )
-            for entry in data["sinks"]
-        )
-        source = Point(float(data["source"][0]), float(data["source"][1]))
-        name = str(data["name"])
-    except (KeyError, IndexError, TypeError) as exc:
-        raise ValueError(f"malformed net payload: {exc!r}") from exc
-    resistance = data.get("driver_resistance")
-    intrinsic = data.get("driver_intrinsic")
-    return Net(
-        name=name,
-        source=source,
-        sinks=sinks,
-        driver_resistance=float(resistance) if resistance is not None
-        else None,
-        driver_intrinsic=float(intrinsic) if intrinsic is not None
-        else None,
+def _payload_error(where: str, problem: str) -> MalformedNetError:
+    return MalformedNetError(f"malformed net payload: {where}: {problem}",
+                             stage="net")
+
+
+def _get_field(mapping: Any, field: str, where: str) -> Any:
+    if not isinstance(mapping, dict):
+        raise _payload_error(
+            where, f"expected a JSON object, got {type(mapping).__name__}")
+    if field not in mapping:
+        raise _payload_error(where, f"missing field {field!r}")
+    return mapping[field]
+
+
+def _as_number(value: Any, field: str, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _payload_error(
+            where, f"field {field!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _as_point(value: Any, field: str, where: str) -> Point:
+    if not isinstance(value, (list, tuple)) or len(value) != 2:
+        raise _payload_error(
+            where, f"field {field!r} must be an [x, y] pair, got {value!r}")
+    return Point(_as_number(value[0], field, where),
+                 _as_number(value[1], field, where))
+
+
+def _sink_from_dict(entry: Any, index: int) -> Sink:
+    label = f"sink #{index}"
+    if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+        label = f"sink #{index} ({entry['name']!r})"
+    sink = Sink(
+        name=str(_get_field(entry, "name", label)),
+        position=_as_point(_get_field(entry, "position", label),
+                           "position", label),
+        load=_as_number(_get_field(entry, "load", label), "load", label),
+        required_time=_as_number(_get_field(entry, "required_time", label),
+                                 "required_time", label),
     )
+    return sink
+
+
+def net_from_dict(data: Dict[str, Any]) -> Net:
+    """Deserialize a net from the interchange schema.
+
+    Malformed input raises :class:`MalformedNetError` (a ``ValueError``)
+    naming the offending field — and, for sink fields, the offending
+    sink by index and name — so service clients and the CLI can report
+    exactly what to fix instead of a generic parse failure.
+    """
+    name = str(_get_field(data, "name", "net"))
+    where = f"net {name!r}"
+    source = _as_point(_get_field(data, "source", where), "source", where)
+    raw_sinks = _get_field(data, "sinks", where)
+    if not isinstance(raw_sinks, (list, tuple)):
+        raise _payload_error(
+            where, f"field 'sinks' must be a list, got {raw_sinks!r}")
+    if not raw_sinks:
+        raise _payload_error(where, "field 'sinks' must be non-empty")
+    try:
+        sinks = tuple(_sink_from_dict(entry, i)
+                      for i, entry in enumerate(raw_sinks))
+        resistance = data.get("driver_resistance")
+        intrinsic = data.get("driver_intrinsic")
+        if resistance is not None:
+            resistance = _as_number(resistance, "driver_resistance", where)
+        if intrinsic is not None:
+            intrinsic = _as_number(intrinsic, "driver_intrinsic", where)
+        return Net(
+            name=name,
+            source=source,
+            sinks=sinks,
+            driver_resistance=resistance,
+            driver_intrinsic=intrinsic,
+        )
+    except MalformedNetError:
+        raise
+    except ValueError as exc:
+        # Net/Sink invariants (duplicate sink names, negative load...)
+        # re-raised with the net named, same taxonomy kind.
+        raise _payload_error(where, str(exc)) from exc

@@ -43,6 +43,8 @@ from repro.net import Net
 from repro.orders.heuristics import random_order
 from repro.orders.order import Order
 from repro.orders.tsp import tsp_order
+from repro.resilience.errors import MerlinInputError
+from repro.resilience.faults import fault_point
 from repro.routing.export import tree_signature
 from repro.routing.tree import RoutingTree
 from repro.tech.technology import Technology
@@ -98,6 +100,7 @@ class ParallelOutcome:
 
 def _run_task(task: ParallelTask) -> TaskResult:
     """Execute one task with a fresh recorder (runs in the worker)."""
+    fault_point("parallel.task", key=task.label or task.net.name)
     recorder = Recorder()
     config = task.config.with_(recorder=recorder)
     result = merlin(task.net, task.tech, config=config,
@@ -122,7 +125,7 @@ def resolve_workers(workers: Optional[int], config: Optional[MerlinConfig],
     if workers is None:
         workers = config.workers if config is not None else 1
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise MerlinInputError("workers must be >= 1")
     return max(1, min(workers, n_tasks))
 
 
@@ -136,7 +139,7 @@ def run_tasks(tasks: Sequence[ParallelTask],
     """
     tasks = list(tasks)
     if not tasks:
-        raise ValueError("no tasks to run")
+        raise MerlinInputError("no tasks to run")
     n = resolve_workers(workers, tasks[0].config, len(tasks))
     stripped = [
         t if t.config.recorder is None

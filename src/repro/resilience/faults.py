@@ -1,0 +1,349 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+The service layer promises crash recovery, corruption quarantine, and
+graceful degradation; this module is how the chaos suite *proves* those
+promises.  Production code threads named :func:`fault_point` calls
+through its failure-prone seams (job dispatch, worker entry, cache
+read/write, the HTTP handler, the parallel drivers); with no plan
+installed a fault point is a near-free no-op, so the framework costs
+nothing unless a chaos run activates it.
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultSpec`
+triggers.  Everything is deterministic under a fixed seed: probabilistic
+specs draw from a ``random.Random`` keyed by ``(seed, site, hit)`` — no
+global RNG state — and hit counting is exact, so "crash the 2nd job
+dispatch" means exactly that, every run.
+
+Cross-process determinism needs one extra trick: a fault that *kills a
+worker* also kills the in-memory hit counter the worker inherited, so a
+``times=1`` crash spec would re-fire in every replacement worker
+forever.  Specs may therefore name a ``ledger`` file — one appended line
+per hit — making ``after``/``times`` windows effective across all
+processes sharing the plan.
+
+Activation:
+
+* in code — ``install_fault_plan(plan)`` or the ``use_fault_plan(plan)``
+  context manager (tests);
+* from outside — the ``MERLIN_FAULTS`` environment variable, either
+  inline JSON or ``@/path/to/plan.json``, loaded at import time (workers
+  inherit it through the environment even under spawn).
+
+Fault kinds: ``error`` raises :class:`FaultInjected`; ``hang`` sleeps
+``hang_s`` (drive timeouts); ``crash`` hard-kills the current *worker*
+process via ``os._exit`` (in a parent process it raises instead — a
+chaos plan must not be able to take down the service itself); and
+``corrupt`` mangles the data flowing through the point (torn cache
+entries, malformed payloads).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.instrument import names as metric
+from repro.instrument.recorder import active_recorder
+from repro.resilience.errors import FaultInjected, MerlinInputError
+
+#: Environment variable holding an inline JSON plan or ``@<path>``.
+ENV_VAR = "MERLIN_FAULTS"
+
+#: Exit code of a ``crash`` fault (distinctive in pool post-mortems).
+CRASH_EXIT_CODE = 87
+
+FAULT_KINDS = ("error", "hang", "crash", "corrupt")
+
+#: Marker appended by ``corrupt`` faults to string/bytes data; applied
+#: after truncation, it guarantees the result is not valid JSON.
+CORRUPTION_MARKER = "!<<fault:corrupted>>!"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: *where* (site glob), *what* (kind), and *when*.
+
+    ``site`` may be a glob (``service.cache.*``).  The firing window is
+    hits ``[after, after + times)`` per spec; ``times=None`` never
+    stops.  ``probability`` thins the window with seeded, replayable
+    Bernoulli draws.  ``match`` further restricts firing to calls whose
+    ``key`` (e.g. the net name) contains the substring.
+    """
+
+    site: str
+    kind: str
+    times: Optional[int] = 1
+    after: int = 0
+    probability: float = 1.0
+    hang_s: float = 0.05
+    match: Optional[str] = None
+    ledger: Optional[str] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise MerlinInputError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise MerlinInputError("fault probability must be in [0, 1]")
+        if self.times is not None and self.times < 0:
+            raise MerlinInputError("fault times must be >= 0")
+        if self.after < 0:
+            raise MerlinInputError("fault after must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site, "kind": self.kind, "times": self.times,
+            "after": self.after, "probability": self.probability,
+            "hang_s": self.hang_s, "match": self.match,
+            "ledger": self.ledger, "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise MerlinInputError(
+                f"fault spec must be an object, got {type(data).__name__}")
+        unknown = set(data) - {
+            "site", "kind", "times", "after", "probability", "hang_s",
+            "match", "ledger", "message",
+        }
+        if unknown:
+            raise MerlinInputError(
+                f"unknown fault spec fields: {sorted(unknown)}")
+        if "site" not in data or "kind" not in data:
+            raise MerlinInputError("fault spec needs 'site' and 'kind'")
+        return cls(
+            site=str(data["site"]),
+            kind=str(data["kind"]),
+            times=None if data.get("times", 1) is None
+            else int(data.get("times", 1)),
+            after=int(data.get("after", 0)),
+            probability=float(data.get("probability", 1.0)),
+            hang_s=float(data.get("hang_s", 0.05)),
+            match=None if data.get("match") is None
+            else str(data["match"]),
+            ledger=None if data.get("ledger") is None
+            else str(data["ledger"]),
+            message=str(data.get("message", "")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault specs."""
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise MerlinInputError(
+                f"fault plan must be an object, got {type(data).__name__}")
+        specs = data.get("specs", [])
+        if not isinstance(specs, (list, tuple)):
+            raise MerlinInputError("fault plan 'specs' must be an array")
+        return cls(seed=int(data.get("seed", 0)),
+                   specs=tuple(FaultSpec.from_dict(s) for s in specs))
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        try:
+            data = json.loads(blob)
+        except ValueError as exc:
+            raise MerlinInputError(
+                f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# -- active-plan state -------------------------------------------------
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+#: In-memory hit counts keyed by (spec index, concrete site).
+_HITS: Dict[Tuple[int, str], int] = {}
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    return _ACTIVE_PLAN
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` (None deactivates); returns the previous plan."""
+    global _ACTIVE_PLAN
+    previous, _ACTIVE_PLAN = _ACTIVE_PLAN, plan
+    return previous
+
+
+def reset_fault_state() -> None:
+    """Clear the in-memory hit counters (ledger files are the caller's)."""
+    _HITS.clear()
+
+
+@contextmanager
+def use_fault_plan(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Scoped activation for tests; restores the previous plan and
+    clears hit counters on both entry and exit."""
+    previous = install_fault_plan(plan)
+    reset_fault_state()
+    try:
+        yield
+    finally:
+        install_fault_plan(previous)
+        reset_fault_state()
+
+
+def plan_from_env(value: Optional[str] = None) -> Optional[FaultPlan]:
+    """Parse the ``MERLIN_FAULTS`` value (inline JSON or ``@path``)."""
+    if value is None:
+        value = os.environ.get(ENV_VAR)
+    if not value:
+        return None
+    value = value.strip()
+    if value.startswith("@"):
+        path = value[1:]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                value = handle.read()
+        except OSError as exc:
+            raise MerlinInputError(
+                f"{ENV_VAR} names an unreadable plan file {path!r}: "
+                f"{exc}") from exc
+    return FaultPlan.from_json(value)
+
+
+def load_env_plan() -> Optional[FaultPlan]:
+    """(Re)install the environment plan; returns what was installed."""
+    plan = plan_from_env()
+    if plan is not None:
+        install_fault_plan(plan)
+    return plan
+
+
+# -- the injection point ----------------------------------------------
+
+
+def fault_point(site: str, data: Any = None, key: Any = None) -> Any:
+    """Declare an injection point named ``site``.
+
+    Returns ``data`` unchanged unless an active spec fires here:
+    ``corrupt`` returns a mangled copy, ``hang`` sleeps then returns,
+    ``error`` raises :class:`FaultInjected`, ``crash`` kills the current
+    worker process.  ``key`` gives specs something to ``match`` on.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return data
+    for index, spec in enumerate(plan.specs):
+        if not fnmatchcase(site, spec.site):
+            continue
+        if spec.match is not None and spec.match not in str(key):
+            continue
+        hit = _next_hit(index, site, spec)
+        if hit < spec.after:
+            continue
+        if spec.times is not None and hit >= spec.after + spec.times:
+            continue
+        if spec.probability < 1.0 and not _bernoulli(plan.seed, site, hit,
+                                                     spec.probability):
+            continue
+        data = _fire(spec, site, hit, data)
+    return data
+
+
+def _next_hit(index: int, site: str, spec: FaultSpec) -> int:
+    """This call's 0-based hit number for ``spec`` at ``site``.
+
+    With a ledger file the count is shared across every process that
+    appends to it (exact ordering between racing processes is
+    unimportant: the window sizes stay exact).
+    """
+    if spec.ledger is not None:
+        tag = f"{index}:{site}\n"
+        count = 0
+        try:
+            with open(spec.ledger, "r", encoding="utf-8") as handle:
+                count = sum(1 for line in handle if line == tag)
+        except OSError:
+            count = 0
+        try:
+            with open(spec.ledger, "a", encoding="utf-8") as handle:
+                handle.write(tag)
+        except OSError:
+            pass
+        return count
+    key = (index, site)
+    hit = _HITS.get(key, 0)
+    _HITS[key] = hit + 1
+    return hit
+
+
+def _bernoulli(seed: int, site: str, hit: int, probability: float) -> bool:
+    """A replayable coin flip: same (seed, site, hit) → same outcome."""
+    return random.Random(f"{seed}|{site}|{hit}").random() < probability
+
+
+def _fire(spec: FaultSpec, site: str, hit: int, data: Any) -> Any:
+    rec = active_recorder()
+    if rec.enabled:
+        rec.incr(metric.RESILIENCE_FAULTS_INJECTED)
+        rec.incr(metric.resilience_fault(site))
+    message = spec.message or (
+        f"injected {spec.kind} fault at {site} (hit {hit})")
+    if spec.kind == "hang":
+        time.sleep(spec.hang_s)
+        return data
+    if spec.kind == "corrupt":
+        return corrupt(data)
+    if spec.kind == "crash":
+        if multiprocessing.parent_process() is not None:
+            os._exit(CRASH_EXIT_CODE)
+        # In the parent (service/CLI) process a hard exit would take the
+        # whole service down — degrade the fault to a raised error so the
+        # isolation machinery handles it instead.
+        raise FaultInjected(
+            f"{message} [crash downgraded to error: not in a worker "
+            f"process]", stage=site)
+    raise FaultInjected(message, stage=site)
+
+
+def corrupt(data: Any) -> Any:
+    """Deterministically mangle ``data`` (the ``corrupt`` fault body).
+
+    Strings and bytes are truncated to half length and stamped with
+    :data:`CORRUPTION_MARKER` — never valid JSON afterwards.  Dicts get
+    a marker key and lose one real key.  Other values are replaced by
+    the marker itself.
+    """
+    if isinstance(data, bytes):
+        return data[: len(data) // 2] + CORRUPTION_MARKER.encode("ascii")
+    if isinstance(data, str):
+        return data[: len(data) // 2] + CORRUPTION_MARKER
+    if isinstance(data, dict):
+        mangled = dict(data)
+        for key in sorted(mangled, key=str):
+            del mangled[key]
+            break
+        mangled["__corrupted__"] = CORRUPTION_MARKER
+        return mangled
+    return CORRUPTION_MARKER
+
+
+# A plan in the environment activates at import so every process of a
+# chaos run (parent, spawned or forked workers) sees the same triggers.
+load_env_plan()

@@ -14,37 +14,76 @@ memory misses fall through to disk and promote back on hit, so a
 restarted service warms itself from its own history.  Disk writes are
 atomic (temp file + rename) so a killed process can't leave a torn
 entry behind.
+
+Disk entries are hardened (schema version 2):
+
+* every entry carries a SHA-256 **checksum** of its payload, so a torn,
+  truncated, or bit-rotted file is *detected*, not replayed;
+* a corrupt entry is **quarantined** — moved into ``disk_dir/quarantine/``
+  for post-mortems instead of deleted — and the read degrades to a
+  clean miss (the engine recomputes and overwrites);
+* a **schema-version** mismatch (an old cache) is a plain miss, not a
+  corruption: old caches age out instead of crashing or raising alarms;
+* corruption and quarantine counts surface in :meth:`stats` (and so in
+  ``GET /stats``) and in the ``resilience.cache.*`` metrics when a
+  recorder is attached.
+
+Chaos hooks: reads and writes pass through the
+``service.cache.read`` / ``service.cache.write`` fault points, so the
+chaos suite can inject torn entries without touching the filesystem.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
 import json
 import os
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from repro.instrument import names as metric
+from repro.instrument.recorder import Recorder
+from repro.resilience.errors import MerlinInputError
+from repro.resilience.faults import fault_point
+
 #: Payload schema version stored in every disk entry; mismatches are
 #: treated as misses so old caches age out instead of crashing.
-PAYLOAD_VERSION = 1
+#: Version 2 added the payload checksum.
+PAYLOAD_VERSION = 2
+
+#: Subdirectory of ``disk_dir`` corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """Canonical SHA-256 digest of a payload (sorted-key JSON)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
     """LRU result cache with an optional persistent JSON tier."""
 
     def __init__(self, capacity: int = 256,
-                 disk_dir: Optional[str] = None) -> None:
+                 disk_dir: Optional[str] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
+            raise MerlinInputError("cache capacity must be >= 1")
         self.capacity = capacity
         self.disk_dir = disk_dir
+        #: Optional metrics sink for the ``resilience.cache.*`` counters;
+        #: the owning service attaches its own recorder here.
+        self.recorder = recorder
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
         self._evictions = 0
+        self._corruptions = 0
+        self._quarantined = 0
         if disk_dir is not None:
             os.makedirs(disk_dir, exist_ok=True)
 
@@ -97,6 +136,8 @@ class ResultCache:
                 "misses": self._misses,
                 "disk_hits": self._disk_hits,
                 "evictions": self._evictions,
+                "corruptions": self._corruptions,
+                "quarantined": self._quarantined,
                 "disk_dir": self.disk_dir,
             }
 
@@ -120,23 +161,66 @@ class ResultCache:
             return None
         try:
             with open(self._disk_path(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, ValueError):
+                raw = handle.read()
+        except OSError:
             return None
-        if not isinstance(entry, dict) \
-                or entry.get("version") != PAYLOAD_VERSION:
+        raw = fault_point("service.cache.read", data=raw, key=key)
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            return self._quarantine(key, "entry is not valid JSON")
+        if not isinstance(entry, dict):
+            return self._quarantine(key, "entry is not a JSON object")
+        if entry.get("version") != PAYLOAD_VERSION:
+            # A different schema is an *old* cache, not a broken one:
+            # miss cleanly and let the next put overwrite it.
             return None
-        return entry.get("payload")
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return self._quarantine(key, "entry has no payload object")
+        if entry.get("checksum") != payload_checksum(payload):
+            return self._quarantine(key, "payload checksum mismatch")
+        return payload
+
+    def _quarantine(self, key: str, why: str) -> None:
+        """Move a corrupt entry aside and account for it; returns None
+        so corrupt reads look like plain misses to the caller."""
+        moved = False
+        try:
+            quarantine_dir = os.path.join(self.disk_dir, QUARANTINE_DIR)
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(self._disk_path(key),
+                       os.path.join(quarantine_dir, f"{key}.json"))
+            moved = True
+        except OSError:
+            # Quarantine is best-effort; the entry stays (and stays
+            # detected) if the move fails on a read-only disk.
+            pass
+        with self._lock:
+            self._corruptions += 1
+            if moved:
+                self._quarantined += 1
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.incr(metric.RESILIENCE_CACHE_CORRUPTIONS)
+                if moved:
+                    recorder.incr(metric.RESILIENCE_CACHE_QUARANTINED)
+        return None
 
     def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
         if self.disk_dir is None:
             return
         path = self._disk_path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
+        blob = json.dumps({
+            "version": PAYLOAD_VERSION,
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        })
+        blob = fault_point("service.cache.write", data=blob, key=key)
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump({"version": PAYLOAD_VERSION, "payload": payload},
-                          handle)
+                handle.write(blob)
             os.replace(tmp, path)
         except OSError:
             # Disk tier is best-effort: a full/read-only disk degrades the

@@ -17,11 +17,17 @@ Contract per job:
   same ``tree_signature`` — to the cold run that populated the entry.
   Canonical twins *within one batch* are deduplicated too: the DP runs
   once and the twins resolve from the freshly cached entry.
-* **Error isolation.**  A job that raises (in a worker or inline) yields
-  a ``ServiceResult`` with ``ok=False`` and the error string; the other
-  jobs of the batch are unaffected.  A worker process that *dies*
-  (``BrokenProcessPool``) fails its job, the pool is rebuilt, and the
-  remaining jobs are resubmitted.
+* **Error isolation.**  A job that raises (in a worker or inline)
+  yields a ``ServiceResult`` with ``ok=False`` and a structured
+  :class:`~repro.resilience.errors.ErrorRecord` (kind / category /
+  stage); the other jobs of the batch are unaffected.
+* **Crash recovery.**  A worker process that *dies*
+  (``BrokenProcessPool``) does not fail its job: the pool is rebuilt
+  with bounded exponential backoff and every uncollected job is
+  resubmitted; after ``pool_retries`` rebuilds the survivors run
+  serially inline.  Either way the caller gets real results, and
+  ``resilience.pool.rebuilds`` / ``resilience.job.retries`` record the
+  event.
 * **Per-job timeout.**  ``timeout_s`` bounds the wait for each result.
   ``ProcessPoolExecutor`` cannot kill a running task, so a timed-out
   job's worker finishes (and is discarded) in the background; its slot
@@ -29,10 +35,20 @@ Contract per job:
 * **Graceful degradation.**  When process pools are unavailable
   (sandboxes, restricted platforms) or ``workers == 1``, jobs run
   serially inline — same results, no pool, timeouts not enforceable.
+  Independently, ``budget_ops`` / ``deadline_s`` bound each job's
+  *compute*: on exhaustion the job walks the degradation ladder
+  (:mod:`repro.resilience.degrade`) and returns a valid tree tagged
+  ``degraded`` instead of failing.  Degraded payloads are never
+  cached — the budget is not part of the cache key, and a degraded
+  answer must not satisfy a future full-quality lookup.
 
 Determinism: results are collected by submission index (never completion
 order), and workers run with ``config.recorder`` stripped, exactly like
 :mod:`repro.parallel`.
+
+Chaos hooks: job dispatch and worker entry pass through the
+``service.job`` / ``service.worker`` fault points
+(:mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
@@ -43,14 +59,22 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from threading import Lock
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import MerlinConfig
-from repro.core.merlin import merlin
 from repro.core.objective import Objective
 from repro.instrument import Recorder
 from repro.instrument import names as metric
 from repro.net import Net
+from repro.resilience.budget import ComputeBudget
+from repro.resilience.degrade import run_with_ladder
+from repro.resilience.errors import (
+    ErrorRecord,
+    JobTimeoutError,
+    MerlinInputError,
+    classify,
+)
+from repro.resilience.faults import fault_point
 from repro.routing.evaluate import evaluate_tree
 from repro.routing.export import (
     evaluation_to_dict,
@@ -63,49 +87,80 @@ from repro.service.cache import ResultCache
 from repro.service.canonical import canonical_key
 from repro.tech.technology import Technology, default_technology
 
+#: Backoff before pool rebuild r (1-based) is
+#: ``min(_POOL_BACKOFF_CAP_S, backoff_base * 2**(r-1))``.
+_POOL_BACKOFF_CAP_S = 1.0
+
 
 @dataclass(frozen=True)
 class _Job:
-    """One cache-missing optimization (picklable unit of pool work)."""
+    """One cache-missing optimization (picklable unit of pool work).
+
+    The compute budget crosses the process boundary as plain numbers;
+    the worker constructs its own :class:`ComputeBudget` at job start
+    (a live budget's deadline anchor is process-local).
+    """
 
     net: Net
     tech: Technology
     config: MerlinConfig
     objective: Objective
+    budget_ops: Optional[int] = None
+    deadline_s: Optional[float] = None
 
 
 def _run_job(job: _Job) -> Dict[str, Any]:
-    """Run MERLIN on one job and return the cacheable payload.
+    """Run one job down the degradation ladder; return the payload.
 
-    The tree is exported together with the source it was computed at, so
-    a cache hit from a translate-equivalent net can rebuild it in its
-    own frame (offset = new source - stored source; zero for repeats).
+    With no budget configured the ladder's first rung is a plain
+    ``merlin()`` run and the payload is bit-identical to the
+    pre-resilience engine (golden signatures unchanged).  The tree is
+    exported together with the source it was computed at, so a cache
+    hit from a translate-equivalent net can rebuild it in its own frame
+    (offset = new source - stored source; zero for repeats).
     """
     start = time.perf_counter()
-    result = merlin(job.net, job.tech, config=job.config,
-                    objective=job.objective)
-    evaluation = evaluate_tree(result.tree, job.tech)
-    return {
+    fault_point("service.job", key=job.net.name)
+    budget: Optional[ComputeBudget] = None
+    if job.budget_ops is not None or job.deadline_s is not None:
+        budget = ComputeBudget(max_ops=job.budget_ops,
+                               deadline_s=job.deadline_s)
+    outcome = run_with_ladder(job.net, job.tech, config=job.config,
+                              objective=job.objective, budget=budget)
+    evaluation = evaluate_tree(outcome.tree, job.tech)
+    payload: Dict[str, Any] = {
         "source": [job.net.source.x, job.net.source.y],
-        "tree": tree_to_dict(result.tree),
+        "tree": tree_to_dict(outcome.tree),
         "evaluation": evaluation_to_dict(evaluation),
-        "cost": job.objective.cost(result.best.solution),
-        "iterations": result.iterations,
-        "converged": result.converged,
-        "cost_trace": list(result.cost_trace),
+        "cost": outcome.cost,
+        "iterations": outcome.iterations,
+        "converged": outcome.converged,
+        "cost_trace": list(outcome.cost_trace),
+        "degraded": outcome.degraded,
         "engine_wall_s": time.perf_counter() - start,
     }
+    if outcome.degraded:
+        payload["degradation"] = {
+            "rung": outcome.rung,
+            "reason": outcome.reason,
+            "attempts": list(outcome.attempts),
+        }
+    return payload
 
 
 def _invoke_job(job: _Job) -> Dict[str, Any]:
     """Pool entry point: resolves the runner at call time in the worker,
     so tests can monkeypatch ``_JOB_RUNNER`` (inherited via fork) to
     inject failures and stalls without touching the engine."""
+    fault_point("service.worker", key=job.net.name)
     return _JOB_RUNNER(job)
 
 
 #: Indirection target of :func:`_invoke_job`; tests swap this.
 _JOB_RUNNER = _run_job
+
+#: A finished job is either a payload dict or a structured error.
+_Outcome = Union[Dict[str, Any], ErrorRecord]
 
 
 @dataclass
@@ -120,12 +175,32 @@ class ServiceResult:
     #: Wall-clock seconds from request to answer (queueing included).
     elapsed_s: float
     error: Optional[str] = None
+    #: Taxonomy projection of the failure (``ok=False`` only).
+    error_kind: Optional[str] = None
+    error_category: Optional[str] = None
+    error_stage: Optional[str] = None
     signature: Optional[str] = None
     cost: Optional[float] = None
     iterations: Optional[int] = None
     converged: Optional[bool] = None
+    #: True when a degradation-ladder fallback produced the tree.
+    degraded: bool = False
+    #: Ladder detail (rung, reason, attempts) when :attr:`degraded`.
+    degradation: Optional[Dict[str, Any]] = field(default=None, repr=False)
     tree: Optional[RoutingTree] = field(default=None, repr=False)
     evaluation: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def error_record(self) -> Optional[ErrorRecord]:
+        """The failure as a structured record (None when ``ok``)."""
+        if self.ok:
+            return None
+        return ErrorRecord(
+            kind=self.error_kind or "MerlinError",
+            category=self.error_category or "internal",
+            stage=self.error_stage or "service",
+            message=self.error or "",
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable response body (``POST /optimize`` shape)."""
@@ -137,15 +212,21 @@ class ServiceResult:
         }
         if not self.ok:
             data["error"] = self.error
+            record = self.error_record
+            if record is not None:
+                data["error_detail"] = record.to_dict()
             return data
         data.update({
             "tree_signature": self.signature,
             "cost": self.cost,
             "iterations": self.iterations,
             "converged": self.converged,
+            "degraded": self.degraded,
             "tree": tree_to_dict(self.tree),
             "evaluation": self.evaluation,
         })
+        if self.degraded and self.degradation is not None:
+            data["degradation"] = self.degradation
         return data
 
 
@@ -155,6 +236,19 @@ class OptimizationService:
     Usable as a context manager; :meth:`close` shuts the warm pool down.
     All entry points are thread-safe (the HTTP front end calls
     :meth:`optimize` from many handler threads).
+
+    Resilience knobs:
+
+    ``budget_ops`` / ``deadline_s``
+        Per-job compute budget handed to the degradation ladder (see
+        module docstring).  ``budget_ops`` is deterministic;
+        ``deadline_s`` is wall-clock.
+    ``pool_retries``
+        How many times a broken pool is rebuilt (with exponential
+        backoff) before the surviving jobs run serially inline.
+    ``pool_retry_backoff_s``
+        Base of the backoff; rebuild ``r`` sleeps
+        ``min(1.0, base * 2**(r-1))`` seconds.  Tests set 0.
     """
 
     def __init__(self, tech: Optional[Technology] = None,
@@ -163,17 +257,31 @@ class OptimizationService:
                  cache: Optional[ResultCache] = None,
                  workers: Optional[int] = None,
                  job_timeout_s: Optional[float] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 budget_ops: Optional[int] = None,
+                 deadline_s: Optional[float] = None,
+                 pool_retries: int = 2,
+                 pool_retry_backoff_s: float = 0.05) -> None:
         self.tech = tech or default_technology()
-        # Workers never share the parent's recorder (unpicklable, racy).
-        self.config = (config or MerlinConfig()).with_(recorder=None)
+        # Workers never share the parent's recorder (unpicklable, racy);
+        # budgets are per-job, never part of the shared config.
+        self.config = (config or MerlinConfig()).with_(recorder=None,
+                                                       budget=None)
         self.objective = objective or Objective.max_required_time()
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers if workers is not None else self.config.workers
         if self.workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise MerlinInputError("workers must be >= 1")
+        if pool_retries < 0:
+            raise MerlinInputError("pool_retries must be >= 0")
         self.job_timeout_s = job_timeout_s
+        self.budget_ops = budget_ops
+        self.deadline_s = deadline_s
+        self.pool_retries = pool_retries
+        self.pool_retry_backoff_s = pool_retry_backoff_s
         self.recorder = recorder or Recorder()
+        if self.cache.recorder is None:
+            self.cache.recorder = self.recorder
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_disabled: Optional[str] = None
         self._lock = Lock()
@@ -248,7 +356,9 @@ class OptimizationService:
                 key = canonical_key(net, self.tech, self.config,
                                     self.objective)
             except Exception as exc:  # un-canonicalizable input
-                results[i] = self._error_result(net, started[i], repr(exc))
+                self._record(metric.SERVICE_ERRORS)
+                results[i] = self._error_result(
+                    net, started[i], classify(exc, stage="canonicalize"))
                 continue
             keys[i] = key
             payload = self.cache.get(key)
@@ -289,6 +399,9 @@ class OptimizationService:
             "execution_mode": mode,
             "pool_disabled_reason": disabled,
             "job_timeout_s": self.job_timeout_s,
+            "budget_ops": self.budget_ops,
+            "deadline_s": self.deadline_s,
+            "pool_retries": self.pool_retries,
             "cache": self.cache.stats(),
             "counters": report["counters"],
             "latency": report["series"],
@@ -296,12 +409,16 @@ class OptimizationService:
 
     # -- miss execution -------------------------------------------------
 
+    def _make_job(self, net: Net) -> _Job:
+        return _Job(net=net, tech=self.tech, config=self.config,
+                    objective=self.objective, budget_ops=self.budget_ops,
+                    deadline_s=self.deadline_s)
+
     def _run_misses(self, nets: Sequence[Net], misses: List[int],
                     keys: List[Optional[str]], started: List[float],
                     results: List[Optional[ServiceResult]],
                     timeout_s: Optional[float]) -> None:
-        jobs = {i: _Job(net=nets[i], tech=self.tech, config=self.config,
-                        objective=self.objective) for i in misses}
+        jobs = {i: self._make_job(nets[i]) for i in misses}
         pool = self._acquire_pool()
         if pool is None:
             for i in misses:
@@ -310,11 +427,12 @@ class OptimizationService:
             return
 
         pending = list(misses)
+        rebuilds = 0
         while pending:
             try:
                 futures = {i: pool.submit(_invoke_job, jobs[i])
                            for i in pending}
-            except RuntimeError as exc:  # pool already shut down
+            except RuntimeError:  # pool already shut down
                 self._discard_pool(pool)
                 pool = self._acquire_pool()
                 if pool is None:
@@ -323,37 +441,47 @@ class OptimizationService:
                                          self._run_inline(jobs[i]))
                     return
                 continue
-            broken_at: Optional[int] = None
+            broken = False
             for i in pending:
                 future = futures[i]
                 try:
-                    payload = future.result(timeout=timeout_s)
-                    outcome: Any = payload
+                    outcome: _Outcome = future.result(timeout=timeout_s)
                 except FutureTimeoutError:
                     future.cancel()
                     self._record(metric.SERVICE_JOB_TIMEOUTS)
                     self._record(metric.SERVICE_ERRORS)
-                    outcome = (f"job timed out after {timeout_s}s "
-                               f"(worker still draining)")
+                    outcome = JobTimeoutError(
+                        f"job timed out after {timeout_s}s "
+                        f"(worker still draining)", stage="pool").record
                 except BrokenProcessPool:
-                    # This worker process died; fail the job, rebuild the
-                    # pool, and resubmit everything not yet collected.
-                    self._record(metric.SERVICE_JOB_FAILURES)
-                    self._record(metric.SERVICE_ERRORS)
-                    broken_at = i
+                    # A worker died.  Do NOT fail the job: rebuild the
+                    # pool (bounded, with backoff) and resubmit every
+                    # job not yet collected — this one included.
+                    broken = True
                     break
                 except Exception as exc:
                     self._record(metric.SERVICE_JOB_FAILURES)
                     self._record(metric.SERVICE_ERRORS)
-                    outcome = repr(exc)
+                    outcome = classify(exc, stage="engine")
                 self._finish_job(nets[i], i, keys, started, results, outcome)
-            if broken_at is None:
+            if not broken:
                 return
-            self._finish_job(nets[broken_at], broken_at, keys, started,
-                             results, "worker process died (pool rebuilt)")
-            pending = [i for i in pending
-                       if results[i] is None]
+            pending = [i for i in pending if results[i] is None]
             self._discard_pool(pool)
+            rebuilds += 1
+            self._record(metric.RESILIENCE_POOL_REBUILDS)
+            self._record(metric.RESILIENCE_JOB_RETRIES, len(pending))
+            if rebuilds > self.pool_retries:
+                # Retry budget spent: the pool path is not trustworthy
+                # right now — finish the survivors serially inline.
+                for i in pending:
+                    self._finish_job(nets[i], i, keys, started, results,
+                                     self._run_inline(jobs[i]))
+                return
+            backoff = min(_POOL_BACKOFF_CAP_S,
+                          self.pool_retry_backoff_s * (2 ** (rebuilds - 1)))
+            if backoff > 0:
+                time.sleep(backoff)
             pool = self._acquire_pool()
             if pool is None:
                 for i in pending:
@@ -361,30 +489,39 @@ class OptimizationService:
                                      self._run_inline(jobs[i]))
                 return
 
-    def _run_inline(self, job: _Job) -> Any:
-        """Serial fallback: payload dict on success, error string on
-        failure (same isolation contract as the pool path)."""
+    def _run_inline(self, job: _Job) -> _Outcome:
+        """Serial fallback: payload dict on success, structured error
+        record on failure (same isolation contract as the pool path)."""
         try:
             return _JOB_RUNNER(job)
         except Exception as exc:
             self._record(metric.SERVICE_JOB_FAILURES)
             self._record(metric.SERVICE_ERRORS)
-            return repr(exc)
+            return classify(exc, stage="engine")
 
     def _finish_job(self, net: Net, i: int, keys: List[Optional[str]],
                     started: List[float],
                     results: List[Optional[ServiceResult]],
-                    outcome: Any) -> None:
+                    outcome: _Outcome) -> None:
         """Record one job's outcome: payload dict = success (cached for
-        next time), string = error message."""
+        next time unless degraded), ErrorRecord = failure."""
         self._record(metric.SERVICE_JOBS)
-        if isinstance(outcome, str):
+        if isinstance(outcome, ErrorRecord):
             results[i] = self._error_result(net, started[i], outcome)
             return
         self._record_series(metric.SERVICE_JOB_LATENCY_S,
                             outcome.get("engine_wall_s", 0.0))
         key = keys[i]
-        if key is not None:
+        if outcome.get("degraded"):
+            # A degraded payload must never serve a future full-quality
+            # lookup: the budget is excluded from the canonical key.
+            self._record(metric.RESILIENCE_DEGRADED)
+            for attempt in (outcome.get("degradation") or {}).get(
+                    "attempts", ()):
+                if attempt.get("error", {}).get("kind") \
+                        == "BudgetExhaustedError":
+                    self._record(metric.RESILIENCE_BUDGET_EXHAUSTED)
+        elif key is not None:
             self.cache.put(key, outcome)
         results[i] = self._from_payload(net, outcome, cached=False,
                                         started=started[i])
@@ -393,7 +530,8 @@ class OptimizationService:
                            keys: List[Optional[str]], started: List[float],
                            results: List[Optional[ServiceResult]]) -> None:
         """Answer a within-batch canonical twin from the entry its
-        primary just cached (or mirror the primary's failure)."""
+        primary just cached (or mirror the primary's outcome when no
+        entry exists — failures, degraded answers)."""
         key = keys[i]
         payload = self.cache.get(key) if key is not None else None
         if payload is not None:
@@ -402,12 +540,35 @@ class OptimizationService:
                                             started=started[i])
             return
         primary = next((r for j, r in enumerate(results)
-                        if r is not None and keys[j] == key and r.error),
+                        if r is not None and keys[j] == key and j != i),
                        None)
-        error = primary.error if primary is not None \
-            else "canonically identical job in this batch failed"
+        if primary is not None and primary.ok:
+            # Degraded primary: nothing was cached; mirror its answer by
+            # rebuilding from this net's own frame is not possible here,
+            # so re-present the primary's tree data for this twin.
+            results[i] = ServiceResult(
+                net_name=net.name,
+                ok=True,
+                cached=False,
+                elapsed_s=time.perf_counter() - started[i],
+                signature=primary.signature,
+                cost=primary.cost,
+                iterations=primary.iterations,
+                converged=primary.converged,
+                degraded=primary.degraded,
+                degradation=primary.degradation,
+                tree=primary.tree,
+                evaluation=primary.evaluation,
+            )
+            return
         self._record(metric.SERVICE_ERRORS)
-        results[i] = self._error_result(net, started[i], error)
+        record = primary.error_record if primary is not None else None
+        if record is None:
+            record = ErrorRecord(
+                kind="MerlinInternalError", category="internal",
+                stage="service",
+                message="canonically identical job in this batch failed")
+        results[i] = self._error_result(net, started[i], record)
 
     # -- result assembly ------------------------------------------------
 
@@ -427,18 +588,27 @@ class OptimizationService:
             cost=payload["cost"],
             iterations=payload["iterations"],
             converged=payload["converged"],
+            degraded=bool(payload.get("degraded", False)),
+            degradation=payload.get("degradation"),
             tree=tree,
             evaluation=payload["evaluation"],
         )
 
     def _error_result(self, net: Net, started: float,
-                      error: str) -> ServiceResult:
+                      error: Union[str, ErrorRecord]) -> ServiceResult:
+        if isinstance(error, str):
+            error = ErrorRecord(kind="MerlinInternalError",
+                                category="internal", stage="service",
+                                message=error)
         return ServiceResult(
             net_name=net.name,
             ok=False,
             cached=False,
             elapsed_s=time.perf_counter() - started,
-            error=error,
+            error=error.message,
+            error_kind=error.kind,
+            error_category=error.category,
+            error_stage=error.stage,
         )
 
     # -- recorder (thread-safe wrappers) --------------------------------
@@ -457,7 +627,9 @@ def optimize_many(nets: Sequence[Net], tech: Optional[Technology] = None,
                   objective: Optional[Objective] = None,
                   workers: Optional[int] = None,
                   cache: Optional[ResultCache] = None,
-                  timeout_s: Optional[float] = None) -> List[ServiceResult]:
+                  timeout_s: Optional[float] = None,
+                  budget_ops: Optional[int] = None,
+                  deadline_s: Optional[float] = None) -> List[ServiceResult]:
     """One-shot convenience: optimize ``nets`` through a transient
     :class:`OptimizationService` (spawn pool, stream jobs, shut down).
 
@@ -465,5 +637,7 @@ def optimize_many(nets: Sequence[Net], tech: Optional[Technology] = None,
     their own so the pool and cache stay warm across batches.
     """
     with OptimizationService(tech=tech, config=config, objective=objective,
-                             cache=cache, workers=workers) as service:
+                             cache=cache, workers=workers,
+                             budget_ops=budget_ops,
+                             deadline_s=deadline_s) as service:
         return service.optimize_many(nets, timeout_s=timeout_s)

@@ -9,6 +9,10 @@
   :meth:`~repro.service.engine.ServiceResult.to_dict` body: the tree
   (``repro.routing.export`` schema), its signature, the evaluation, and
   the ``cached`` flag.  Per-request ``{"timeout_s": ...}`` is honored.
+  Failures map the error taxonomy onto status codes: malformed input is
+  400, transient resource exhaustion (timeout, dead pool) is 503, and
+  internal errors are 500 — every error body carries the structured
+  ``error_detail`` record (kind / category / stage).
 * ``GET /stats`` — cache hit/miss counters and the request-latency
   series recorded through :mod:`repro.instrument`.
 * ``GET /healthz`` — liveness probe.
@@ -35,11 +39,23 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.instrument import names as metric
 from repro.net import net_from_dict
+from repro.resilience.errors import classify
+from repro.resilience.faults import FaultInjected, fault_point
 from repro.service.engine import OptimizationService
 
 #: Request bodies above this size are rejected outright (a net of tens of
 #: thousands of sinks is far beyond what the DP can serve anyway).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: HTTP status per error-taxonomy category: the client's fault is 400,
+#: a transient capacity problem (timeout, dead pool, exhausted budget
+#: that could not even degrade) is 503 retry-later, everything else is
+#: an honest 500.
+_STATUS_BY_CATEGORY = {
+    "input": 400,
+    "resource": 503,
+    "internal": 500,
+}
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -80,22 +96,37 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         service._record(metric.service_endpoint_requests("optimize"))
         try:
+            fault_point("service.http", key=self.path)
+        except FaultInjected as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(500, {"error": str(exc),
+                              "error_detail": exc.record.to_dict()})
+            return
+        try:
             body = self._read_body()
         except ValueError as exc:
             service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": str(exc)})
+            self._reply(400, {"error": str(exc),
+                              "error_detail": classify(
+                                  exc, stage="http").to_dict()})
             return
         try:
             net_data = body.get("net", body) if isinstance(body, dict) \
                 else body
             net = net_from_dict(net_data)
         except (ValueError, TypeError, AttributeError) as exc:
+            # MalformedNetError carries the offending field in its
+            # message; surface it verbatim so clients can fix the input.
             service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": f"invalid net payload: {exc}"})
+            self._reply(400, {"error": f"invalid net payload: {exc}",
+                              "error_detail": classify(
+                                  exc, stage="net").to_dict()})
             return
         timeout_s = body.get("timeout_s") if isinstance(body, dict) else None
         result = service.optimize(net, timeout_s=timeout_s)
-        self._reply(200 if result.ok else 500, result.to_dict())
+        status = 200 if result.ok else _STATUS_BY_CATEGORY.get(
+            result.error_category or "internal", 500)
+        self._reply(status, result.to_dict())
 
     # -- plumbing -------------------------------------------------------
 

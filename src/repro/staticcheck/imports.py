@@ -32,8 +32,10 @@ from repro.staticcheck.engine import ModuleInfo
 PACKAGE_LAYERS: Dict[str, int] = {
     # foundation: pure data/math, no repro imports above their layer
     "units": 0, "geometry": 0, "instrument": 0,
-    # physical/problem model
-    "net": 1, "tech": 1,
+    # physical/problem model; resilience sits here too — its taxonomy/
+    # budget/fault primitives are imported by the model and the engine
+    # (the degradation ladder reaches upward only through lazy imports)
+    "net": 1, "tech": 1, "resilience": 1,
     # solution-space primitives
     "curves": 2, "orders": 2,
     # tree IR and evaluation

@@ -13,6 +13,8 @@ them):
 ``NUM-FLOAT-EQ``          exact float ``==``/``!=`` in engine packages
 ``LAY-UPWARD``            lower layer importing a higher layer
 ``LAY-CYCLE``             module-level import cycle across ``repro.*``
+``RES-BARE-EXCEPT``       bare/``BaseException`` handler in service/
+                          parallel/resilience
 ========================  ==============================================
 """
 
@@ -23,6 +25,8 @@ from repro.staticcheck.rules import (  # noqa: F401  (register on import)
     layering,
     numerics,
     pool_safety,
+    resilience,
 )
 
-__all__ = ["determinism", "layering", "numerics", "pool_safety"]
+__all__ = ["determinism", "layering", "numerics", "pool_safety",
+           "resilience"]

@@ -1,0 +1,54 @@
+"""The buffered-star baseline: validity, determinism, stability."""
+
+from __future__ import annotations
+
+from tests.conftest import build_net
+from repro.baselines.star import buffered_star, star_buffer
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.evaluate import evaluate_tree
+from repro.routing.export import tree_signature
+from repro.routing.validate import validate_tree
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+
+
+def test_star_is_a_valid_tree_covering_every_sink():
+    net = build_net(6, seed=31)
+    tree = buffered_star(net, TECH)
+    validate_tree(tree)
+    evaluation = evaluate_tree(tree, TECH)
+    assert evaluation.buffer_count == 1
+    assert evaluation.buffer_area == star_buffer(TECH).area
+
+
+def test_star_signature_is_deterministic():
+    net = build_net(5, seed=32)
+    assert tree_signature(buffered_star(net, TECH)) == \
+        tree_signature(buffered_star(net, TECH))
+
+
+def test_star_buffer_is_the_strongest_driver():
+    chosen = star_buffer(TECH)
+    assert chosen.drive_resistance == min(
+        b.drive_resistance for b in TECH.buffers)
+
+
+def test_star_handles_a_single_sink():
+    net = Net("one", Point(0, 0),
+              (Sink("s", Point(700, 100), load=8.0, required_time=500.0),))
+    tree = buffered_star(net, TECH)
+    validate_tree(tree)
+    assert evaluate_tree(tree, TECH).buffer_count == 1
+
+
+def test_star_never_searches_so_it_cannot_exhaust_a_budget():
+    # The ladder-floor contract: construction is a function of (net,
+    # tech) alone — no config, no budget, no curves.
+    import inspect
+
+    from repro.baselines import star
+
+    signature = inspect.signature(star.buffered_star)
+    assert list(signature.parameters) == ["net", "tech"]

@@ -1,0 +1,111 @@
+"""ComputeBudget semantics and its threading through the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import build_net
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.resilience.budget import ComputeBudget
+from repro.resilience.errors import BudgetExhaustedError, MerlinInputError
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CONFIG = MerlinConfig.test_preset()
+
+
+def test_inactive_budget_never_trips():
+    budget = ComputeBudget()
+    assert not budget.active
+    for _ in range(10_000):
+        budget.charge()
+    assert budget.ops == 10_000
+
+
+def test_ops_cap_trips_exactly_past_the_cap():
+    budget = ComputeBudget(max_ops=3)
+    budget.charge(3)
+    with pytest.raises(BudgetExhaustedError) as excinfo:
+        budget.charge()
+    assert "4 ops" in str(excinfo.value)
+    assert excinfo.value.category == "resource"
+
+
+def test_deadline_trips_on_elapsed_wall_clock():
+    budget = ComputeBudget(deadline_s=0.0)
+    budget.start()
+    with pytest.raises(BudgetExhaustedError, match="deadline"):
+        # Any nonzero elapsed time exceeds a zero deadline.
+        budget.charge()
+
+
+def test_negative_limits_are_input_errors():
+    with pytest.raises(MerlinInputError):
+        ComputeBudget(max_ops=-1)
+    with pytest.raises(MerlinInputError):
+        ComputeBudget(deadline_s=-0.5)
+
+
+def test_child_gets_fresh_ops_but_shares_the_deadline_anchor():
+    parent = ComputeBudget(max_ops=5, deadline_s=60.0)
+    parent.start()
+    parent.charge(5)
+    child = parent.child()
+    assert child.ops == 0  # fresh ops allowance
+    assert child.max_ops == 5
+    assert child.started_at == parent.started_at  # same absolute deadline
+    child.charge(5)  # the child's own cap applies to its own work
+    with pytest.raises(BudgetExhaustedError):
+        child.charge()
+
+
+def test_snapshot_is_plain_data():
+    budget = ComputeBudget(max_ops=7)
+    budget.charge(2)
+    snap = budget.snapshot()
+    assert snap["max_ops"] == 7 and snap["ops"] == 2
+    assert set(snap) == {"max_ops", "deadline_s", "ops", "elapsed_s"}
+
+
+# -- engine integration ------------------------------------------------
+
+
+def test_merlin_without_budget_is_unchanged():
+    net = build_net(4, seed=11)
+    baseline = merlin(net, TECH, config=CONFIG)
+    with_null = merlin(net, TECH, config=CONFIG.with_(budget=None))
+    assert baseline.tree.signature_data() if hasattr(
+        baseline.tree, "signature_data") else True
+    assert baseline.cost_trace == with_null.cost_trace
+
+
+def test_merlin_raises_budget_exhausted_under_tiny_cap():
+    net = build_net(4, seed=11)
+    with pytest.raises(BudgetExhaustedError):
+        merlin(net, TECH,
+               config=CONFIG.with_(budget=ComputeBudget(max_ops=1)))
+
+
+def test_ops_exhaustion_is_deterministic():
+    # The deterministic-degradation contract: the same cap trips after
+    # exactly the same number of charged units, every run.
+    net = build_net(4, seed=11)
+
+    def ops_at_failure(cap):
+        budget = ComputeBudget(max_ops=cap)
+        with pytest.raises(BudgetExhaustedError):
+            merlin(net, TECH, config=CONFIG.with_(budget=budget))
+        return budget.ops
+
+    assert ops_at_failure(10) == ops_at_failure(10) == 11
+
+
+def test_generous_budget_changes_nothing():
+    net = build_net(4, seed=11)
+    budget = ComputeBudget(max_ops=10_000_000)
+    bounded = merlin(net, TECH, config=CONFIG.with_(budget=budget))
+    unbounded = merlin(net, TECH, config=CONFIG)
+    assert bounded.cost_trace == unbounded.cost_trace
+    assert bounded.iterations == unbounded.iterations
+    assert budget.ops > 0  # the engine really did charge it

@@ -1,0 +1,112 @@
+"""The error taxonomy: categories, compatibility, wire round-trips."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.resilience.errors import (
+    CATEGORIES,
+    BudgetExhaustedError,
+    CacheCorruptionError,
+    ErrorRecord,
+    FaultInjected,
+    JobTimeoutError,
+    MalformedNetError,
+    MerlinError,
+    MerlinInputError,
+    MerlinInternalError,
+    MerlinResourceError,
+    PoolUnavailableError,
+    WorkerCrashError,
+    classify,
+    error_from_record,
+)
+
+
+def test_category_bases_subclass_the_matching_builtin():
+    # The structural compatibility contract: pre-taxonomy call sites
+    # catching ValueError/RuntimeError keep working.
+    assert issubclass(MerlinInputError, ValueError)
+    assert issubclass(MerlinResourceError, RuntimeError)
+    assert issubclass(MerlinInternalError, RuntimeError)
+    for cls in (MerlinInputError, MerlinResourceError, MerlinInternalError):
+        assert issubclass(cls, MerlinError)
+
+
+@pytest.mark.parametrize("cls,category", [
+    (MalformedNetError, "input"),
+    (JobTimeoutError, "resource"),
+    (WorkerCrashError, "resource"),
+    (PoolUnavailableError, "resource"),
+    (BudgetExhaustedError, "resource"),
+    (CacheCorruptionError, "internal"),
+    (FaultInjected, "internal"),
+])
+def test_concrete_kinds_carry_their_category(cls, category):
+    exc = cls("boom", stage="somewhere")
+    assert exc.category == category
+    assert exc.record.kind == cls.__name__
+    assert exc.record.category == category
+    assert exc.record.stage == "somewhere"
+    assert exc.record.message == "boom"
+
+
+def test_record_roundtrips_through_dict():
+    record = ErrorRecord(kind="JobTimeoutError", category="resource",
+                         stage="pool", message="too slow", degraded=True)
+    assert ErrorRecord.from_dict(record.to_dict()) == record
+
+
+def test_record_rejects_unknown_category():
+    with pytest.raises(MerlinInputError):
+        ErrorRecord(kind="X", category="cosmic", stage="", message="")
+
+
+def test_classify_sorts_builtins_by_conventional_meaning():
+    assert classify(ValueError("v")).category == "input"
+    assert classify(KeyError("k")).category == "input"
+    assert classify(TypeError("t")).category == "input"
+    assert classify(MemoryError()).category == "resource"
+    assert classify(OSError("disk")).category == "resource"
+    assert classify(ZeroDivisionError()).category == "internal"
+    assert classify(AssertionError("inv")).category == "internal"
+
+
+def test_classify_keeps_merlin_error_identity_and_stage():
+    record = classify(JobTimeoutError("slow", stage="pool"), stage="outer")
+    assert record.kind == "JobTimeoutError"
+    assert record.category == "resource"
+    assert record.stage == "pool"  # the exception's own stage wins
+    record = classify(JobTimeoutError("slow"), stage="outer")
+    assert record.stage == "outer"  # argument fills a missing stage
+
+
+def test_error_from_record_reconstructs_known_kinds():
+    original = WorkerCrashError("worker 3 died", stage="pool")
+    rebuilt = error_from_record(original.record)
+    assert type(rebuilt) is WorkerCrashError
+    assert str(rebuilt) == "worker 3 died"
+    assert rebuilt.stage == "pool"
+
+
+def test_error_from_record_falls_back_to_category_base():
+    record = ErrorRecord(kind="FutureKindFromNewerService",
+                         category="resource", stage="pool", message="m")
+    rebuilt = error_from_record(record)
+    assert type(rebuilt) is MerlinResourceError
+    # A kind whose registered category disagrees with the record's also
+    # falls back (the record's category is authoritative on the wire).
+    record = ErrorRecord(kind="JobTimeoutError", category="input",
+                         stage="", message="m")
+    assert type(error_from_record(record)) is MerlinInputError
+
+
+def test_records_pickle_across_process_boundaries():
+    record = classify(BudgetExhaustedError("out of ops", stage="budget"))
+    assert pickle.loads(pickle.dumps(record)) == record
+
+
+def test_categories_tuple_is_the_public_contract():
+    assert CATEGORIES == ("input", "resource", "internal")

@@ -1,0 +1,163 @@
+"""The fault-injection framework: specs, windows, determinism, env."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience.errors import FaultInjected, MerlinInputError
+from repro.resilience.faults import (
+    CORRUPTION_MARKER,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    corrupt,
+    fault_point,
+    plan_from_env,
+    use_fault_plan,
+)
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def test_no_plan_is_a_transparent_noop():
+    assert active_fault_plan() is None
+    payload = {"x": 1}
+    assert fault_point("service.job", data=payload) is payload
+
+
+def test_error_fault_raises_fault_injected_with_site_as_stage():
+    with use_fault_plan(_plan(FaultSpec(site="service.job", kind="error"))):
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_point("service.job")
+    assert excinfo.value.stage == "service.job"
+    assert excinfo.value.category == "internal"
+
+
+def test_times_window_fires_exactly_n_times():
+    spec = FaultSpec(site="s", kind="error", times=2, after=1)
+    with use_fault_plan(_plan(spec)):
+        fault_point("s")  # hit 0: before the window
+        for _ in range(2):  # hits 1, 2: inside
+            with pytest.raises(FaultInjected):
+                fault_point("s")
+        fault_point("s")  # hit 3: window exhausted
+        fault_point("s")
+
+
+def test_site_glob_and_key_match_restrict_firing():
+    spec = FaultSpec(site="service.cache.*", kind="error", times=None,
+                     match="poison")
+    with use_fault_plan(_plan(spec)):
+        fault_point("service.job", key="poison")  # site mismatch
+        fault_point("service.cache.read", key="clean")  # key mismatch
+        with pytest.raises(FaultInjected):
+            fault_point("service.cache.read", key="poison-net")
+
+
+def test_probability_draws_are_deterministic_per_seed():
+    spec = FaultSpec(site="s", kind="error", times=None, probability=0.5)
+
+    def fire_pattern(seed):
+        fired = []
+        with use_fault_plan(_plan(spec, seed=seed)):
+            for _ in range(32):
+                try:
+                    fault_point("s")
+                    fired.append(False)
+                except FaultInjected:
+                    fired.append(True)
+        return fired
+
+    first = fire_pattern(7)
+    assert fire_pattern(7) == first  # same seed -> same pattern
+    assert fire_pattern(8) != first  # different seed -> different pattern
+    assert any(first) and not all(first)  # p=0.5 actually thins
+
+
+def test_corrupt_fault_mangles_data_through_the_point():
+    spec = FaultSpec(site="s", kind="corrupt", times=None)
+    with use_fault_plan(_plan(spec)):
+        mangled = fault_point("s", data='{"version": 2, "payload": {}}')
+    assert CORRUPTION_MARKER in mangled
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(mangled)
+
+
+def test_corrupt_shapes():
+    assert CORRUPTION_MARKER.encode("ascii") in corrupt(b"0123456789")
+    mangled = corrupt({"a": 1, "b": 2})
+    assert "__corrupted__" in mangled and "a" not in mangled
+    assert corrupt(1234) == CORRUPTION_MARKER
+
+
+def test_crash_in_parent_process_downgrades_to_error():
+    # A chaos plan must not be able to take down the service process
+    # itself; the hard exit is reserved for pool workers.
+    spec = FaultSpec(site="s", kind="crash")
+    with use_fault_plan(_plan(spec)):
+        with pytest.raises(FaultInjected, match="downgraded"):
+            fault_point("s")
+
+
+def test_hang_fault_sleeps_then_passes_data_through():
+    spec = FaultSpec(site="s", kind="hang", hang_s=0.0, times=None)
+    with use_fault_plan(_plan(spec)):
+        assert fault_point("s", data="ok") == "ok"
+
+
+def test_ledger_counts_hits_across_counter_resets(tmp_path):
+    # The ledger file is what keeps times= windows exact when a crash
+    # kills the in-memory counters; a reset here simulates that.
+    ledger = str(tmp_path / "hits.ledger")
+    spec = FaultSpec(site="s", kind="error", times=1, ledger=ledger)
+    with use_fault_plan(_plan(spec)):
+        with pytest.raises(FaultInjected):
+            fault_point("s")
+    with use_fault_plan(_plan(spec)):  # fresh in-memory state
+        fault_point("s")  # ledger remembers: the window already fired
+
+
+def test_plan_roundtrips_through_json():
+    plan = _plan(FaultSpec(site="a.*", kind="hang", hang_s=0.1),
+                 FaultSpec(site="b", kind="error", times=None, after=2),
+                 seed=42)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_env_plan_parses_inline_and_at_file(tmp_path):
+    plan = _plan(FaultSpec(site="s", kind="error"), seed=3)
+    assert plan_from_env(plan.to_json()) == plan
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    assert plan_from_env(f"@{path}") == plan
+    assert plan_from_env("") is None
+    with pytest.raises(MerlinInputError):
+        plan_from_env("not json")
+    with pytest.raises(MerlinInputError):
+        plan_from_env(f"@{tmp_path / 'missing.json'}")
+
+
+def test_spec_validation_rejects_nonsense():
+    with pytest.raises(MerlinInputError):
+        FaultSpec(site="s", kind="explode")
+    with pytest.raises(MerlinInputError):
+        FaultSpec(site="s", kind="error", probability=1.5)
+    with pytest.raises(MerlinInputError):
+        FaultSpec(site="s", kind="error", times=-1)
+    with pytest.raises(MerlinInputError):
+        FaultSpec.from_dict({"site": "s", "kind": "error", "bogus": 1})
+    with pytest.raises(MerlinInputError):
+        FaultSpec.from_dict({"site": "s"})
+
+
+def test_use_fault_plan_restores_previous_plan():
+    outer = _plan(FaultSpec(site="x", kind="error"))
+    with use_fault_plan(outer):
+        with use_fault_plan(None):
+            assert active_fault_plan() is None
+        assert active_fault_plan() is outer
+    assert active_fault_plan() is None

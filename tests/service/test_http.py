@@ -128,3 +128,95 @@ def test_stats_reports_execution_mode(server):
     assert status == 200
     assert stats["execution_mode"] == "serial"
     assert stats["workers"] == 1
+
+
+# ----------------------------------------------------------------------
+# Error-taxonomy status mapping
+# ----------------------------------------------------------------------
+
+def _serve(service):
+    """Yieldless variant of the server fixture for custom services."""
+    httpd = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return httpd, thread
+
+
+def _stop(httpd, thread, service):
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def test_input_errors_are_400_with_a_field_precise_detail(server):
+    net_payload = net_to_dict(build_net(3, seed=15))
+    del net_payload["sinks"][1]["load"]
+    status, body = _post(server, "/optimize", {"net": net_payload})
+    assert status == 400
+    assert "invalid net payload" in body["error"]
+    detail = body["error_detail"]
+    assert detail["category"] == "input"
+    assert "sink #1" in detail["message"]
+    assert "'load'" in detail["message"]
+
+
+def _resource_error_runner(job):
+    from repro.resilience.errors import PoolUnavailableError
+
+    raise PoolUnavailableError("pool exhausted", stage="pool")
+
+
+def _internal_error_runner(job):
+    from repro.resilience.errors import MerlinInternalError
+
+    raise MerlinInternalError("invariant violated", stage="engine")
+
+
+def _status_for_runner(runner):
+    from repro.service import engine as engine_mod
+
+    service = OptimizationService(
+        tech=TECH, config=CONFIG, cache=ResultCache(), workers=1)
+    httpd, thread = _serve(service)
+    original = engine_mod._JOB_RUNNER
+    engine_mod._JOB_RUNNER = runner
+    try:
+        net = build_net(3, seed=16)
+        return _post(httpd, "/optimize", {"net": net_to_dict(net)})
+    finally:
+        engine_mod._JOB_RUNNER = original
+        _stop(httpd, thread, service)
+
+
+def test_resource_errors_are_503():
+    status, body = _status_for_runner(_resource_error_runner)
+    assert status == 503
+    assert not body["ok"]
+    assert body["error_detail"]["category"] == "resource"
+    assert body["error_detail"]["kind"] == "PoolUnavailableError"
+
+
+def test_internal_errors_are_500():
+    status, body = _status_for_runner(_internal_error_runner)
+    assert status == 500
+    assert not body["ok"]
+    assert body["error_detail"]["category"] == "internal"
+
+
+def test_degraded_results_are_200_and_carry_the_degradation_detail():
+    from repro.baselines.star import buffered_star
+
+    service = OptimizationService(
+        tech=TECH, config=CONFIG, cache=ResultCache(), workers=1,
+        budget_ops=1)
+    httpd, thread = _serve(service)
+    try:
+        net = build_net(3, seed=17)
+        status, body = _post(httpd, "/optimize", {"net": net_to_dict(net)})
+    finally:
+        _stop(httpd, thread, service)
+    assert status == 200
+    assert body["ok"] and body["degraded"]
+    assert body["degradation"]["rung"] == "buffered_star"
+    assert body["tree_signature"] == tree_signature(buffered_star(net, TECH))

@@ -1,0 +1,17 @@
+"""Bad example: bare/BaseException handlers in the service layer
+(RES-BARE-EXCEPT)."""
+# staticcheck: module=repro.service.fixture_res_bare_except
+
+
+def swallow_everything(run_job, job):
+    try:
+        return run_job(job)
+    except:  # noqa: E722  (the rule under test)
+        return None
+
+
+def swallow_cancellation(run_job, job):
+    try:
+        return run_job(job)
+    except BaseException:
+        return None

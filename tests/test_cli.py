@@ -103,3 +103,67 @@ class TestServeCommand:
     def test_serve_rejects_bad_preset(self):
         with pytest.raises(SystemExit):
             main(["serve", "--preset", "bogus"])
+
+
+class TestNetFileFlag:
+    """``net --net-file`` loads JSON nets and fails loudly but cleanly."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "net.json"
+        path.write_text(payload, encoding="utf-8")
+        return str(path)
+
+    def _good_payload(self):
+        import json
+
+        return json.dumps({
+            "name": "filed",
+            "source": [0.0, 0.0],
+            "sinks": [
+                {"name": "u1", "position": [400.0, 100.0],
+                 "load": 5.0, "required_time": 600.0},
+                {"name": "u2", "position": [100.0, 500.0],
+                 "load": 7.0, "required_time": 700.0},
+            ],
+        })
+
+    def test_valid_file_runs_all_flows(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._good_payload())
+        assert main(["net", "--net-file", path]) == 0
+        out = capsys.readouterr().out
+        assert "flow1_lttree_ptree" in out
+        assert "flow3_merlin" in out
+
+    def test_wrapped_payload_is_accepted(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, '{"net": ' + self._good_payload() + "}")
+        assert main(["net", "--net-file", path]) == 0
+        assert "flow3_merlin" in capsys.readouterr().out
+
+    def test_malformed_payload_exits_2_with_one_line_error(
+            self, tmp_path, capsys):
+        import json
+
+        data = json.loads(self._good_payload())
+        del data["sinks"][0]["load"]
+        path = self._write(tmp_path, json.dumps(data))
+        assert main(["net", "--net-file", path]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1  # one line, no traceback
+        assert lines[0].startswith("error: ")
+        assert "sink #0" in lines[0] and "'load'" in lines[0]
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["net", "--net-file",
+                     str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "cannot read" in err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, "{not json")
+        assert main(["net", "--net-file", path]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err

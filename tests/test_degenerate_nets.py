@@ -1,0 +1,94 @@
+"""Degenerate-net robustness: the engine and every fallback must return
+valid trees with stable canonical signatures on inputs that break naive
+geometry code — single sinks, collinear pins, coincident pins, zero
+loads, and nets far from the origin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.star import buffered_star
+from repro.core.config import MerlinConfig
+from repro.core.merlin import merlin
+from repro.core.objective import Objective
+from repro.geometry.point import Point
+from repro.net import Net, Sink
+from repro.routing.export import tree_signature
+from repro.routing.validate import validate_tree
+from repro.service.canonical import canonical_key
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CONFIG = MerlinConfig.test_preset()
+
+
+def _sink(name, x, y, load=10.0, req=900.0):
+    return Sink(name, Point(x, y), load=load, required_time=req)
+
+
+def _cases():
+    return [
+        ("single_sink", Net("single", Point(0, 0),
+                            (_sink("a", 800, 200),))),
+        ("all_collinear", Net("line", Point(0, 0), (
+            _sink("a", 300, 0), _sink("b", 900, 0), _sink("c", 1500, 0),
+            _sink("d", 2100, 0)))),
+        ("duplicate_coordinates", Net("dup", Point(0, 0), (
+            _sink("a", 500, 500), _sink("b", 500, 500),
+            _sink("c", 500, 500)))),
+        ("sink_on_source", Net("onsrc", Point(100, 100), (
+            _sink("a", 100, 100), _sink("b", 900, 400)))),
+        ("zero_load_sinks", Net("zload", Point(0, 0), (
+            _sink("a", 600, 300, load=0.0), _sink("b", 200, 900,
+                                                  load=0.0)))),
+        ("far_origin", Net("far", Point(1e6, 1e6), (
+            _sink("a", 1e6 + 700, 1e6 + 100),
+            _sink("b", 1e6 + 200, 1e6 + 800)))),
+    ]
+
+
+CASES = _cases()
+IDS = [name for name, _ in CASES]
+
+
+@pytest.mark.parametrize("name,net", CASES, ids=IDS)
+def test_merlin_returns_a_valid_tree(name, net):
+    result = merlin(net, TECH, config=CONFIG)
+    validate_tree(result.tree)
+    assert result.iterations >= 1
+
+
+@pytest.mark.parametrize("name,net", CASES, ids=IDS)
+def test_signatures_are_stable_across_runs(name, net):
+    first = merlin(net, TECH, config=CONFIG)
+    second = merlin(net, TECH, config=CONFIG)
+    assert tree_signature(first.tree) == tree_signature(second.tree)
+
+
+@pytest.mark.parametrize("name,net", CASES, ids=IDS)
+def test_canonical_key_is_stable_and_translation_invariant(name, net):
+    objective = Objective.max_required_time()
+    key = canonical_key(net, TECH, CONFIG, objective)
+    assert key == canonical_key(net, TECH, CONFIG, objective)
+    shifted = Net(
+        net.name, Point(net.source.x + 5000.0, net.source.y - 3000.0),
+        tuple(Sink(s.name,
+                   Point(s.position.x + 5000.0, s.position.y - 3000.0),
+                   s.load, s.required_time) for s in net.sinks),
+        driver_resistance=net.driver_resistance,
+        driver_intrinsic=net.driver_intrinsic)
+    assert canonical_key(shifted, TECH, CONFIG, objective) == key
+
+
+@pytest.mark.parametrize("name,net", CASES, ids=IDS)
+def test_star_fallback_is_valid_on_every_degenerate_shape(name, net):
+    tree = buffered_star(net, TECH)
+    validate_tree(tree)
+    assert tree_signature(tree) == tree_signature(buffered_star(net, TECH))
+
+
+def test_min_area_objective_also_survives_degenerate_shapes():
+    objective = Objective.min_area(required_time_floor=0.0)
+    for name, net in CASES:
+        result = merlin(net, TECH, config=CONFIG, objective=objective)
+        validate_tree(result.tree)

@@ -64,3 +64,89 @@ class TestMakeNet:
         assert net.sink(0).name == "m_s0"
         assert net.sink(1).position == Point(30, 40)
         assert net.sink(1).required_time == 200.0
+
+
+class TestNetFromDictErrors:
+    """Malformed payloads name the offending sink and field."""
+
+    def _good(self):
+        return {
+            "name": "n",
+            "source": [0.0, 0.0],
+            "sinks": [
+                {"name": "u1", "position": [10.0, 20.0],
+                 "load": 5.0, "required_time": 100.0},
+                {"name": "u2", "position": [30.0, 40.0],
+                 "load": 6.0, "required_time": 200.0},
+            ],
+        }
+
+    def test_good_payload_round_trips(self):
+        from repro.net import net_from_dict, net_to_dict
+
+        net = net_from_dict(self._good())
+        assert net_to_dict(net) == self._good()
+
+    def test_missing_sink_field_names_the_sink(self):
+        from repro.net import net_from_dict
+        from repro.resilience.errors import MalformedNetError
+
+        data = self._good()
+        del data["sinks"][1]["load"]
+        with pytest.raises(MalformedNetError) as excinfo:
+            net_from_dict(data)
+        message = str(excinfo.value)
+        assert "sink #1" in message and "'u2'" in message
+        assert "missing field 'load'" in message
+
+    def test_wrong_typed_field_shows_the_offending_value(self):
+        from repro.net import net_from_dict
+        with pytest.raises(ValueError) as excinfo:
+            data = self._good()
+            data["sinks"][0]["required_time"] = "soon"
+            net_from_dict(data)
+        assert "'required_time'" in str(excinfo.value)
+        assert "'soon'" in str(excinfo.value)
+
+    def test_bad_position_shape_is_named(self):
+        from repro.net import net_from_dict
+        data = self._good()
+        data["source"] = [1.0]
+        with pytest.raises(ValueError, match=r"\[x, y\] pair"):
+            net_from_dict(data)
+
+    def test_missing_top_level_fields_are_named(self):
+        from repro.net import net_from_dict
+        with pytest.raises(ValueError, match="missing field 'name'"):
+            net_from_dict({})
+        with pytest.raises(ValueError, match="missing field 'source'"):
+            net_from_dict({"name": "n"})
+
+    def test_empty_sinks_rejected(self):
+        from repro.net import net_from_dict
+        data = self._good()
+        data["sinks"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            net_from_dict(data)
+
+    def test_model_invariants_surface_with_the_net_named(self):
+        from repro.net import net_from_dict
+        from repro.resilience.errors import MalformedNetError
+
+        data = self._good()
+        data["sinks"][1]["name"] = "u1"  # duplicate
+        with pytest.raises(MalformedNetError, match="unique"):
+            net_from_dict(data)
+        data = self._good()
+        data["sinks"][0]["load"] = -1.0
+        with pytest.raises(MalformedNetError, match="non-negative"):
+            net_from_dict(data)
+
+    def test_taxonomy_kind_is_input_category(self):
+        from repro.net import net_from_dict
+        from repro.resilience.errors import MalformedNetError
+
+        with pytest.raises(MalformedNetError) as excinfo:
+            net_from_dict({"name": "n", "source": [0, 0], "sinks": [{}]})
+        assert excinfo.value.category == "input"
+        assert isinstance(excinfo.value, ValueError)  # compat contract
