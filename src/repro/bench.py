@@ -13,12 +13,21 @@ non-zero if the numpy backend's tree signature diverges from python's,
 or if any worker count changes a multi-start outcome.  CI runs
 ``python -m repro.bench --quick`` for exactly that check.
 
+Timing-regression gate: ``--baseline BENCH_quick.json`` compares the
+run's tracked wall-clock timings against a committed snapshot and fails
+on >20% slowdowns.  Raw seconds are not comparable across machines, so
+both suites carry a *calibration* measurement — a fixed pure-Python
+workload timed at suite start — and every comparison is normalized by
+the calibration ratio first (a machine 2x slower overall is allowed 2x
+the baseline seconds).  Sub-50ms timings are skipped as noise.
+
 Usage::
 
     python -m repro.bench                  # full pinned suite
     python -m repro.bench --quick          # CI-sized subset
     python -m repro.bench --tag pr2        # writes BENCH_pr2.json
     python -m repro.bench --backends python,numpy --out /tmp/b.json
+    python -m repro.bench --quick --baseline BENCH_quick.json
 """
 
 from __future__ import annotations
@@ -42,7 +51,15 @@ from repro.instrument import Recorder
 from repro.routing.export import tree_signature
 from repro.tech.technology import default_technology
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
+
+#: A tracked timing below this (after calibration scaling) is treated
+#: as noise and excluded from the regression gate.
+MIN_TRACKED_SECONDS = 0.05
+
+#: Allowed slowdown of a tracked timing vs the (calibration-scaled)
+#: baseline before the gate fails.
+REGRESSION_THRESHOLD = 0.20
 
 #: The headline single-engine config: paper-faithful fine quantization
 #: (pseudo-polynomial buckets small relative to sink loads) — the regime
@@ -278,6 +295,100 @@ def run_service_case(case: Dict[str, Any], backend: str) -> Dict[str, Any]:
     return out
 
 
+def _closure_cases(quick: bool) -> List[Dict[str, Any]]:
+    """Timing-closure cases: the full pipeline on a pinned circuit,
+    once per ordering policy."""
+    if quick:
+        return [{
+            "name": "closure_b9",
+            "circuit": "b9",
+            "seed": 1999,
+            "config": MerlinConfig.test_preset(),
+            "orders": ("criticality", "fanout"),
+            "batch": 4,
+        }]
+    return [{
+        "name": "closure_C432",
+        "circuit": "C432",
+        "seed": 1999,
+        "config": MerlinConfig.test_preset(),
+        "orders": ("criticality", "fanout", "slack_weighted", "learned"),
+        "batch": 6,
+    }]
+
+
+def run_closure_case(case: Dict[str, Any], backend: str) -> Dict[str, Any]:
+    """Close timing on one pinned circuit under each ordering policy.
+
+    Besides wall-clock, this checks the pipeline's core contracts: every
+    policy converges, and the per-iteration critical delay is monotone
+    non-increasing (the worst-slack guarantee).
+    """
+    from repro.experiments.circuits import resolve_circuit_spec
+    from repro.netlist.generator import generate_circuit
+    from repro.pipeline import ClosureConfig, run_closure
+
+    config = _with_backend(case["config"], backend)
+    spec = resolve_circuit_spec(case["circuit"], case["seed"])
+    runs: Dict[str, Any] = {}
+    monotone = True
+    for order in case["orders"]:
+        netlist = generate_circuit(spec)
+        start = time.perf_counter()
+        result = run_closure(
+            netlist, config=config, workers=1,
+            closure=ClosureConfig(order=order, batch_size=case["batch"]))
+        wall = time.perf_counter() - start
+        delays = [it.critical_delay for it in result.iterations]
+        monotone &= all(delays[i] >= delays[i + 1] - 1e-6
+                        for i in range(len(delays) - 1))
+        runs[order] = {
+            "wall_s": wall,
+            "iterations": result.iterations_to_converge,
+            "converged": result.converged,
+            "critical_delay": result.critical_delay,
+            "worst_slack": result.worst_slack,
+            "buffer_area": result.buffer_area,
+            "nets_optimized": result.nets_optimized,
+            "signatures": result.signatures(),
+        }
+        print(f"  {case['name']:12s} order={order:14s} wall={wall:7.2f}s "
+              f"iters={result.iterations_to_converge} "
+              f"delay={result.critical_delay:9.1f}ps")
+    return {
+        "name": case["name"],
+        "kind": "closure",
+        "circuit": case["circuit"],
+        "seed": case["seed"],
+        "backend": backend,
+        "batch": case["batch"],
+        "runs": runs,
+        "all_converged": all(r["converged"] for r in runs.values()),
+        "monotone": monotone,
+    }
+
+
+def _calibration_s(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload on this machine.
+
+    Used to normalize tracked timings across machines: the workload
+    (dict/loop/float churn, roughly the engine's instruction mix) is
+    pinned, so its wall-clock measures the host, not the code under
+    test.  Best-of-``repeats`` to shed scheduler noise.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0.0
+        table: Dict[int, float] = {}
+        for i in range(120_000):
+            key = (i * 2654435761) % 4093
+            acc += table.get(key, 0.0) * 0.5 + (key % 97) * 1e-3
+            table[key] = acc % 1000.0
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def _environment() -> Dict[str, Any]:
     import os
     env = {
@@ -304,13 +415,17 @@ def run_suite(quick: bool, backends: Sequence[str],
         cases.append(run_parallel_case(case, worker_counts, par_backend))
     for case in _service_cases(quick):
         cases.append(run_service_case(case, par_backend))
+    for case in _closure_cases(quick):
+        cases.append(run_closure_case(case, par_backend))
+    environment = _environment()
+    environment["calibration_s"] = _calibration_s()
     return {
         "version": BENCH_VERSION,
         "tag": tag,
         "quick": quick,
         "backends": list(backends),
         "worker_counts": list(worker_counts),
-        "environment": _environment(),
+        "environment": environment,
         "cases": cases,
     }
 
@@ -334,6 +449,68 @@ def check_suite(suite: Dict[str, Any]) -> List[str]:
             if not case["all_cached_on_second_pass"]:
                 failures.append(
                     f"{case['name']}: second pass missed the result cache")
+        if case["kind"] == "closure":
+            if not case["all_converged"]:
+                failures.append(
+                    f"{case['name']}: a closure policy failed to converge")
+            if not case["monotone"]:
+                failures.append(
+                    f"{case['name']}: critical delay increased across "
+                    f"closure iterations")
+    return failures
+
+
+def tracked_timings(suite: Dict[str, Any]) -> Dict[str, float]:
+    """The wall-clock measurements the regression gate watches,
+    keyed ``kind/case/variant`` (stable across runs of one suite
+    shape)."""
+    timings: Dict[str, float] = {}
+    for case in suite["cases"]:
+        name = case["name"]
+        if case["kind"] == "engine":
+            for backend, run in case["runs"].items():
+                timings[f"engine/{name}/{backend}"] = run["wall_s"]
+        elif case["kind"] == "multi_start":
+            for workers, run in case["runs"].items():
+                timings[f"multi_start/{name}/w{workers}"] = run["wall_s"]
+        elif case["kind"] == "service":
+            timings[f"service/{name}/cold"] = case["cold_wall_s"]
+            timings[f"service/{name}/warm"] = case["warm_wall_s"]
+        elif case["kind"] == "closure":
+            for order, run in case["runs"].items():
+                timings[f"closure/{name}/{order}"] = run["wall_s"]
+    return timings
+
+
+def compare_to_baseline(current: Dict[str, Any], baseline: Dict[str, Any],
+                        threshold: float = REGRESSION_THRESHOLD,
+                        min_seconds: float = MIN_TRACKED_SECONDS,
+                        ) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty = gate passes).
+
+    Every baseline timing is first rescaled by the machines'
+    calibration ratio (see :func:`_calibration_s`), so a uniformly
+    slower host does not read as a code regression; only timings above
+    ``min_seconds`` on both sides participate.  Keys present in only
+    one suite are ignored — shape changes are reviewed via the JSON
+    diff, not the gate.
+    """
+    current_cal = current.get("environment", {}).get("calibration_s")
+    baseline_cal = baseline.get("environment", {}).get("calibration_s")
+    scale = (current_cal / baseline_cal
+             if current_cal and baseline_cal else 1.0)
+    current_t = tracked_timings(current)
+    baseline_t = tracked_timings(baseline)
+    failures = []
+    for key in sorted(set(current_t) & set(baseline_t)):
+        allowed = baseline_t[key] * scale
+        if allowed < min_seconds or current_t[key] < min_seconds:
+            continue
+        if current_t[key] > allowed * (1.0 + threshold):
+            failures.append(
+                f"{key}: {current_t[key]:.3f}s vs allowed "
+                f"{allowed * (1.0 + threshold):.3f}s (baseline "
+                f"{baseline_t[key]:.3f}s x calibration {scale:.2f})")
     return failures
 
 
@@ -355,6 +532,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", default="1,2",
                         help="comma-separated worker counts for the "
                              "multi-start sweep (default 1,2)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="compare tracked timings against this "
+                             "committed BENCH_*.json snapshot "
+                             "(calibration-normalized) and fail on "
+                             ">20%% regressions")
     args = parser.parse_args(argv)
 
     if args.backends:
@@ -378,6 +560,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = check_suite(suite)
     for failure in failures:
         print(f"EQUIVALENCE FAILURE: {failure}", file=sys.stderr)
+
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        regressions = compare_to_baseline(suite, baseline)
+        for regression in regressions:
+            print(f"TIMING REGRESSION: {regression}", file=sys.stderr)
+        if not regressions:
+            print(f"timing gate passed against {args.baseline} "
+                  f"({len(tracked_timings(suite))} tracked timings)")
+        failures.extend(regressions)
     return 1 if failures else 0
 
 

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
     merlin-repro serve --port N [--workers K] [--cache-dir DIR]
                        [--budget-ops N] [--deadline S] [--pool-retries N]
+    merlin-repro closure --circuit b9 [--order criticality] [--batch N]
+                         [--json] [--list-orders]
     merlin-repro check [--format json] [--rules ID,...] [paths ...]
 
 ``python -m repro ...`` is equivalent.
@@ -115,6 +117,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
+    p_cls = sub.add_parser(
+        "closure", help="full-netlist timing closure (place, STA, "
+                        "iterated batched re-optimization)")
+    p_cls.add_argument("--circuit", default="b9", metavar="SPEC",
+                       help="Table 2 circuit name (e.g. b9, C432) or a "
+                            "custom seed-spec 'gates:levels:pis:pos"
+                            "[:max_fanout]' (default b9)")
+    p_cls.add_argument("--seed", type=int, default=1999,
+                       help="circuit-generator seed (default 1999)")
+    p_cls.add_argument("--netlist-file", metavar="FILE", default=None,
+                       help="close timing on the netlist interchange "
+                            "JSON in FILE instead of a generated circuit")
+    p_cls.add_argument("--order", default="criticality",
+                       help="net-ordering policy; see --list-orders "
+                            "(default criticality)")
+    p_cls.add_argument("--list-orders", action="store_true",
+                       help="list registered ordering policies and exit")
+    p_cls.add_argument("--batch", type=int, default=None, metavar="N",
+                       help="nets re-optimized per iteration "
+                            "(default: every stale candidate)")
+    p_cls.add_argument("--max-iterations", type=int, default=10)
+    p_cls.add_argument("--target-scale", type=float, default=0.88,
+                       help="timing target as a fraction of the "
+                            "pre-optimization critical delay "
+                            "(default 0.88)")
+    p_cls.add_argument("--min-sinks", type=int, default=2,
+                       help="only optimize nets with at least this many "
+                            "sinks (default 2)")
+    p_cls.add_argument("--preset", choices=["fast", "test", "paper"],
+                       default="fast",
+                       help="MerlinConfig preset for the per-net "
+                            "optimizations (default fast)")
+    p_cls.add_argument("--backend", choices=["python", "numpy"],
+                       default=None,
+                       help="curve-kernel backend override")
+    p_cls.add_argument("--workers", type=int, default=None,
+                       help="service warm-pool size (default: the "
+                            "config's workers; 0 = one per CPU)")
+    p_cls.add_argument("--json", action="store_true",
+                       help="print the full closure report as JSON "
+                            "instead of the iteration table")
+
     p_chk = sub.add_parser(
         "check", help="run the domain static analyzer "
                       "(determinism / pool-safety / numerics / layering)")
@@ -133,6 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_net(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "closure":
+        return _run_closure(args)
     return _run_ablation(args)
 
 
@@ -291,6 +337,82 @@ def _run_serve(args) -> int:
         pool_retries=args.pool_retries,
     )
     serve(args.host, args.port, service=service, verbose=args.verbose)
+    return 0
+
+
+def _run_closure(args) -> int:
+    import json
+
+    from repro.experiments.circuits import resolve_circuit_spec
+    from repro.netlist.generator import generate_circuit
+    from repro.pipeline import ClosureConfig, available_orderings, run_closure
+    from repro.pipeline.ordering import ORDERING_POLICIES
+    from repro.resilience.errors import MerlinInputError
+
+    if args.list_orders:
+        for name in available_orderings():
+            print(f"{name:16s} {ORDERING_POLICIES[name].describe}")
+        return 0
+    if args.netlist_file is not None:
+        from repro.netlist.io import netlist_from_dict
+
+        try:
+            with open(args.netlist_file, "r", encoding="utf-8") as handle:
+                netlist = netlist_from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load netlist {args.netlist_file!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = resolve_circuit_spec(args.circuit, args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        netlist = generate_circuit(spec)
+
+    presets = {
+        "fast": MerlinConfig.fast_preset,
+        "test": MerlinConfig.test_preset,
+        "paper": MerlinConfig.paper_preset,
+    }
+    config = presets[args.preset]()
+    if args.backend is not None:
+        config = config.with_(backend=args.backend)
+    workers = _resolve_cli_workers(args.workers, config)
+    try:
+        closure = ClosureConfig(
+            order=args.order,
+            min_sinks=args.min_sinks,
+            target_scale=args.target_scale,
+            batch_size=args.batch,
+            max_iterations=args.max_iterations,
+        )
+        result = run_closure(netlist, config=config, closure=closure,
+                             workers=workers)
+    except MerlinInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"circuit {result.circuit}: {len(netlist.gates)} gates, "
+          f"{result.nets_optimized} nets optimized, policy "
+          f"{result.policy}")
+    print(f"estimate {result.estimate_delay:9.1f} ps  ->  target "
+          f"{result.target:9.1f} ps")
+    for it in result.iterations:
+        note = "  (rolled back)" if it.rolled_back else ""
+        print(f"iter {it.index}: {len(it.selected)}/{it.candidates} nets  "
+              f"delay={it.critical_delay:9.1f} ps  "
+              f"slack={it.worst_slack:+9.1f} ps  "
+              f"cache_hits={it.cache_hits}  wall={it.wall_s:6.2f} s{note}")
+    status = "converged" if result.converged else "iteration cap hit"
+    print(f"{status} after {result.iterations_to_converge} iterations: "
+          f"delay {result.critical_delay:.1f} ps, worst slack "
+          f"{result.worst_slack:+.1f} ps, buffer area "
+          f"{result.buffer_area:.1f} um^2 "
+          f"({len(result.degraded_nets)} degraded nets)")
     return 0
 
 

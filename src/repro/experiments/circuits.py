@@ -57,3 +57,36 @@ def table2_specs(quick: bool = False, seed: int = 1999,
 def table2_circuits(quick: bool = False, seed: int = 1999) -> List[Netlist]:
     """Generate the Table 2 circuits (deterministic in ``seed``)."""
     return [generate_circuit(spec) for spec in table2_specs(quick, seed)]
+
+
+def resolve_circuit_spec(spec: str, seed: int) -> CircuitSpec:
+    """A user-facing circuit selector -> :class:`CircuitSpec`.
+
+    Accepts a Table 2 circuit name (``b9``, ``C432``, ...) or a custom
+    colon-separated shape ``gates:levels:pis:pos[:max_fanout]``; raises
+    ``ValueError`` with a one-line message otherwise.  Shared by
+    ``merlin-repro closure --circuit`` and the HTTP ``POST /closure``
+    handler.
+    """
+    for name, gates, levels, pis, pos in TABLE2_CIRCUIT_SHAPES:
+        if name == spec:
+            return CircuitSpec(name=name, primary_inputs=pis,
+                               primary_outputs=pos, logic_gates=gates,
+                               levels=levels, max_fanout=7, seed=seed)
+    parts = spec.split(":")
+    if len(parts) not in (4, 5):
+        known = ", ".join(s[0] for s in TABLE2_CIRCUIT_SHAPES)
+        raise ValueError(
+            f"unknown circuit {spec!r}: expected one of {known} or a "
+            f"custom 'gates:levels:pis:pos[:max_fanout]' shape")
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"malformed circuit shape {spec!r}: every "
+                         f"colon-separated field must be an integer") from None
+    gates, levels, pis, pos = numbers[:4]
+    max_fanout = numbers[4] if len(numbers) == 5 else 7
+    return CircuitSpec(name=f"custom_{spec.replace(':', 'x')}",
+                       primary_inputs=pis, primary_outputs=pos,
+                       logic_gates=gates, levels=levels,
+                       max_fanout=max_fanout, seed=seed)

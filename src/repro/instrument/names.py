@@ -70,6 +70,19 @@ SERVICE_JOB_FAILURES = "service.job.failures"
 #: Jobs abandoned after exceeding the per-job timeout.
 SERVICE_JOB_TIMEOUTS = "service.job.timeouts"
 
+#: Timing-closure pipeline iterations executed (STA -> pick -> optimize).
+PIPELINE_ITERATIONS = "pipeline.iterations"
+#: Nets (re-)optimized by the closure pipeline, summed over iterations.
+PIPELINE_NETS_REOPTIMIZED = "pipeline.nets.reoptimized"
+#: Closure jobs answered from the canonical-net cache.
+PIPELINE_CACHE_HITS = "pipeline.cache.hits"
+#: Closure jobs answered by a degradation-ladder fallback.
+PIPELINE_NETS_DEGRADED = "pipeline.nets.degraded"
+#: Closure jobs that failed outright (net kept its star estimate).
+PIPELINE_NETS_FAILED = "pipeline.nets.failed"
+#: Iterations whose re-timing got *worse* and were rolled back.
+PIPELINE_ROLLBACKS = "pipeline.rollbacks"
+
 #: Faults fired by the injection framework (chaos runs only; zero in
 #: production unless a FaultPlan is active).
 RESILIENCE_FAULTS_INJECTED = "resilience.faults.injected"
@@ -104,6 +117,10 @@ FLOW_RUNTIME_S = "flow.runtime_s"
 SERVICE_REQUEST_LATENCY_S = "service.request.latency_s"
 #: Engine wall-clock (s) of one service job (cache misses only).
 SERVICE_JOB_LATENCY_S = "service.job.latency_s"
+#: STA critical delay (ps) after each closure-pipeline iteration.
+PIPELINE_ITERATION_DELAY_PS = "pipeline.iteration.delay_ps"
+#: Wall-clock seconds of one closure-pipeline iteration.
+PIPELINE_ITERATION_WALL_S = "pipeline.iteration.wall_s"
 
 
 def service_endpoint_requests(endpoint: str) -> str:
@@ -144,6 +161,9 @@ EVENT_MERLIN_RESULT = "merlin.result"
 #: One record per degraded answer
 #: (fields: net, rung, reason, attempts).
 EVENT_DEGRADATION = "resilience.degradation"
+#: One record per closure-pipeline iteration (fields: index, policy,
+#: candidates, selected, critical_delay, worst_slack, cache_hits).
+EVENT_CLOSURE_ITERATION = "pipeline.iteration"
 
 # -- span names --------------------------------------------------------
 

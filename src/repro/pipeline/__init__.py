@@ -1,0 +1,38 @@
+"""Full-netlist timing closure driven by the optimization service.
+
+Public surface:
+
+* :func:`repro.pipeline.closure.run_closure` — place, time, rank,
+  batch-optimize, re-time, iterate to a worst-slack fixpoint.
+* :mod:`repro.pipeline.ordering` — the pluggable net-ordering policy
+  registry (``criticality``, ``fanout``, ``slack_weighted``,
+  ``learned``).
+* :mod:`repro.pipeline.learned` — the stdlib-only trained ranker and
+  its ``--train`` entry point.
+"""
+
+from repro.pipeline.closure import (
+    ClosureConfig,
+    ClosureIteration,
+    ClosureResult,
+    run_closure,
+)
+from repro.pipeline.ordering import (
+    ORDERING_POLICIES,
+    OrderingPolicy,
+    available_orderings,
+    get_ordering,
+    register_ordering,
+)
+
+__all__ = [
+    "ClosureConfig",
+    "ClosureIteration",
+    "ClosureResult",
+    "run_closure",
+    "ORDERING_POLICIES",
+    "OrderingPolicy",
+    "available_orderings",
+    "get_ordering",
+    "register_ordering",
+]

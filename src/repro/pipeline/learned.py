@@ -1,0 +1,333 @@
+"""The learned net-ordering ranker (stdlib-only linear model).
+
+Follows the direction of "Machine Learning Optimal Ordering in Global
+Routing Problems" (PAPERS.md): learn which nets to optimize first from
+data instead of hand-picking a heuristic.  The model is deliberately
+small — ridge-regularized linear regression over the six
+:data:`repro.pipeline.ordering.FEATURE_NAMES` features, fit by solving
+the normal equations with Gaussian elimination — because the training
+set is self-generated and the win comes from the *pipeline hook*, not
+model capacity.
+
+**Labels are self-generated**: :func:`generate_training_set` places
+seeded synthetic circuits, runs the pre-optimization STA, optimizes
+every multi-sink net exactly the way the closure pipeline would (same
+per-net ``min_area`` objective), and labels each net with its measured
+delay improvement — star-estimate worst sink delay minus optimized
+worst sink arrival (ps).  :func:`train` standardizes features, fits,
+and returns a weights record; :func:`save_weights` writes the committed
+``learned_weights.json`` next to this module.
+
+Regenerate the committed weights after changing features or the
+training suite::
+
+    PYTHONPATH=src python -m repro.pipeline.learned --train
+
+At ranking time the policy scores each candidate with its predicted
+improvement plus its lateness (``max(0, -driver_slack)``) so the model
+prioritizes nets where predicted gain and urgency coincide; a missing
+or unreadable weights file falls back to pinned coefficients so the
+policy never crashes a closure run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.ordering import (
+    FEATURE_NAMES,
+    NetFeatures,
+    OrderingPolicy,
+    net_features,
+    register_ordering,
+)
+
+#: Committed weights live next to this module (regenerable, reviewed
+#: like any other source change).
+WEIGHTS_PATH = os.path.join(os.path.dirname(__file__),
+                            "learned_weights.json")
+
+#: Schema version of the weights record; bump when features change.
+WEIGHTS_VERSION = 1
+
+#: Ridge strength: tiny, just enough to keep the normal equations
+#: well-conditioned when a feature is constant across the training set.
+RIDGE_LAMBDA = 1e-6
+
+#: Pinned fallback when no weights file is readable: span and fanout
+#: dominate (long, wide nets gain the most from buffered-tree
+#: construction), mildly boosted by lateness.  Values are a snapshot of
+#: an early training run — deterministic, not load-bearing for quality.
+_FALLBACK = {
+    "version": WEIGHTS_VERSION,
+    "features": list(FEATURE_NAMES),
+    "mean": [3.0, 0.0, 0.0, 1500.0, 15.0, 7.5],
+    "std": [1.5, 50.0, 50.0, 900.0, 8.0, 1.5],
+    "coefficients": [8.0, -2.0, -1.0, 14.0, 3.0, 1.0],
+    "intercept": 20.0,
+}
+
+
+@dataclass(frozen=True)
+class LearnedWeights:
+    """A trained standardize-then-linear scoring model."""
+
+    features: Tuple[str, ...]
+    mean: Tuple[float, ...]
+    std: Tuple[float, ...]
+    coefficients: Tuple[float, ...]
+    intercept: float
+
+    def predict(self, vector: Sequence[float]) -> float:
+        """Predicted delay improvement (ps) for one feature vector."""
+        total = self.intercept
+        for value, mu, sigma, coef in zip(vector, self.mean, self.std,
+                                          self.coefficients):
+            total += coef * ((value - mu) / sigma)
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": WEIGHTS_VERSION,
+            "features": list(self.features),
+            "mean": list(self.mean),
+            "std": list(self.std),
+            "coefficients": list(self.coefficients),
+            "intercept": self.intercept,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LearnedWeights":
+        if data.get("version") != WEIGHTS_VERSION \
+                or list(data.get("features", ())) != list(FEATURE_NAMES):
+            raise ValueError("incompatible learned-weights record")
+        std = [s if s > 0 else 1.0 for s in data["std"]]
+        return cls(
+            features=tuple(data["features"]),
+            mean=tuple(float(v) for v in data["mean"]),
+            std=tuple(float(v) for v in std),
+            coefficients=tuple(float(v) for v in data["coefficients"]),
+            intercept=float(data["intercept"]),
+        )
+
+
+def load_weights(path: Optional[str] = None) -> LearnedWeights:
+    """Load the committed weights; fall back to the pinned defaults.
+
+    The fallback keeps the ``learned`` policy usable in stripped-down
+    installs (the JSON is package data); ranking quality degrades, the
+    pipeline does not.
+    """
+    candidate = path or WEIGHTS_PATH
+    try:
+        with open(candidate, encoding="utf-8") as handle:
+            return LearnedWeights.from_dict(json.load(handle))
+    except (OSError, ValueError, KeyError, TypeError):
+        return LearnedWeights.from_dict(_FALLBACK)
+
+
+def save_weights(weights: LearnedWeights,
+                 path: Optional[str] = None) -> str:
+    target = path or WEIGHTS_PATH
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(weights.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+# -- training ----------------------------------------------------------
+
+
+def training_specs() -> List[Any]:
+    """The pinned training circuits (disjoint from the golden fixtures).
+
+    Seeds and shapes are fixed so training is reproducible bit-for-bit;
+    they deliberately do *not* reuse the Table 2 suite seeds, keeping
+    the evaluation circuits out of the training set.
+    """
+    from repro.netlist.generator import CircuitSpec
+
+    shapes = (
+        ("train_a", 18, 4, 5, 4),
+        ("train_b", 26, 5, 7, 5),
+        ("train_c", 34, 5, 8, 6),
+        ("train_d", 22, 4, 6, 5),
+    )
+    return [
+        CircuitSpec(name=name, primary_inputs=pis, primary_outputs=pos,
+                    logic_gates=gates, levels=levels, max_fanout=6,
+                    seed=7919 + 31 * index)
+        for index, (name, gates, levels, pis, pos) in enumerate(shapes)
+    ]
+
+
+def generate_training_set(specs: Optional[Sequence[Any]] = None,
+                          config: Optional[Any] = None,
+                          target_scale: float = 0.88,
+                          ) -> Tuple[List[List[float]], List[float]]:
+    """Self-generated labeled runs: (feature vectors, improvements).
+
+    Mirrors one closure-pipeline iteration per circuit: place, derive
+    tightened required times, optimize every multi-sink net with the
+    per-net ``min_area`` objective, and record how much each net's worst
+    sink delay improved over the star estimate.
+    """
+    from repro.core.config import MerlinConfig
+    from repro.core.merlin import merlin
+    from repro.core.objective import Objective
+    from repro.netlist.flow_runner import _to_routing_net
+    from repro.netlist.generator import generate_circuit
+    from repro.netlist.placement import place_netlist
+    from repro.netlist.sta import run_sta, star_net_delay
+    from repro.routing.evaluate import evaluate_tree
+    from repro.tech.technology import default_technology
+
+    config = config or MerlinConfig.test_preset()
+    tech = default_technology()
+    samples: List[List[float]] = []
+    labels: List[float] = []
+    for spec in (specs if specs is not None else training_specs()):
+        netlist = generate_circuit(spec)
+        place_netlist(netlist)
+        estimate = run_sta(netlist, tech)
+        sta = run_sta(netlist, tech,
+                      target=target_scale * estimate.critical_delay)
+        star = star_net_delay(netlist, tech)
+        for circuit_net in netlist.nets:
+            if len(circuit_net.sinks) < 2:
+                continue
+            features = net_features(netlist, circuit_net, sta)
+            net = _to_routing_net(netlist, circuit_net, sta)
+            objective = Objective.min_area(
+                required_time_floor=sta.arrival[circuit_net.driver])
+            result = merlin(net, tech, config=config, objective=objective)
+            evaluation = evaluate_tree(result.tree, tech)
+            star_worst = max(star(circuit_net, s)
+                             for s in circuit_net.sinks)
+            optimized_worst = max(evaluation.sink_arrivals)
+            samples.append(features.vector())
+            labels.append(star_worst - optimized_worst)
+    return samples, labels
+
+
+def train(samples: Optional[Sequence[Sequence[float]]] = None,
+          labels: Optional[Sequence[float]] = None) -> LearnedWeights:
+    """Fit the ridge model; generates the training set when not given."""
+    if samples is None or labels is None:
+        samples, labels = generate_training_set()
+    if len(samples) != len(labels) or not samples:
+        raise ValueError("training set must be non-empty and aligned")
+    n_features = len(FEATURE_NAMES)
+    count = len(samples)
+
+    mean = [sum(row[j] for row in samples) / count
+            for j in range(n_features)]
+    std = []
+    for j in range(n_features):
+        var = sum((row[j] - mean[j]) ** 2 for row in samples) / count
+        std.append(var ** 0.5 if var > 0 else 1.0)
+    z = [[(row[j] - mean[j]) / std[j] for j in range(n_features)]
+         for row in samples]
+
+    # Normal equations with an intercept column and ridge on the slopes.
+    dim = n_features + 1
+    xtx = [[0.0] * dim for _ in range(dim)]
+    xty = [0.0] * dim
+    for row, label in zip(z, labels):
+        augmented = list(row) + [1.0]
+        for a in range(dim):
+            xty[a] += augmented[a] * label
+            for b in range(dim):
+                xtx[a][b] += augmented[a] * augmented[b]
+    for j in range(n_features):  # no penalty on the intercept
+        xtx[j][j] += RIDGE_LAMBDA * count
+    solution = _solve(xtx, xty)
+    return LearnedWeights(
+        features=tuple(FEATURE_NAMES),
+        mean=tuple(mean),
+        std=tuple(std),
+        coefficients=tuple(solution[:n_features]),
+        intercept=solution[n_features],
+    )
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (tiny dense system)."""
+    dim = len(rhs)
+    aug = [list(matrix[i]) + [rhs[i]] for i in range(dim)]
+    for col in range(dim):
+        pivot = max(range(col, dim), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-12:
+            raise ValueError("singular normal equations (add ridge)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        for row in range(col + 1, dim):
+            factor = aug[row][col] / aug[col][col]
+            for k in range(col, dim + 1):
+                aug[row][k] -= factor * aug[col][k]
+    out = [0.0] * dim
+    for row in range(dim - 1, -1, -1):
+        acc = aug[row][dim] - sum(aug[row][k] * out[k]
+                                  for k in range(row + 1, dim))
+        out[row] = acc / aug[row][row]
+    return out
+
+
+# -- the registered policy ---------------------------------------------
+
+
+@register_ordering("learned",
+                   "feature-based ranker trained on self-generated runs")
+class LearnedOrdering(OrderingPolicy):
+    """Predicted-improvement ranking from the trained linear model.
+
+    Score = predicted delay improvement (ps) + lateness
+    (``max(0, -driver_slack)``): the model supplies "where is there
+    delay to recover", the lateness term supplies "where does it matter
+    right now".  Weights load lazily on first use and are cached for
+    the process lifetime.
+    """
+
+    _weights: Optional[LearnedWeights] = None
+
+    @property
+    def weights(self) -> LearnedWeights:
+        if LearnedOrdering._weights is None:
+            LearnedOrdering._weights = load_weights()
+        return LearnedOrdering._weights
+
+    def score(self, features: NetFeatures) -> float:
+        predicted = self.weights.predict(features.vector())
+        return predicted + max(0.0, -features.driver_slack)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.pipeline.learned --train`` regenerates the
+    committed weights file (review the JSON diff like code)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline.learned",
+        description="train the learned net-ordering ranker")
+    parser.add_argument("--train", action="store_true", required=True,
+                        help="regenerate learned_weights.json from the "
+                             "pinned training circuits")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: the committed "
+                             "learned_weights.json)")
+    args = parser.parse_args(argv)
+    weights = train()
+    path = save_weights(weights, args.out)
+    print(f"wrote {path}")
+    for name, coef in zip(FEATURE_NAMES, weights.coefficients):
+        print(f"  {name:18s} {coef:+10.3f}")
+    print(f"  {'intercept':18s} {weights.intercept:+10.3f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

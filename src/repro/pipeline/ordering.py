@@ -1,0 +1,261 @@
+"""Pluggable net-ordering policies for the timing-closure pipeline.
+
+The closure driver re-optimizes a *batch* of nets per iteration; when the
+batch is smaller than the candidate set, the order in which nets are
+picked decides how fast the circuit converges (and, on resource-bounded
+runs, which nets get the compute at all).  "Machine Learning Optimal
+Ordering in Global Routing Problems" (PAPERS.md) motivates treating this
+ordering as a first-class, swappable policy rather than a hard-coded
+heuristic — so policies register here exactly like staticcheck rules,
+and the CLI / HTTP / bench layers select them by name.
+
+A policy ranks *candidate* nets (most urgent first) from an
+:class:`OrderingContext`: the placed netlist, the current STA, and a
+precomputed :class:`NetFeatures` record per candidate.  Policies must be
+deterministic — same context, same ranking — so closure runs replay
+bit-identically; every built-in breaks ties on the net name.
+
+Built-ins:
+
+``criticality``
+    Most negative driver slack first — classic timing-driven ordering.
+``fanout``
+    Largest sink count first — topology-driven, slack-blind.
+``slack_weighted``
+    Criticality discounted by geometric span: a slightly-critical net
+    spanning half the die outranks an equally-critical short net,
+    because long nets have the most recoverable wire delay.
+``learned``
+    A feature-based linear ranker trained on self-generated labeled
+    runs (:mod:`repro.pipeline.learned`) predicting per-net delay
+    improvement; nets whose optimization should buy the most delay go
+    first, criticality-weighted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.netlist.netlist import CircuitNet, Netlist
+from repro.netlist.sta import StaResult
+from repro.resilience.errors import MerlinInputError
+
+
+@dataclass(frozen=True)
+class NetFeatures:
+    """Per-net facts every policy may rank on (cheap to compute)."""
+
+    name: str
+    #: Sink count of the net.
+    fanout: int
+    #: Driver-input slack (ps) under the current STA; negative = late.
+    driver_slack: float
+    #: Worst slack over the net's sinks (ps).
+    min_sink_slack: float
+    #: Half-perimeter of the net's terminal bounding box (um).
+    span: float
+    #: Sum of sink pin capacitances (fF).
+    total_sink_load: float
+    #: Driving gate's drive resistance (kOhm).
+    driver_resistance: float
+
+    def vector(self) -> List[float]:
+        """Feature vector used by the learned ranker (fixed order)."""
+        return [
+            float(self.fanout),
+            self.driver_slack,
+            self.min_sink_slack,
+            self.span,
+            self.total_sink_load,
+            self.driver_resistance,
+        ]
+
+
+#: Order of :meth:`NetFeatures.vector` entries (training + inference).
+FEATURE_NAMES = ("fanout", "driver_slack", "min_sink_slack", "span",
+                 "total_sink_load", "driver_resistance")
+
+
+@dataclass(frozen=True)
+class OrderingContext:
+    """Everything a policy sees when ranking one iteration's candidates."""
+
+    netlist: Netlist
+    sta: StaResult
+    #: Candidate net names, in netlist order (the policy's input set).
+    candidates: Sequence[str]
+    #: Feature record per candidate (keys == ``candidates``).
+    features: Dict[str, NetFeatures]
+    #: 0-based closure iteration about to run.
+    iteration: int = 0
+
+
+def net_features(netlist: Netlist, net: CircuitNet,
+                 sta: StaResult) -> NetFeatures:
+    """Compute the policy feature record of ``net`` under ``sta``."""
+    driver = netlist.gates[net.driver]
+    positions = [driver.position] + [
+        netlist.gates[s].position for s in net.sinks]
+    xs = [p.x for p in positions]
+    ys = [p.y for p in positions]
+    return NetFeatures(
+        name=net.name,
+        fanout=len(net.sinks),
+        driver_slack=sta.slack(net.driver),
+        min_sink_slack=min(sta.slack(s) for s in net.sinks),
+        span=(max(xs) - min(xs)) + (max(ys) - min(ys)),
+        total_sink_load=sum(
+            netlist.gates[s].cell.input_cap for s in net.sinks),
+        driver_resistance=driver.cell.drive_resistance,
+    )
+
+
+def build_context(netlist: Netlist, sta: StaResult,
+                  candidates: Sequence[CircuitNet],
+                  iteration: int = 0) -> OrderingContext:
+    """Assemble the ranking context for one closure iteration."""
+    return OrderingContext(
+        netlist=netlist,
+        sta=sta,
+        candidates=[net.name for net in candidates],
+        features={net.name: net_features(netlist, net, sta)
+                  for net in candidates},
+        iteration=iteration,
+    )
+
+
+class OrderingPolicy:
+    """A named, deterministic ranking rule over candidate nets.
+
+    Subclasses (or :func:`register_ordering`-decorated scorers) override
+    :meth:`rank`; the base class sorts by :meth:`score` descending with
+    the net name as the deterministic tiebreak, which is enough for
+    every scalar-scored policy.
+    """
+
+    #: Registry key; set by :func:`register_ordering`.
+    name: str = ""
+    #: One-line description shown by ``merlin-repro closure --help``.
+    describe: str = ""
+
+    def score(self, features: NetFeatures) -> float:
+        """Urgency scalar of one net (higher = optimize earlier)."""
+        raise NotImplementedError
+
+    def rank(self, context: OrderingContext) -> List[str]:
+        """Candidate net names, most urgent first (deterministic)."""
+        return sorted(
+            context.candidates,
+            key=lambda name: (-self.score(context.features[name]), name))
+
+
+#: The policy registry; :func:`register_ordering` populates it.
+ORDERING_POLICIES: Dict[str, OrderingPolicy] = {}
+
+
+def register_ordering(name: str, describe: str = ""
+                      ) -> Callable[[type], type]:
+    """Class decorator registering an :class:`OrderingPolicy`.
+
+    Registration is idempotent per name only in the sense that a repeat
+    registration is an error — policies are module-level singletons and
+    a silent overwrite would make ``--order`` ambiguous.
+    """
+    def _register(cls: type) -> type:
+        if name in ORDERING_POLICIES:
+            if type(ORDERING_POLICIES[name]).__qualname__ == cls.__qualname__:
+                # The same class executed twice — ``python -m`` runs the
+                # defining module once as itself and once as __main__.
+                # Keep the first registration.
+                return cls
+            raise MerlinInputError(
+                f"ordering policy {name!r} is already registered")
+        policy = cls()
+        policy.name = name
+        policy.describe = describe or (cls.__doc__ or "").strip().split(
+            "\n")[0]
+        ORDERING_POLICIES[name] = policy
+        return cls
+    return _register
+
+
+def get_ordering(name: str) -> OrderingPolicy:
+    """Look up a registered policy; raises with the known names."""
+    try:
+        return ORDERING_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ORDERING_POLICIES))
+        raise MerlinInputError(
+            f"unknown ordering policy {name!r} (known: {known})") from None
+
+
+def available_orderings() -> List[str]:
+    """Registered policy names, sorted."""
+    return sorted(ORDERING_POLICIES)
+
+
+# -- built-in policies -------------------------------------------------
+
+
+@register_ordering("criticality",
+                   "most negative driver slack first (timing-driven)")
+class CriticalityOrdering(OrderingPolicy):
+    """Most timing-critical net first.
+
+    The driver slack already folds in everything downstream of the net
+    (required times propagate backward through its sinks), so sorting on
+    it alone reproduces the classic "peel the critical path" schedule.
+    Fanout breaks exact slack ties — among equally late nets the one
+    feeding more gates moves more of the timing graph per optimization.
+    """
+
+    def score(self, features: NetFeatures) -> float:
+        return -features.driver_slack + 1e-6 * features.fanout
+
+
+@register_ordering("fanout", "largest sink count first (topology-driven)")
+class FanoutOrdering(OrderingPolicy):
+    """Largest fanout first, slack-blind.
+
+    The paper's Table 2 baseline mindset: big fanout nets are where
+    buffered-tree construction has the most structural freedom.  Used
+    here mostly as the comparison anchor the criticality policies must
+    beat on iterations-to-converge.
+    """
+
+    def score(self, features: NetFeatures) -> float:
+        return float(features.fanout)
+
+
+@register_ordering("slack_weighted",
+                   "criticality discounted by geometric span")
+class SlackWeightedOrdering(OrderingPolicy):
+    """Criticality weighted by how much wire there is to fix.
+
+    Score is ``-slack + span_bonus``: among similarly critical nets the
+    geometrically long one (more recoverable Elmore delay) wins.  The
+    span bonus is log-compressed so a die-spanning net cannot outrank a
+    genuinely late short net.
+    """
+
+    #: ps of equivalent urgency granted per e-fold of span (um).
+    SPAN_WEIGHT_PS = 18.0
+
+    def score(self, features: NetFeatures) -> float:
+        return (-features.driver_slack
+                + self.SPAN_WEIGHT_PS * math.log1p(features.span / 100.0))
+
+
+def _register_learned() -> None:
+    """Import-cycle-free registration of the learned ranker.
+
+    :mod:`repro.pipeline.learned` imports this module for the feature
+    schema, so the registration must run from here, lazily enough that
+    the learned module sees a fully initialized registry API.
+    """
+    from repro.pipeline import learned as _learned  # noqa: F401
+
+
+_register_learned()

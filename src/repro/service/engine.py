@@ -328,19 +328,39 @@ class OptimizationService:
     # -- the service API ------------------------------------------------
 
     def optimize(self, net: Net,
-                 timeout_s: Optional[float] = None) -> ServiceResult:
+                 timeout_s: Optional[float] = None,
+                 objective: Optional[Objective] = None) -> ServiceResult:
         """Optimize one net (cache-aware); single-net :meth:`optimize_many`."""
-        return self.optimize_many([net], timeout_s=timeout_s)[0]
+        objectives = [objective] if objective is not None else None
+        return self.optimize_many([net], timeout_s=timeout_s,
+                                  objectives=objectives)[0]
 
     def optimize_many(self, nets: Sequence[Net],
-                      timeout_s: Optional[float] = None
+                      timeout_s: Optional[float] = None,
+                      objectives: Optional[
+                          Sequence[Optional[Objective]]] = None
                       ) -> List[ServiceResult]:
         """Optimize ``nets``; returns one result per net, in order.
 
         ``timeout_s`` (default: the service's ``job_timeout_s``) bounds
         each job individually; see the module docstring for semantics.
+
+        ``objectives``, when given, must align with ``nets`` and
+        overrides the service objective per job (``None`` entries keep
+        the default).  The objective is part of the canonical cache
+        key, so per-job overrides never poison cached answers computed
+        under a different selection rule — the timing-closure pipeline
+        relies on this to pass each net its own required-time floor.
         """
         nets = list(nets)
+        if objectives is None:
+            objectives = [None] * len(nets)
+        elif len(objectives) != len(nets):
+            raise MerlinInputError(
+                f"objectives ({len(objectives)}) must align with nets "
+                f"({len(nets)})")
+        job_objectives = [obj if obj is not None else self.objective
+                          for obj in objectives]
         timeout_s = timeout_s if timeout_s is not None else self.job_timeout_s
         started = [time.perf_counter()] * len(nets)
         results: List[Optional[ServiceResult]] = [None] * len(nets)
@@ -354,7 +374,7 @@ class OptimizationService:
             self._record(metric.SERVICE_REQUESTS)
             try:
                 key = canonical_key(net, self.tech, self.config,
-                                    self.objective)
+                                    job_objectives[i])
             except Exception as exc:  # un-canonicalizable input
                 self._record(metric.SERVICE_ERRORS)
                 results[i] = self._error_result(
@@ -376,7 +396,8 @@ class OptimizationService:
                 misses.append(i)
 
         if misses:
-            self._run_misses(nets, misses, keys, started, results, timeout_s)
+            self._run_misses(nets, misses, keys, started, results, timeout_s,
+                             job_objectives)
         for i in duplicates:
             self._resolve_duplicate(nets[i], i, keys, started, results)
 
@@ -409,16 +430,23 @@ class OptimizationService:
 
     # -- miss execution -------------------------------------------------
 
-    def _make_job(self, net: Net) -> _Job:
+    def _make_job(self, net: Net,
+                  objective: Optional[Objective] = None) -> _Job:
         return _Job(net=net, tech=self.tech, config=self.config,
-                    objective=self.objective, budget_ops=self.budget_ops,
+                    objective=objective if objective is not None
+                    else self.objective,
+                    budget_ops=self.budget_ops,
                     deadline_s=self.deadline_s)
 
     def _run_misses(self, nets: Sequence[Net], misses: List[int],
                     keys: List[Optional[str]], started: List[float],
                     results: List[Optional[ServiceResult]],
-                    timeout_s: Optional[float]) -> None:
-        jobs = {i: self._make_job(nets[i]) for i in misses}
+                    timeout_s: Optional[float],
+                    objectives: Optional[Sequence[Objective]] = None
+                    ) -> None:
+        jobs = {i: self._make_job(
+            nets[i], objectives[i] if objectives is not None else None)
+            for i in misses}
         pool = self._acquire_pool()
         if pool is None:
             for i in misses:

@@ -13,6 +13,15 @@
   400, transient resource exhaustion (timeout, dead pool) is 503, and
   internal errors are 500 — every error body carries the structured
   ``error_detail`` record (kind / category / stage).
+* ``POST /closure`` — full-netlist timing closure through the shared
+  service (warm pool and cache included).  Body selects the circuit —
+  ``{"circuit": "b9", "seed": 1999}`` (a Table 2 name or a custom
+  ``"gates:levels:pis:pos[:max_fanout]"`` shape) or an inline
+  ``{"netlist": {...}}`` interchange object — plus optional closure
+  knobs ``order`` / ``batch_size`` / ``max_iterations`` /
+  ``target_scale`` / ``min_sinks`` and ``include_trees``.  The response
+  is the :meth:`repro.pipeline.ClosureResult.to_dict` report (one entry
+  per iteration, final delay/slack/area, per-net tree signatures).
 * ``GET /stats`` — cache hit/miss counters and the request-latency
   series recorded through :mod:`repro.instrument`.
 * ``GET /healthz`` — liveness probe.
@@ -90,6 +99,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        if self.path == "/closure":
+            self._do_closure()
+            return
         if self.path != "/optimize":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
@@ -128,6 +140,62 @@ class _Handler(BaseHTTPRequestHandler):
             result.error_category or "internal", 500)
         self._reply(status, result.to_dict())
 
+    def _do_closure(self) -> None:
+        """``POST /closure``: timing closure through the shared service.
+
+        The pipeline import is deferred to request time — ``pipeline``
+        and ``service`` share a layer, and the lazy edge keeps the HTTP
+        module importable without dragging the whole closure stack in.
+        """
+        from repro.pipeline import ClosureConfig, run_closure
+        from repro.resilience.errors import MerlinInputError
+
+        service = self.server.service
+        service._record(metric.service_endpoint_requests("closure"))
+        try:
+            fault_point("service.http", key=self.path)
+        except FaultInjected as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(500, {"error": str(exc),
+                              "error_detail": exc.record.to_dict()})
+            return
+        try:
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise ValueError("closure request body must be a JSON "
+                                 "object")
+            netlist = _closure_netlist(body)
+            closure = ClosureConfig(
+                order=str(body.get("order", "criticality")),
+                min_sinks=int(body.get("min_sinks", 2)),
+                target_scale=float(body.get("target_scale", 0.88)),
+                batch_size=(None if body.get("batch_size") is None
+                            else int(body["batch_size"])),
+                max_iterations=int(body.get("max_iterations", 10)),
+            )
+        except (ValueError, TypeError, KeyError, MerlinInputError) as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(400, {"error": f"invalid closure request: {exc}",
+                              "error_detail": classify(
+                                  exc, stage="http").to_dict()})
+            return
+        try:
+            result = run_closure(netlist, closure=closure, service=service)
+        except MerlinInputError as exc:
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(400, {"error": str(exc),
+                              "error_detail": classify(
+                                  exc, stage="pipeline").to_dict()})
+            return
+        except Exception as exc:  # noqa: BLE001 — honest 500, not a hang
+            service._record(metric.SERVICE_ERRORS)
+            self._reply(500, {"error": f"closure failed: {exc}",
+                              "error_detail": classify(
+                                  exc, stage="pipeline").to_dict()})
+            return
+        self._reply(200, result.to_dict(
+            include_trees=bool(body.get("include_trees", False))))
+
     # -- plumbing -------------------------------------------------------
 
     def _read_body(self) -> Any:
@@ -155,6 +223,22 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
 
+def _closure_netlist(body: Dict[str, Any]):
+    """Resolve a closure request body to a placed-ready ``Netlist``."""
+    from repro.experiments.circuits import resolve_circuit_spec
+    from repro.netlist.generator import generate_circuit
+    from repro.netlist.io import netlist_from_dict
+
+    if isinstance(body.get("netlist"), dict):
+        return netlist_from_dict(body["netlist"])
+    circuit = body.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        raise ValueError("closure request needs a 'circuit' name/shape "
+                         "or an inline 'netlist' object")
+    seed = int(body.get("seed", 1999))
+    return generate_circuit(resolve_circuit_spec(circuit, seed))
+
+
 def make_server(service: OptimizationService, host: str = "127.0.0.1",
                 port: int = 0) -> ServiceHTTPServer:
     """Bind a server (``port=0`` picks a free one; see ``server_port``).
@@ -173,8 +257,8 @@ def serve(host: str, port: int, service: Optional[OptimizationService] = None,
     _Handler.verbose = verbose
     server = make_server(service, host, port)
     print(f"merlin-repro service listening on http://{host}:"
-          f"{server.server_port}  (POST /optimize, GET /stats, "
-          f"GET /healthz; Ctrl-C to stop)")
+          f"{server.server_port}  (POST /optimize, POST /closure, "
+          f"GET /stats, GET /healthz; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

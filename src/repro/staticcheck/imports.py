@@ -46,8 +46,9 @@ PACKAGE_LAYERS: Dict[str, int] = {
     "baselines": 5, "parallel": 5, "analysis": 5,
     # circuit substrate (drives per-net flows over a netlist)
     "netlist": 6,
-    # experiment harnesses and the long-running service
-    "experiments": 7, "service": 7,
+    # experiment harnesses, the long-running service, and the
+    # full-netlist timing-closure pipeline that drives the service
+    "experiments": 7, "service": 7, "pipeline": 7,
     # developer tooling (imports nothing from repro at runtime)
     "staticcheck": 8,
     # public facade and benchmark driver

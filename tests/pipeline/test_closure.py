@@ -1,0 +1,194 @@
+"""Tests for the timing-closure driver (`repro.pipeline.closure`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.instrument import Recorder
+from repro.instrument import names as metric
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.pipeline import ClosureConfig, run_closure
+from repro.resilience.errors import MerlinInputError
+from repro.routing.validate import validate_tree
+from repro.service import OptimizationService, ResultCache
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+SPEC = CircuitSpec(name="closure", primary_inputs=4, primary_outputs=3,
+                   logic_gates=12, levels=3, max_fanout=4, seed=3)
+
+#: The ordering-equivalence circuit: under batch_size=1 the policies
+#: genuinely diverge here — criticality closes in fewer iterations than
+#: fanout (found by a seed sweep; pinned, deterministic).
+COMPARE_SPEC = CircuitSpec(name="s31", primary_inputs=5, primary_outputs=4,
+                           logic_gates=18, levels=4, max_fanout=5, seed=31)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_closure(generate_circuit(SPEC), config=CFG,
+                       closure=ClosureConfig(), workers=1)
+
+
+class TestConvergence:
+    def test_converges(self, result):
+        assert result.converged
+        assert 1 <= result.iterations_to_converge <= 10
+
+    def test_worst_slack_is_non_decreasing_across_iterations(self, result):
+        slacks = [it.worst_slack for it in result.iterations]
+        assert all(slacks[i] <= slacks[i + 1] + 1e-6
+                   for i in range(len(slacks) - 1))
+
+    def test_critical_delay_is_monotone_non_increasing(self, result):
+        delays = [it.critical_delay for it in result.iterations]
+        assert all(delays[i] >= delays[i + 1] - 1e-6
+                   for i in range(len(delays) - 1))
+
+    def test_closure_beats_the_star_estimate(self, result):
+        assert result.critical_delay < result.estimate_delay
+
+    def test_target_derivation(self, result):
+        assert result.target == pytest.approx(0.88 * result.estimate_delay)
+
+    def test_every_final_tree_is_valid(self, result):
+        assert result.trees
+        for tree in result.trees.values():
+            validate_tree(tree)
+
+    def test_all_multi_sink_nets_get_optimized_with_full_batches(
+            self, result):
+        circuit = generate_circuit(SPEC)
+        multi = sum(1 for n in circuit.nets if len(n.sinks) >= 2)
+        assert result.nets_optimized == multi
+
+    def test_area_accounting(self, result):
+        circuit = generate_circuit(SPEC)
+        assert result.gate_area == pytest.approx(circuit.gate_area)
+        assert result.total_area == pytest.approx(
+            result.gate_area + result.buffer_area)
+
+    def test_batched_runs_take_multiple_iterations(self):
+        outcome = run_closure(
+            generate_circuit(SPEC), config=CFG, workers=1,
+            closure=ClosureConfig(batch_size=2))
+        assert outcome.converged
+        assert outcome.iterations_to_converge >= 2
+        delays = [it.critical_delay for it in outcome.iterations]
+        assert all(delays[i] >= delays[i + 1] - 1e-6
+                   for i in range(len(delays) - 1))
+
+    def test_deterministic_across_runs(self, result):
+        again = run_closure(generate_circuit(SPEC), config=CFG,
+                            closure=ClosureConfig(), workers=1)
+        assert again.signatures() == result.signatures()
+        assert again.critical_delay == result.critical_delay
+        assert again.iterations_to_converge == result.iterations_to_converge
+
+
+class TestOrderingPolicyEquivalence:
+    """Acceptance criterion: every policy closes validly, and ordering
+    genuinely matters — criticality beats fanout on iterations-to-
+    converge for the pinned COMPARE_SPEC circuit."""
+
+    @pytest.fixture(scope="class")
+    def by_policy(self):
+        outcomes = {}
+        for order in ("criticality", "fanout", "slack_weighted", "learned"):
+            outcomes[order] = run_closure(
+                generate_circuit(COMPARE_SPEC), config=CFG, workers=1,
+                closure=ClosureConfig(order=order, batch_size=1,
+                                      max_iterations=14))
+        return outcomes
+
+    def test_every_policy_reaches_valid_closure(self, by_policy):
+        for order, outcome in by_policy.items():
+            assert outcome.converged, f"{order} did not converge"
+            assert outcome.policy == order
+            for tree in outcome.trees.values():
+                validate_tree(tree)
+            slacks = [it.worst_slack for it in outcome.iterations]
+            assert all(slacks[i] <= slacks[i + 1] + 1e-6
+                       for i in range(len(slacks) - 1)), order
+
+    def test_criticality_beats_fanout_on_iterations(self, by_policy):
+        assert (by_policy["criticality"].iterations_to_converge
+                < by_policy["fanout"].iterations_to_converge)
+
+
+class TestServiceIntegration:
+    def test_shared_service_caches_across_closure_runs(self):
+        with OptimizationService(tech=TECH, config=CFG,
+                                 cache=ResultCache(), workers=1) as service:
+            first = run_closure(generate_circuit(SPEC), service=service,
+                                closure=ClosureConfig())
+            second = run_closure(generate_circuit(SPEC), service=service,
+                                 closure=ClosureConfig())
+        assert first.signatures() == second.signatures()
+        assert sum(it.cache_hits for it in first.iterations) == 0
+        # Same circuit, same canonical nets: the rerun is all cache hits.
+        assert (sum(it.cache_hits for it in second.iterations)
+                == second.nets_optimized)
+
+    def test_service_conflicts_with_explicit_knobs(self):
+        with OptimizationService(tech=TECH, config=CFG,
+                                 workers=1) as service:
+            with pytest.raises(MerlinInputError, match="service"):
+                run_closure(generate_circuit(SPEC), tech=TECH,
+                            service=service)
+
+    def test_recorder_sees_pipeline_metrics(self):
+        recorder = Recorder()
+        run_closure(generate_circuit(SPEC), config=CFG, workers=1,
+                    closure=ClosureConfig(batch_size=3), recorder=recorder)
+        report = recorder.report()
+        assert report["counters"][metric.PIPELINE_ITERATIONS] >= 2
+        assert report["counters"][metric.PIPELINE_NETS_REOPTIMIZED] >= 3
+        events = report["events"].get(metric.EVENT_CLOSURE_ITERATION, [])
+        assert len(events) == report["counters"][metric.PIPELINE_ITERATIONS]
+        assert events[0]["policy"] == "criticality"
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"target_scale": 0.0},
+        {"target_scale": 1.5},
+        {"min_sinks": 0},
+        {"max_iterations": 0},
+        {"batch_size": 0},
+        {"retime_tolerance_ps": -1.0},
+    ])
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(MerlinInputError):
+            ClosureConfig(**kwargs)
+
+    def test_unknown_order_raises_at_run(self):
+        with pytest.raises(MerlinInputError, match="unknown ordering"):
+            run_closure(generate_circuit(SPEC), config=CFG,
+                        closure=ClosureConfig(order="bogus"), workers=1)
+
+
+class TestReport:
+    def test_to_dict_is_json_serializable(self, result):
+        body = result.to_dict()
+        json.dumps(body)
+        assert body["converged"] is True
+        assert body["iterations_to_converge"] == len(body["iterations"])
+        assert sorted(body["signatures"]) == sorted(result.trees)
+
+    def test_include_trees_round_trips(self, result):
+        body = result.to_dict(include_trees=True)
+        json.dumps(body)
+        assert sorted(body["trees"]) == sorted(result.trees)
+
+    def test_iteration_reports_are_complete(self, result):
+        for it in result.iterations:
+            body = it.to_dict()
+            assert body["reoptimized"] <= len(body["selected"])
+            assert body["wall_s"] >= 0.0
+            assert body["rolled_back"] is False

@@ -1,0 +1,157 @@
+"""Property-based tests for the netlist substrate (hypothesis).
+
+The circuit-level invariants the closure pipeline leans on:
+
+* STA is *monotone*: inflating any net's delay can only worsen (never
+  improve) the circuit's worst slack under a fixed target;
+* the pre-optimization ``star_net_delay`` estimate is monotone in sink
+  distance — moving a sink farther from its driver never speeds it up;
+* generation + placement is deterministic in the spec (same seed, same
+  circuit, same coordinates) and re-placement is idempotent;
+* the canonical cache identity of a netlist-derived optimization net is
+  invariant under renaming and rigid translation — the properties the
+  service's cross-net result cache depends on for correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MerlinConfig
+from repro.core.objective import Objective
+from repro.geometry.point import Point
+from repro.net import Sink
+from repro.netlist.flow_runner import _to_routing_net
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.netlist.placement import place_netlist
+from repro.netlist.sta import run_sta, star_net_delay
+from repro.service.canonical import canonical_key
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CFG = MerlinConfig.test_preset()
+
+#: Small-but-varied circuit shapes; every draw is a fresh deterministic
+#: circuit, so examples shrink nicely.
+specs = st.builds(
+    lambda gates, levels, fanout, seed: CircuitSpec(
+        name=f"prop_{gates}_{levels}_{fanout}_{seed}",
+        primary_inputs=4, primary_outputs=3, logic_gates=gates,
+        levels=levels, max_fanout=fanout, seed=seed),
+    gates=st.integers(min_value=8, max_value=18),
+    levels=st.integers(min_value=2, max_value=4),
+    fanout=st.integers(min_value=3, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _placed(spec: CircuitSpec):
+    netlist = generate_circuit(spec)
+    place_netlist(netlist)
+    return netlist
+
+
+def _multi_sink_net(netlist, index: int):
+    nets = [n for n in netlist.nets if len(n.sinks) >= 2]
+    assume(nets)
+    return nets[index % len(nets)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs, net_index=st.integers(min_value=0, max_value=50),
+       delta=st.floats(min_value=0.0, max_value=5_000.0))
+def test_inflating_a_net_delay_never_improves_worst_slack(
+        spec, net_index, delta):
+    netlist = _placed(spec)
+    slowed = _multi_sink_net(netlist, net_index)
+    star = star_net_delay(netlist, TECH)
+    baseline = run_sta(netlist, TECH)  # target = its own critical delay
+
+    def inflated(net, sink_name):
+        extra = delta if net.name == slowed.name else 0.0
+        return star(net, sink_name) + extra
+
+    worse = run_sta(netlist, TECH, net_delay=inflated,
+                    target=baseline.target)
+    assert worse.worst_slack <= baseline.worst_slack + 1e-9
+    assert worse.critical_delay >= baseline.critical_delay - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs, net_index=st.integers(min_value=0, max_value=50),
+       sink_index=st.integers(min_value=0, max_value=50),
+       scale=st.integers(min_value=2, max_value=6))
+def test_star_delay_is_monotone_in_sink_distance(
+        spec, net_index, sink_index, scale):
+    netlist = _placed(spec)
+    net = _multi_sink_net(netlist, net_index)
+    sink_name = net.sinks[sink_index % len(net.sinks)]
+    driver = netlist.gates[net.driver].position
+    sink_gate = netlist.gates[sink_name]
+    original = sink_gate.position
+    assume(abs(original.x - driver.x) + abs(original.y - driver.y) > 0)
+
+    near = star_net_delay(netlist, TECH)(net, sink_name)
+    # Move the sink `scale`x farther along the same displacement.
+    sink_gate.position = Point(
+        driver.x + scale * (original.x - driver.x),
+        driver.y + scale * (original.y - driver.y))
+    far = star_net_delay(netlist, TECH)(net, sink_name)
+    assert far >= near - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_generation_and_placement_are_deterministic(spec):
+    first = _placed(spec)
+    second = _placed(spec)
+    assert sorted(first.gates) == sorted(second.gates)
+    for name, gate in first.gates.items():
+        assert second.gates[name].position == gate.position
+    # Re-placement of an already placed netlist is a no-op.
+    before = {name: g.position for name, g in first.gates.items()}
+    place_netlist(first)
+    assert {name: g.position for name, g in first.gates.items()} == before
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs, net_index=st.integers(min_value=0, max_value=50),
+       dx=st.integers(min_value=-40_000, max_value=40_000),
+       dy=st.integers(min_value=-40_000, max_value=40_000),
+       suffix=st.text(alphabet="abcxyz", min_size=1, max_size=6))
+def test_canonical_key_is_rename_and_translation_invariant(
+        spec, net_index, dx, dy, suffix):
+    netlist = _placed(spec)
+    circuit_net = _multi_sink_net(netlist, net_index)
+    estimate = run_sta(netlist, TECH)
+    sta = run_sta(netlist, TECH, target=0.88 * estimate.critical_delay)
+    net = _to_routing_net(netlist, circuit_net, sta)
+    objective = Objective.min_area(
+        required_time_floor=sta.arrival[circuit_net.driver])
+    key = canonical_key(net, TECH, CFG, objective)
+
+    moved = dataclasses.replace(
+        net,
+        name=f"{net.name}_{suffix}",
+        source=Point(net.source.x + dx, net.source.y + dy),
+        sinks=tuple(
+            dataclasses.replace(
+                s, name=f"{s.name}_{suffix}",
+                position=Point(s.position.x + dx, s.position.y + dy))
+            for s in net.sinks),
+    )
+    assert canonical_key(moved, TECH, CFG, objective) == key
+
+    # A *different problem* must not collide: tightening one sink's
+    # required time changes the canonical identity.
+    tightened = dataclasses.replace(
+        net,
+        sinks=tuple(
+            dataclasses.replace(s, required_time=s.required_time - 123.0)
+            if i == 0 else s
+            for i, s in enumerate(net.sinks)),
+    )
+    assert canonical_key(tightened, TECH, CFG, objective) != key

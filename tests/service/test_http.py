@@ -220,3 +220,60 @@ def test_degraded_results_are_200_and_carry_the_degradation_detail():
     assert body["ok"] and body["degraded"]
     assert body["degradation"]["rung"] == "buffered_star"
     assert body["tree_signature"] == tree_signature(buffered_star(net, TECH))
+
+
+# ----------------------------------------------------------------------
+# POST /closure
+# ----------------------------------------------------------------------
+
+def test_closure_endpoint_runs_a_named_circuit(server):
+    status, body = _post(server, "/closure",
+                         {"circuit": "b9", "order": "criticality",
+                          "batch_size": 4})
+    assert status == 200
+    assert body["converged"] is True
+    assert body["circuit"] == "b9"
+    assert body["policy"] == "criticality"
+    assert body["iterations"]
+    slacks = [it["worst_slack"] for it in body["iterations"]]
+    assert all(slacks[i] <= slacks[i + 1] + 1e-6
+               for i in range(len(slacks) - 1))
+    assert body["nets_optimized"] == len(body["signatures"])
+    assert "trees" not in body  # opt-in via include_trees
+
+
+def test_closure_endpoint_accepts_an_inline_netlist(server):
+    from repro.netlist.generator import CircuitSpec, generate_circuit
+    from repro.netlist.io import netlist_to_dict
+
+    spec = CircuitSpec(name="http_inline", primary_inputs=4,
+                       primary_outputs=3, logic_gates=10, levels=3,
+                       max_fanout=4, seed=7)
+    status, body = _post(server, "/closure",
+                         {"netlist": netlist_to_dict(generate_circuit(spec)),
+                          "include_trees": True})
+    assert status == 200
+    assert body["circuit"] == "http_inline"
+    assert body["converged"] is True
+    assert sorted(body["trees"]) == sorted(body["signatures"])
+
+
+def test_closure_endpoint_rejects_unknown_circuit(server):
+    status, body = _post(server, "/closure", {"circuit": "nope"})
+    assert status == 400
+    assert "unknown circuit" in body["error"]
+    assert body["error_detail"]["category"] == "input"
+
+
+def test_closure_endpoint_rejects_unknown_order(server):
+    status, body = _post(server, "/closure",
+                         {"circuit": "b9", "order": "bogus"})
+    assert status == 400
+    assert "unknown ordering policy" in body["error"]
+
+
+def test_closure_endpoint_rejects_bad_knobs(server):
+    status, body = _post(server, "/closure",
+                         {"circuit": "b9", "target_scale": 2.0})
+    assert status == 400
+    assert body["error_detail"]["category"] == "input"

@@ -32,6 +32,15 @@ TINY_PARALLEL = {
     "seeds": (None, 1),
 }
 
+TINY_CLOSURE = {
+    "name": "tinyclose",
+    "circuit": "8:3:4:3",
+    "seed": 3,
+    "config": MerlinConfig.test_preset(),
+    "orders": ("criticality",),
+    "batch": None,
+}
+
 BACKENDS = ["python", "numpy"] if kernels.numpy_available() \
     else ["python"]
 
@@ -59,18 +68,102 @@ def test_parallel_case_worker_invariance():
         result["runs"]["2"]["signatures"]
 
 
+def test_closure_case_schema_and_contracts():
+    result = bench.run_closure_case(TINY_CLOSURE, "python")
+    assert result["kind"] == "closure"
+    assert result["all_converged"] is True
+    assert result["monotone"] is True
+    run = result["runs"]["criticality"]
+    assert run["wall_s"] > 0
+    assert run["converged"] is True
+    assert run["iterations"] >= 1
+
+
 def test_check_suite_flags_divergence():
     ok_engine = {"name": "a", "kind": "engine", "signatures_match": True}
     ok_par = {"name": "b", "kind": "multi_start", "worker_invariant": True}
-    suite = {"cases": [ok_engine, ok_par]}
+    ok_close = {"name": "c", "kind": "closure", "all_converged": True,
+                "monotone": True}
+    suite = {"cases": [ok_engine, ok_par, ok_close]}
     assert bench.check_suite(suite) == []
 
     bad = copy.deepcopy(suite)
     bad["cases"][0]["signatures_match"] = False
     bad["cases"][1]["worker_invariant"] = False
+    bad["cases"][2]["monotone"] = False
     failures = bench.check_suite(bad)
-    assert len(failures) == 2
-    assert "a" in failures[0] and "b" in failures[1]
+    assert len(failures) == 3
+    assert "a" in failures[0] and "b" in failures[1] and "c" in failures[2]
+
+
+def _fake_suite(calibration, **timings):
+    """A minimal suite dict whose tracked timings are exactly
+    ``timings`` (keys are closure order names for brevity)."""
+    return {
+        "environment": {"calibration_s": calibration},
+        "cases": [{
+            "name": "t",
+            "kind": "closure",
+            "runs": {order: {"wall_s": wall}
+                     for order, wall in timings.items()},
+        }],
+    }
+
+
+def test_tracked_timings_cover_every_case_kind():
+    suite = {"cases": [
+        {"name": "e", "kind": "engine",
+         "runs": {"python": {"wall_s": 1.0}, "numpy": {"wall_s": 0.5}}},
+        {"name": "m", "kind": "multi_start",
+         "runs": {"1": {"wall_s": 2.0}, "2": {"wall_s": 1.5}}},
+        {"name": "s", "kind": "service",
+         "cold_wall_s": 3.0, "warm_wall_s": 0.25},
+        {"name": "c", "kind": "closure",
+         "runs": {"criticality": {"wall_s": 4.0}}},
+    ]}
+    assert bench.tracked_timings(suite) == {
+        "engine/e/python": 1.0, "engine/e/numpy": 0.5,
+        "multi_start/m/w1": 2.0, "multi_start/m/w2": 1.5,
+        "service/s/cold": 3.0, "service/s/warm": 0.25,
+        "closure/c/criticality": 4.0,
+    }
+
+
+class TestCompareToBaseline:
+    def test_regression_over_threshold_fails(self):
+        baseline = _fake_suite(1.0, criticality=1.0)
+        current = _fake_suite(1.0, criticality=1.5)
+        failures = bench.compare_to_baseline(current, baseline)
+        assert len(failures) == 1
+        assert "closure/t/criticality" in failures[0]
+
+    def test_within_threshold_passes(self):
+        baseline = _fake_suite(1.0, criticality=1.0)
+        current = _fake_suite(1.0, criticality=1.1)
+        assert bench.compare_to_baseline(current, baseline) == []
+
+    def test_calibration_ratio_excuses_a_slower_machine(self):
+        # 2x slower across the board, including the calibration probe:
+        # not a code regression.
+        baseline = _fake_suite(1.0, criticality=1.0)
+        current = _fake_suite(2.0, criticality=2.0)
+        assert bench.compare_to_baseline(current, baseline) == []
+
+    def test_calibration_cannot_hide_a_real_regression(self):
+        baseline = _fake_suite(1.0, criticality=1.0)
+        current = _fake_suite(2.0, criticality=3.0)
+        assert len(bench.compare_to_baseline(current, baseline)) == 1
+
+    def test_sub_floor_timings_are_ignored(self):
+        # Tiny timings are all noise — never gate on them.
+        baseline = _fake_suite(1.0, criticality=0.010)
+        current = _fake_suite(1.0, criticality=0.040)
+        assert bench.compare_to_baseline(current, baseline) == []
+
+    def test_keys_missing_from_either_side_are_ignored(self):
+        baseline = _fake_suite(1.0, criticality=1.0)
+        current = _fake_suite(1.0, fanout=99.0)
+        assert bench.compare_to_baseline(current, baseline) == []
 
 
 def test_main_writes_versioned_json(tmp_path, monkeypatch):
@@ -78,6 +171,8 @@ def test_main_writes_versioned_json(tmp_path, monkeypatch):
     monkeypatch.setattr(bench, "_engine_cases", lambda quick: [TINY_CASE])
     monkeypatch.setattr(bench, "_parallel_cases",
                         lambda quick: [TINY_PARALLEL])
+    monkeypatch.setattr(bench, "_closure_cases",
+                        lambda quick: [TINY_CLOSURE])
     code = bench.main(["--quick", "--tag", "test", "--out", str(out),
                        "--workers", "1"])
     assert code == 0
@@ -85,8 +180,26 @@ def test_main_writes_versioned_json(tmp_path, monkeypatch):
     assert suite["version"] == bench.BENCH_VERSION
     assert suite["tag"] == "test"
     assert suite["environment"]["python"]
+    assert suite["environment"]["calibration_s"] > 0
     assert {c["kind"] for c in suite["cases"]} == \
-        {"engine", "multi_start", "service"}
+        {"engine", "multi_start", "service", "closure"}
+
+    # Round trip through the --baseline gate.  Comparing a run against
+    # itself on a shared CI box is jitter-prone, so pad the baseline
+    # timings 3x: the gate must load the file, match keys, and pass.
+    padded = copy.deepcopy(suite)
+    for case in padded["cases"]:
+        for run in case.get("runs", {}).values():
+            run["wall_s"] *= 3.0
+        for key in ("cold_wall_s", "warm_wall_s"):
+            if key in case:
+                case[key] *= 3.0
+    baseline = tmp_path / "BENCH_baseline.json"
+    baseline.write_text(json.dumps(padded))
+    again = tmp_path / "BENCH_again.json"
+    code = bench.main(["--quick", "--tag", "test", "--out", str(again),
+                       "--workers", "1", "--baseline", str(baseline)])
+    assert code == 0
 
 
 def test_main_rejects_unknown_backend(capsys):

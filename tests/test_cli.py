@@ -167,3 +167,69 @@ class TestNetFileFlag:
         assert main(["net", "--net-file", path]) == 2
         err = capsys.readouterr().err
         assert "not valid JSON" in err
+
+
+class TestClosureCommand:
+    def test_list_orders(self, capsys):
+        assert main(["closure", "--list-orders"]) == 0
+        out = capsys.readouterr().out
+        for name in ("criticality", "fanout", "slack_weighted", "learned"):
+            assert name in out
+
+    def test_custom_spec_closes_timing(self, capsys):
+        assert main(["closure", "--circuit", "10:3:4:3", "--preset",
+                     "test", "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "policy criticality" in out
+        assert "converged after" in out
+        assert "iter 1:" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["closure", "--circuit", "10:3:4:3", "--preset",
+                     "test", "--order", "fanout", "--json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["converged"] is True
+        assert body["policy"] == "fanout"
+        assert body["iterations"]
+
+    def test_unknown_circuit_exits_2(self, capsys):
+        assert main(["closure", "--circuit", "nonesuch",
+                     "--preset", "test"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1  # one line, no traceback
+        assert lines[0].startswith("error: ")
+        assert "b9" in lines[0]  # names the known circuits
+
+    def test_unknown_order_exits_2(self, capsys):
+        assert main(["closure", "--circuit", "10:3:4:3", "--preset",
+                     "test", "--order", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "criticality" in err
+
+    def test_netlist_file_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.netlist.generator import CircuitSpec, generate_circuit
+        from repro.netlist.io import netlist_to_dict
+
+        spec = CircuitSpec(name="cli_file", primary_inputs=4,
+                           primary_outputs=3, logic_gates=10, levels=3,
+                           max_fanout=4, seed=3)
+        path = tmp_path / "netlist.json"
+        path.write_text(json.dumps(netlist_to_dict(
+            generate_circuit(spec))))
+        assert main(["closure", "--netlist-file", str(path),
+                     "--preset", "test"]) == 0
+        assert "converged after" in capsys.readouterr().out
+
+    def test_bad_netlist_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["closure", "--netlist-file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot load netlist")
