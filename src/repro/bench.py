@@ -19,7 +19,11 @@ on >20% slowdowns.  Raw seconds are not comparable across machines, so
 both suites carry a *calibration* measurement — a fixed pure-Python
 workload timed at suite start — and every comparison is normalized by
 the calibration ratio first (a machine 2x slower overall is allowed 2x
-the baseline seconds).  Sub-50ms timings are skipped as noise.
+the baseline seconds).  Sub-50ms timings are skipped as noise.  Beyond
+end-to-end wall clocks, the engine cases track two recorder-span
+aggregates (``star_ptree.run``, ``curves.prune``) so DP-internal
+regressions cannot hide in harness noise; service and closure cases
+run once per backend with backend-qualified keys.
 
 Usage::
 
@@ -28,6 +32,8 @@ Usage::
     python -m repro.bench --tag pr2        # writes BENCH_pr2.json
     python -m repro.bench --backends python,numpy --out /tmp/b.json
     python -m repro.bench --quick --baseline BENCH_quick.json
+    python -m repro.bench --quick --profile 25   # cProfile top-25
+    merlin-repro bench --quick                   # same flags via the CLI
 """
 
 from __future__ import annotations
@@ -44,14 +50,14 @@ from repro import parallel
 from repro.core.config import MerlinConfig
 from repro.core.merlin import merlin
 from repro.core.objective import Objective
-from repro.curves import kernels
+from repro.curves import contract
 from repro.curves.curve import CurveConfig
 from repro.experiments.nets import make_experiment_net
 from repro.instrument import Recorder
 from repro.routing.export import tree_signature
 from repro.tech.technology import default_technology
 
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: A tracked timing below this (after calibration scaling) is treated
 #: as noise and excluded from the regression gate.
@@ -288,9 +294,11 @@ def run_service_case(case: Dict[str, Any], backend: str) -> Dict[str, Any]:
         "all_ok": all_ok,
         "all_cached_on_second_pass": all_cached,
         "signatures_match": signatures_match,
+        "signatures": [r.signature for r in cold_results],
     }
-    print(f"  {case['name']:12s} nets={len(nets)} cold={cold_wall:7.2f}s "
-          f"warm={warm_wall:7.2f}s cache={cache_wall:7.3f}s "
+    print(f"  {case['name']:12s} backend={backend:7s} nets={len(nets)} "
+          f"cold={cold_wall:7.2f}s warm={warm_wall:7.2f}s "
+          f"cache={cache_wall:7.3f}s "
           f"warm_speedup={out['warm_speedup']:.2f}x")
     return out
 
@@ -352,7 +360,8 @@ def run_closure_case(case: Dict[str, Any], backend: str) -> Dict[str, Any]:
             "nets_optimized": result.nets_optimized,
             "signatures": result.signatures(),
         }
-        print(f"  {case['name']:12s} order={order:14s} wall={wall:7.2f}s "
+        print(f"  {case['name']:12s} backend={backend:7s} "
+              f"order={order:14s} wall={wall:7.2f}s "
               f"iters={result.iterations_to_converge} "
               f"delay={result.critical_delay:9.1f}ps")
     return {
@@ -397,7 +406,7 @@ def _environment() -> Dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "numpy": None,
     }
-    if kernels.numpy_available():
+    if contract.numpy_available():
         import numpy
         env["numpy"] = numpy.__version__
     return env
@@ -413,10 +422,15 @@ def run_suite(quick: bool, backends: Sequence[str],
     par_backend = "numpy" if "numpy" in backends else backends[0]
     for case in _parallel_cases(quick):
         cases.append(run_parallel_case(case, worker_counts, par_backend))
+    # Service and closure run once per backend: the tracked timings are
+    # backend-qualified, and check_suite pins the trees bit-identical
+    # across the per-backend case instances.
     for case in _service_cases(quick):
-        cases.append(run_service_case(case, par_backend))
+        for backend in backends:
+            cases.append(run_service_case(case, backend))
     for case in _closure_cases(quick):
-        cases.append(run_closure_case(case, par_backend))
+        for backend in backends:
+            cases.append(run_closure_case(case, backend))
     environment = _environment()
     environment["calibration_s"] = _calibration_s()
     return {
@@ -457,28 +471,72 @@ def check_suite(suite: Dict[str, Any]) -> List[str]:
                 failures.append(
                     f"{case['name']}: critical delay increased across "
                     f"closure iterations")
+    # Cross-backend equivalence: when a service/closure case ran once
+    # per backend, every instance must produce identical trees.
+    service_sigs: Dict[str, set] = {}
+    closure_sigs: Dict[str, set] = {}
+    for case in suite["cases"]:
+        if case["kind"] == "service" and "signatures" in case:
+            service_sigs.setdefault(case["name"], set()).add(
+                tuple(case["signatures"]))
+        if case["kind"] == "closure" and "runs" in case:
+            closure_sigs.setdefault(case["name"], set()).add(
+                tuple((order, tuple(run["signatures"]))
+                      for order, run in sorted(case["runs"].items())))
+    for name, sigs in sorted(service_sigs.items()):
+        if len(sigs) > 1:
+            failures.append(
+                f"{name}: service trees diverge across backends")
+    for name, sigs in sorted(closure_sigs.items()):
+        if len(sigs) > 1:
+            failures.append(
+                f"{name}: closure trees diverge across backends")
     return failures
+
+
+def _span_total(spans: Dict[str, Any], leaf: str) -> float:
+    """Sum the recorded seconds of every span path ending in ``leaf``
+    (span paths are slash-joined nesting chains)."""
+    return sum(entry["total_s"] for path, entry in spans.items()
+               if path == leaf or path.endswith("/" + leaf))
 
 
 def tracked_timings(suite: Dict[str, Any]) -> Dict[str, float]:
     """The wall-clock measurements the regression gate watches,
     keyed ``kind/case/variant`` (stable across runs of one suite
-    shape)."""
+    shape).
+
+    Engine cases additionally track two recorder-span aggregates —
+    ``star_ptree.run`` (total *PTREE DP time) and ``curves.prune``
+    (total kernel prune time) — so a regression inside the DP cannot
+    hide behind noise in the end-to-end wall clock.  Service and
+    closure keys are backend-qualified (the suite runs those cases once
+    per backend).
+    """
     timings: Dict[str, float] = {}
     for case in suite["cases"]:
         name = case["name"]
         if case["kind"] == "engine":
             for backend, run in case["runs"].items():
                 timings[f"engine/{name}/{backend}"] = run["wall_s"]
+                spans = run.get("instrument", {}).get("spans", {})
+                ptree = _span_total(spans, "ptree")
+                if ptree:
+                    timings[f"star_ptree.run/{name}/{backend}"] = ptree
+                prune = _span_total(spans, "curves.kernel.prune")
+                if prune:
+                    timings[f"curves.prune/{name}/{backend}"] = prune
         elif case["kind"] == "multi_start":
             for workers, run in case["runs"].items():
                 timings[f"multi_start/{name}/w{workers}"] = run["wall_s"]
         elif case["kind"] == "service":
-            timings[f"service/{name}/cold"] = case["cold_wall_s"]
-            timings[f"service/{name}/warm"] = case["warm_wall_s"]
+            backend = case.get("backend", "default")
+            timings[f"service/{name}/{backend}/cold"] = case["cold_wall_s"]
+            timings[f"service/{name}/{backend}/warm"] = case["warm_wall_s"]
         elif case["kind"] == "closure":
+            backend = case.get("backend", "default")
             for order, run in case["runs"].items():
-                timings[f"closure/{name}/{order}"] = run["wall_s"]
+                timings[f"closure/{name}/{backend}/{order}"] = run["wall_s"]
     return timings
 
 
@@ -514,10 +572,10 @@ def compare_to_baseline(current: Dict[str, Any], baseline: Dict[str, Any],
     return failures
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="MERLIN pinned benchmark suite")
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the bench suite's arguments on ``parser`` (shared by
+    ``python -m repro.bench`` and the ``merlin-repro bench``
+    subcommand)."""
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized subset (small net, seconds not "
                              "minutes)")
@@ -537,20 +595,93 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "committed BENCH_*.json snapshot "
                              "(calibration-normalized) and fail on "
                              ">20%% regressions")
-    args = parser.parse_args(argv)
+    parser.add_argument("--profile", type=int, default=0, metavar="N",
+                        help="run the suite under cProfile and report "
+                             "the top N functions by cumulative time "
+                             "(0 = off)")
+    parser.add_argument("--profile-format", choices=["text", "json"],
+                        default="text",
+                        help="profile report format (default text)")
+
+
+def profile_rows(profiler, top: int) -> List[Dict[str, Any]]:
+    """Top ``top`` functions of a finished cProfile run, by cumulative
+    time — plain dicts so callers can render text or JSON."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    stats.calc_callees()
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    return rows
+
+
+def _emit_profile(profiler, top: int, fmt: str) -> None:
+    rows = profile_rows(profiler, top)
+    if fmt == "json":
+        print(json.dumps({"version": 1, "sort": "cumulative",
+                          "rows": rows}, indent=2))
+        return
+    print(f"profile: top {len(rows)} functions by cumulative time")
+    print(f"{'cumtime':>9s} {'tottime':>9s} {'ncalls':>9s}  function")
+    for row in rows:
+        where = f"{row['file']}:{row['line']}" if row["line"] else row["file"]
+        print(f"{row['cumtime_s']:9.3f} {row['tottime_s']:9.3f} "
+              f"{row['ncalls']:9d}  {row['function']}  ({where})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="MERLIN pinned benchmark suite")
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv), parser)
+
+
+def run_from_args(args, parser: Optional[argparse.ArgumentParser] = None,
+                  ) -> int:
+    def _error(message: str) -> int:
+        if parser is not None:
+            parser.error(message)  # raises SystemExit
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
     if args.backends:
         backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    elif kernels.numpy_available():
+    elif contract.numpy_available():
         backends = ["python", "numpy"]
     else:
         backends = ["python"]
     for backend in backends:
-        if backend not in kernels.BACKENDS:
-            parser.error(f"unknown backend {backend!r}")
+        if backend not in contract.BACKENDS:
+            return _error(f"unknown backend {backend!r}")
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
 
-    suite = run_suite(args.quick, backends, worker_counts, args.tag)
+    profiler = None
+    if args.profile > 0:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        suite = run_suite(args.quick, backends, worker_counts, args.tag)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        _emit_profile(profiler, args.profile, args.profile_format)
     out_path = args.out or f"BENCH_{args.tag}.json"
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(suite, handle, indent=2, sort_keys=True)

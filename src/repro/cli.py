@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     merlin-repro closure --circuit b9 [--order criticality] [--batch N]
                          [--json] [--list-orders]
     merlin-repro check [--format json] [--rules ID,...] [paths ...]
+    merlin-repro bench [--quick] [--backends LIST] [--baseline FILE]
+                       [--profile N [--profile-format json]]
 
 ``python -m repro ...`` is equivalent.
 
@@ -166,9 +168,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     _add_check_arguments(p_chk)
 
+    p_bench = sub.add_parser(
+        "bench", help="pinned benchmark suite with equivalence + timing "
+                      "gates (same flags as python -m repro.bench)")
+    from repro.bench import add_arguments as _add_bench_arguments
+
+    _add_bench_arguments(p_bench)
+
     args = parser.parse_args(argv)
     if args.command == "check":
         return _run_check(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "table1":
         return _run_table1(args)
     if args.command == "table2":
@@ -184,6 +195,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_check(args) -> int:
     from repro.staticcheck.cli import run_from_args
+
+    return run_from_args(args)
+
+
+def _run_bench(args) -> int:
+    from repro.bench import run_from_args
 
     return run_from_args(args)
 

@@ -18,6 +18,22 @@ order by *PTREE (see :mod:`repro.core.grouping`).
 
 Identical level sub-problems shared between neighboring orders are
 computed once (Lemma 7) via a memo keyed by the level's leaf identity.
+
+Cross-iteration sharing
+-----------------------
+MERLIN's outer loop re-runs BUBBLE_CONSTRUCT with a (usually slightly)
+changed order against the same :class:`PTreeContext`.  Both the Γ table
+and the range memo are therefore additionally keyed by *content* on the
+shared context: a sink's content is its fingerprint ``(index, x, y,
+load, required_time)``, and a group cell's content is — inductively —
+its ``(size, e)`` plus the ordered fingerprints of its member sinks
+(group validity, the level plan, and the active-candidate box are all
+parent-relative, so nothing else can influence the cell).  When a new
+iteration presents a group whose member fingerprints are unchanged, its
+Γ slice (and any sub-range) is reused without touching the DP — the
+paper's "keep the curves of the last iteration" speed-up applied at
+every table granularity.  Mutating a sink changes its fingerprint and
+invalidates exactly the cells that contain it.
 """
 
 from __future__ import annotations
@@ -106,6 +122,8 @@ def bubble_construct(net: Net, order: Order, tech: Technology,
         rec.incr(metric.BUBBLE_RANGE_MEMO_HITS,
                  engine.stats["range_memo_hits"])
         rec.incr(metric.BUBBLE_LEVELS, engine.stats["levels"])
+        rec.incr(metric.BUBBLE_GAMMA_MEMO_HITS,
+                 engine.stats["gamma_memo_hits"])
     for curve_solutions in (final,):
         if not curve_solutions:
             raise RuntimeError(
@@ -153,16 +171,20 @@ class _Engine:
 
     Lemma 7 says identical sub-problems among neighborhood members are
     processed once.  The engine realizes that with *range memoization*:
-    every *PTREE sub-range is keyed by its leaf content — ``("s", i)`` for
-    sink ``i``, ``("g", l, e, r)`` for a sub-group — so contiguous sink
-    runs and group contexts shared between different hierarchy levels (and
-    different grouping structures) are computed once.  Pure-sink ranges do
-    not depend on the Γ table, so their memo lives on the shared
-    :class:`PTreeContext` and additionally survives across MERLIN
-    iterations (the paper's keep-last-iteration's-curves speed-up);
-    group-containing ranges reference iteration-specific Γ cells and are
-    memoized per engine run.
+    every *PTREE sub-range is keyed by its leaf content — the sink
+    fingerprint for a sink leaf, the group's ``(size, e)`` plus ordered
+    member fingerprints for a sub-group leaf — so contiguous sink runs
+    and group contexts shared between different hierarchy levels, different
+    grouping structures, *and different MERLIN iterations* are computed
+    once.  Both memos (ranges, and whole Γ cells in
+    :meth:`_build_parent`) live on the shared :class:`PTreeContext`; the
+    content keys make the sharing exact — see the module docstring.
     """
+
+    #: Soft cap on each context-attached memo; cleared wholesale when
+    #: exceeded (keys are content tuples, so there is no useful LRU
+    #: structure worth maintaining at this size).
+    MEMO_CAP = 50_000
 
     def __init__(self, net: Net, order: Order, config: MerlinConfig,
                  context: PTreeContext):
@@ -175,6 +197,7 @@ class _Engine:
         self.budget = config.budget
         self.stats: Dict[str, int] = {
             "cells": 0, "ranges": 0, "range_memo_hits": 0, "levels": 0,
+            "gamma_memo_hits": 0,
         }
         self.rec = active_recorder()
         if config.active_margin_frac is None:
@@ -189,25 +212,71 @@ class _Engine:
             self._source_index = None
         # Γ[(l, e, r)] -> frozen per-candidate solution lists.
         self.gamma: Dict[Tuple[int, int, int], List[List[Solution]]] = {}
-        self._range_memo: Dict[tuple, List[List[Solution]]] = {}
-        if not hasattr(context, "sink_range_memo"):
-            context.sink_range_memo = {}  # type: ignore[attr-defined]
+        if not hasattr(context, "range_memo"):
+            context.range_memo = {}  # type: ignore[attr-defined]
+        if not hasattr(context, "gamma_memo"):
+            context.gamma_memo = {}  # type: ignore[attr-defined]
         if not hasattr(context, "sink_base_cache"):
             context.sink_base_cache = {}  # type: ignore[attr-defined]
-        self._sink_range_memo: Dict[tuple, List[List[Solution]]] = \
-            context.sink_range_memo  # type: ignore[attr-defined]
-        self._sink_base: Dict[int, LeafCurves] = \
+        self._range_memo: Dict[tuple, List[List[Solution]]] = \
+            context.range_memo  # type: ignore[attr-defined]
+        self._gamma_memo: Dict[tuple, List[List[Solution]]] = \
+            context.gamma_memo  # type: ignore[attr-defined]
+        self._sink_base: Dict[tuple, LeafCurves] = \
             context.sink_base_cache  # type: ignore[attr-defined]
+        n = len(net)
+        #: Per-sink content fingerprints: identity, geometry, and timing —
+        #: everything a sink contributes to any curve containing it.
+        self._fps: List[tuple] = []
+        for i in range(n):
+            sink = net.sink(i)
+            self._fps.append((i, sink.position.x, sink.position.y,
+                              sink.load, sink.required_time))
+        #: Everything else a cell's content can depend on.  The curve
+        #: config, candidate set, wire widths, and tech are fixed per
+        #: context; the per-run knobs are the group-shape parameters and
+        #: the active-box margin (``relocation_rounds`` lives on the
+        #: context itself).
+        self._salt = (n, config.alpha, config.enable_bubbling, self._margin)
+        #: Per-run cache: leaf id -> content id (the group translation
+        #: walks member positions, so amortize it per run).
+        self._content_ids: Dict[tuple, tuple] = {}
+
+    # -- content keys ---------------------------------------------------
+
+    def _content_id(self, leaf_id: tuple) -> tuple:
+        """Order-independent content of one range leaf."""
+        cached = self._content_ids.get(leaf_id)
+        if cached is None:
+            if leaf_id[0] == "s":
+                cached = ("s", self._fps[leaf_id[1]])
+            else:
+                _, size, e, r = leaf_id
+                group = Group(size=size, e=e, r=r)
+                fps = self._fps
+                order = self.order
+                cached = ("g", size, e, tuple(
+                    fps[order[q]] for q in group.member_positions))
+            self._content_ids[leaf_id] = cached
+        return cached
+
+    def _group_content_key(self, group: Group) -> tuple:
+        """Content key of one Γ cell (see the module docstring)."""
+        fps = self._fps
+        order = self.order
+        return (self._salt, group.size, group.e,
+                tuple(fps[order[q]] for q in group.member_positions))
 
     # -- base curves ---------------------------------------------------
 
     def sink_base(self, sink_index: int) -> LeafCurves:
-        cached = self._sink_base.get(sink_index)
+        fp = self._fps[sink_index]
+        cached = self._sink_base.get(fp)
         if cached is None:
             sink = self.net.sink(sink_index)
             cached = self.context.sink_base_curves(
                 sink_index, sink.position, sink.load, sink.required_time)
-            self._sink_base[sink_index] = cached
+            self._sink_base[fp] = cached
         return cached
 
     # -- DP ------------------------------------------------------------
@@ -229,9 +298,21 @@ class _Engine:
         return self.gamma[(n, 0, n - 1)]
 
     def _build_parent(self, parent: Group) -> None:
+        rec = self.rec
+        memo = self._gamma_memo
+        mkey = self._group_content_key(parent)
+        cached = memo.get(mkey)
+        if cached is not None:
+            # Unchanged member fingerprints: the whole cell (including
+            # every level routing below it) is reused from a previous
+            # iteration; no budget is charged, like range-memo hits.
+            self.gamma[_key(parent)] = cached
+            self.stats["gamma_memo_hits"] += 1
+            if rec.enabled:
+                rec.incr(metric.BUBBLE_GAMMA_MEMO_HITS)
+            return
         if self.budget is not None:
             self.budget.charge(1, what="bubble.cell")
-        rec = self.rec
         curves = self.context.new_curves()
         contributed = False
         for child_size in child_sizes(parent.size, self.config.alpha):
@@ -254,7 +335,11 @@ class _Engine:
             pre = sum(len(curve) for curve in curves)
         for curve in curves:
             curve.prune()
-        self.gamma[_key(parent)] = self.context.freeze_curves(curves)
+        blocks = self.context.freeze_curves(curves)
+        self.gamma[_key(parent)] = blocks
+        if len(memo) >= self.MEMO_CAP:
+            memo.clear()
+        memo[mkey] = blocks
         self.stats["cells"] += 1
         if rec.enabled:
             post = sum(len(curve) for curve in curves)
@@ -299,9 +384,10 @@ class _Engine:
                 return self.sink_base(leaf_ids[0][1])
             return self.gamma[leaf_ids[0][1:]]
 
-        pure_sink = all(part[0] == "s" for part in leaf_ids)
-        memo = self._sink_range_memo if pure_sink else self._range_memo
-        cached = memo.get(leaf_ids)
+        memo = self._range_memo
+        content_id = self._content_id
+        mkey = (self._salt,) + tuple(content_id(part) for part in leaf_ids)
+        cached = memo.get(mkey)
         if cached is not None:
             self.stats["range_memo_hits"] += 1
             return cached
@@ -315,7 +401,9 @@ class _Engine:
                                    self._range(leaf_ids[u:]), active)
         self.context.finish_range(curves, active)
         result = self.context.freeze_curves(curves)
-        memo[leaf_ids] = result
+        if len(memo) >= self.MEMO_CAP:
+            memo.clear()
+        memo[mkey] = result
         self.stats["ranges"] += 1
         return result
 

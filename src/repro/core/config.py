@@ -13,7 +13,7 @@ import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.curves import kernels
+from repro.curves import contract
 from repro.curves.curve import CurveConfig
 from repro.geometry.candidates import CandidateStrategy
 from repro.instrument.recorder import Recorder
@@ -125,10 +125,10 @@ class MerlinConfig:
             raise MerlinInputError("wire_width_options must be positive "
                                    "and non-empty")
         if self.backend is not None:
-            if self.backend not in kernels.BACKENDS:
+            if self.backend not in contract.BACKENDS:
                 raise MerlinInputError(
                     f"unknown backend {self.backend!r}; "
-                    f"expected one of {kernels.BACKENDS}")
+                    f"expected one of {contract.BACKENDS}")
             if self.curve.backend != self.backend:
                 # Frozen dataclass: normalize via object.__setattr__ so
                 # curve.backend and backend can never disagree.

@@ -20,28 +20,28 @@ The recursion follows the paper:
 * buffering — each sub-solution root may be driven by any library buffer
   (that is the ``*``); inferior options are pruned per Definition 6.
 
-This module is the library's hottest code path: tables are indexed by
-candidate *index*, wire resistances/capacitances between candidates are
-precomputed, per-buffer delays are precomputed as affine coefficients in
-the load (both shipped gate-delay models are affine in load, as Elmore-
-style models must be for this factorization; a custom non-affine model
-would need to drop this fast path), and solutions are only constructed
-after the cheap bucket pre-check :meth:`SolutionCurve.accept_key`.
+This module is the library's hottest code path, but it no longer owns
+the inner loops: every curve operation goes through the registered
+:class:`repro.curves.contract.CurveKernel` backend selected by
+``CurveConfig.backend`` — scalar ``SolutionCurve`` loops
+(:mod:`repro.curves.backend_python`) or deferred structure-of-arrays
+blocks (:mod:`repro.curves.backend_numpy`), bit-identical by contract.
+What stays here is the DP structure and the per-net precomputation:
+tables indexed by candidate *index*, wire resistances/capacitances
+between candidates precomputed, per-buffer delays precomputed as affine
+coefficients in the load (both shipped gate-delay models are affine in
+load, as Elmore-style models must be for this factorization; a custom
+non-affine model would need to drop this fast path).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.curves import kernels
+from repro.curves import contract
+from repro.curves.contract import BufferParams
 from repro.curves.curve import CurveConfig, SolutionCurve
-from repro.curves.solution import (
-    Buffered,
-    Extend,
-    Join,
-    Solution,
-    sink_leaf_solution,
-)
+from repro.curves.solution import Extend, Solution, sink_leaf_solution
 from repro.geometry.point import Point
 from repro.instrument import names as metric
 from repro.instrument.recorder import active_recorder
@@ -50,13 +50,13 @@ from repro.tech.technology import Technology
 from repro.units import fzero
 
 #: A leaf's base solutions, indexed by candidate index.  Each entry is a
-#: frozen solution sequence: a plain list (python backend) or a
-#: :class:`repro.curves.kernels.CurveSoA` mirror (numpy backend).
+#: frozen curve block in the active kernel's format: a plain list
+#: (python backend) or a deferred
+#: :class:`repro.curves.kernels.CurveSoA` block (numpy backend).
 LeafCurves = List[Sequence[Solution]]
 
-#: Per-buffer precomputed parameters:
-#: (buffer, input_cap, area, delay_intercept, delay_slope).
-_BufferParams = Tuple[Buffer, float, float, float, float]
+#: Backwards-compatible alias (the tuple layout moved to the contract).
+_BufferParams = BufferParams
 
 
 class PTreeContext:
@@ -64,7 +64,8 @@ class PTreeContext:
 
     Holds the candidate set, the pairwise wire resistance/capacitance
     matrices, the (possibly thinned) buffer list with per-buffer delay
-    coefficients, and the curve configuration.  BUBBLE_CONSTRUCT creates
+    coefficients, the curve configuration, and the resolved kernel
+    backend with its preprocessed library.  BUBBLE_CONSTRUCT creates
     one context per net and reuses it across all hierarchy levels and all
     MERLIN iterations (the candidate set does not change between
     iterations).
@@ -85,18 +86,20 @@ class PTreeContext:
         self.curve_config = curve_config
         self.relocation_rounds = relocation_rounds
         self.wire_widths: Tuple[float, ...] = tuple(wire_widths)
-        #: Resolved once: True runs the vectorized kernels of
-        #: :mod:`repro.curves.kernels` in place of the scalar loops.
-        self.use_numpy = curve_config.resolved_backend() == "numpy"
+        #: The registered kernel backend running every curve operation.
+        self.kernel = contract.get_kernel(curve_config.backend)
+        #: Resolved once; kept for callers that branch on the backend.
+        self.use_numpy = self.kernel.name == "numpy"
         # With buffering disabled the DP degenerates to plain PTREE
         # [LCLH96] — the routing baseline of Flows I and II.
         buffers = list(tech.buffers) if use_buffers else []
-        self.buffer_params: List[_BufferParams] = [
+        self.buffer_params: List[BufferParams] = [
             _affine_params(b, tech) for b in buffers
         ]
-        #: Column vectors over the buffer library, shared by every
-        #: vectorized buffering/relocation batch (numpy backend only).
-        self.buffer_vecs = kernels.BufferVectors(self.buffer_params)
+        #: Preprocessed buffer library (affine params, quantized cap
+        #: keys, Li & Shi shadow table, backend column vectors).
+        self.library = self.kernel.make_library(self.buffer_params,
+                                                curve_config)
         k = len(self.candidates)
         self.wire_res: List[List[float]] = [[0.0] * k for _ in range(k)]
         self.wire_cap: List[List[float]] = [[0.0] * k for _ in range(k)]
@@ -117,28 +120,26 @@ class PTreeContext:
         return [params[0] for params in self.buffer_params]
 
     def new_curves(self) -> List[SolutionCurve]:
-        """One empty live curve per candidate.
-
-        The python backend accumulates into :class:`SolutionCurve`; the
-        numpy backend into :class:`~repro.curves.kernels.PendingCurve`,
-        whose bucket map holds deferred (unmaterialized) entries.
-        """
-        if self.use_numpy:
-            return [kernels.PendingCurve(p, self.curve_config)
-                    for p in self.candidates]
-        return [SolutionCurve(p, self.curve_config) for p in self.candidates]
+        """One empty live curve per candidate, in the kernel's format."""
+        kernel = self.kernel
+        config = self.curve_config
+        return [kernel.new_curve(p, config) for p in self.candidates]
 
     def freeze_curves(self, curves: List[SolutionCurve]) -> LeafCurves:
-        """Freeze live curves into per-candidate solution sequences.
+        """Freeze live curves into per-candidate frozen blocks.
 
-        The python backend freezes to plain lists; the numpy backend
-        materializes the pending survivors and freezes to
-        :class:`~repro.curves.kernels.CurveSoA` mirrors so the attribute
-        vectors are built once and reused by every later join.
+        The python backend freezes to plain solution lists; the numpy
+        backend to deferred :class:`~repro.curves.kernels.CurveSoA`
+        blocks — no :class:`Solution` is constructed, and the attribute
+        vectors are built lazily and reused by every later join.
         """
-        if self.use_numpy:
-            return [kernels.CurveSoA(curve.solutions) for curve in curves]
-        return [curve.solutions for curve in curves]
+        kernel = self.kernel
+        return [kernel.freeze(curve) for curve in curves]
+
+    def traceback_curves(self, blocks: LeafCurves) -> List[List[Solution]]:
+        """Materialize frozen blocks into plain solution lists."""
+        kernel = self.kernel
+        return [kernel.traceback(block) for block in blocks]
 
     def thaw_curves(self, curves) -> List[SolutionCurve]:
         """Hand live curves back to backend-agnostic callers.
@@ -147,9 +148,8 @@ class PTreeContext:
         equivalent :class:`SolutionCurve` instances (same buckets, same
         dict order); python-backend curves pass through unchanged.
         """
-        if self.use_numpy:
-            return [curve.to_solution_curve() for curve in curves]
-        return list(curves)
+        kernel = self.kernel
+        return [kernel.thaw(curve) for curve in curves]
 
     # ------------------------------------------------------------------
     # Base-curve construction
@@ -265,43 +265,31 @@ class PTreeContext:
         """Accumulate the cross-product join of two sub-ranges.
 
         The ``S_b(p,i,j) = S(p,i,u) + S(p,u+1,j)`` step for one split
-        point ``u``: loads and areas add, required times take the minimum;
-        only bucket-improving combinations materialize a Solution.
+        point ``u``, delegated per candidate to the kernel's ``join``.
         """
         rec = active_recorder()
-        rec_enabled = rec.enabled
+        if not rec.enabled:
+            self._join_impl(curves, lefts, rights, active)
+            return
         pairs = 0
         indices = range(len(curves)) if active is None else active
-        use_numpy = self.use_numpy
         for c in indices:
-            curve = curves[c]
+            if lefts[c] and rights[c]:
+                pairs += len(lefts[c]) * len(rights[c])
+        with rec.span(metric.SPAN_KERNEL_JOIN):
+            self._join_impl(curves, lefts, rights, active)
+        rec.incr(metric.PTREE_JOIN_CALLS)
+        rec.incr(metric.PTREE_JOIN_PAIRS, pairs)
+
+    def _join_impl(self, curves, lefts, rights, active) -> None:
+        kernel_join = self.kernel.join
+        indices = range(len(curves)) if active is None else active
+        for c in indices:
             left_list = lefts[c]
             right_list = rights[c]
             if not left_list or not right_list:
                 continue
-            if rec_enabled:
-                pairs += len(left_list) * len(right_list)
-            if use_numpy:
-                kernels.pending_join(curve, left_list, right_list)
-                continue
-            accept_key = curve.accept_key
-            add_keyed = curve.add_keyed
-            root = curve.root
-            for a in left_list:
-                a_load = a.load
-                a_req = a.required_time
-                a_area = a.area
-                for b in right_list:
-                    load = a_load + b.load
-                    req = a_req if a_req < b.required_time else b.required_time
-                    area = a_area + b.area
-                    key = accept_key(load, req, area)
-                    if key is not None:
-                        add_keyed(key, Solution(root, load, req, area,
-                                                Join(a, b)))
-        if rec_enabled:
-            rec.incr(metric.PTREE_JOIN_CALLS)
-            rec.incr(metric.PTREE_JOIN_PAIRS, pairs)
+            kernel_join(curves[c], left_list, right_list)
 
     def finish_range(self, curves: List[SolutionCurve],
                      active: Optional[List[int]] = None) -> None:
@@ -315,7 +303,7 @@ class PTreeContext:
         self._relocate(curves, active)
 
     # ------------------------------------------------------------------
-    # Kernel helpers
+    # Kernel delegation
     # ------------------------------------------------------------------
 
     def _buffer_all(self, curve: SolutionCurve, solutions,
@@ -323,31 +311,20 @@ class PTreeContext:
         """Offer every library buffer at the root of each solution.
 
         ``from_curve`` marks ``solutions`` as the curve's own (just
-        pruned) contents in dict order, unlocking the numpy backend's
-        prune-time attribute cache.
+        pruned) contents in dict order, unlocking backend caches.
         """
         rec = active_recorder()
-        if rec.enabled:
-            rec.incr(metric.PTREE_BUFFER_OFFERS,
-                     len(solutions) * len(self.buffer_params))
-        if self.use_numpy:
-            kernels.pending_buffer(curve, solutions, self.buffer_vecs,
+        if not rec.enabled:
+            self.kernel.add_buffer(curve, self.library, solutions,
                                    from_curve=from_curve)
             return
-        accept_key = curve.accept_key
-        add_keyed = curve.add_keyed
-        root = curve.root
-        for s in solutions:
-            load = s.load
-            req = s.required_time
-            area = s.area
-            for buffer, input_cap, buf_area, d0, slope in self.buffer_params:
-                new_req = req - d0 - slope * load
-                new_area = area + buf_area
-                key = accept_key(input_cap, new_req, new_area)
-                if key is not None:
-                    add_keyed(key, Solution(root, input_cap, new_req,
-                                            new_area, Buffered(s, buffer)))
+        rec.incr(metric.PTREE_BUFFER_OFFERS,
+                 len(solutions) * len(self.buffer_params))
+        with rec.span(metric.SPAN_KERNEL_BUFFER):
+            skipped = self.kernel.add_buffer(curve, self.library, solutions,
+                                             from_curve=from_curve)
+        if skipped:
+            rec.incr(metric.PTREE_BUFFER_SHADOW_SKIPS, skipped)
 
     def _relocate(self, curves: List[SolutionCurve],
                   active: Optional[List[int]] = None) -> None:
@@ -359,69 +336,17 @@ class PTreeContext:
         """
         rec = active_recorder()
         targets = list(range(len(curves))) if active is None else active
-        if self.use_numpy:
-            for _ in range(self.relocation_rounds):
-                rec.incr(metric.PTREE_RELOCATE_PASSES)
-                snapshots = kernels.pending_snapshots(curves)
-                changed = False
-                for to_idx in targets:
-                    if kernels.pending_relocate(
-                            curves[to_idx], to_idx, snapshots,
-                            self.wire_res, self.wire_cap, self.candidates,
-                            self.wire_widths, self.buffer_vecs):
-                        changed = True
-                for curve in curves:
-                    curve.prune()
-                if not changed:
-                    break
-            return
+        kernel = self.kernel
+        library = self.library
         for _ in range(self.relocation_rounds):
             rec.incr(metric.PTREE_RELOCATE_PASSES)
-            snapshots = [list(curve) for curve in curves]
-            changed = False
-            for to_idx in targets:
-                curve = curves[to_idx]
-                root = curve.root
-                accept_key = curve.accept_key
-                add_keyed = curve.add_keyed
-                res_col = self.wire_res
-                cap_col = self.wire_cap
-                for frm_idx, snapshot in enumerate(snapshots):
-                    if frm_idx == to_idx or not snapshot:
-                        continue
-                    base_res = res_col[frm_idx][to_idx]
-                    base_cap = cap_col[frm_idx][to_idx]
-                    length = self.candidates[frm_idx].manhattan_to(root)
-                    for wire_width in self.wire_widths:
-                        res = base_res / wire_width
-                        cap = base_cap * wire_width
-                        half_self = 0.5 * cap
-                        for s in snapshot:
-                            load = s.load + cap
-                            req = s.required_time - res * (half_self + s.load)
-                            area = s.area
-                            moved: Optional[Solution] = None
-                            key = accept_key(load, req, area)
-                            if key is not None:
-                                moved = Solution(
-                                    root, load, req, area,
-                                    Extend(s, length, wire_width))
-                                add_keyed(key, moved)
-                                changed = True
-                            for (buffer, input_cap, buf_area, d0,
-                                 slope) in self.buffer_params:
-                                b_req = req - d0 - slope * load
-                                b_area = area + buf_area
-                                b_key = accept_key(input_cap, b_req, b_area)
-                                if b_key is not None:
-                                    if moved is None:
-                                        moved = Solution(
-                                            root, load, req, area,
-                                            Extend(s, length, wire_width))
-                                    add_keyed(b_key, Solution(
-                                        root, input_cap, b_req, b_area,
-                                        Buffered(moved, buffer)))
-                                    changed = True
+            if rec.enabled:
+                with rec.span(metric.SPAN_KERNEL_RELOCATE):
+                    changed = kernel.relocate_round(curves, targets, self,
+                                                    library)
+            else:
+                changed = kernel.relocate_round(curves, targets, self,
+                                                library)
             for curve in curves:
                 curve.prune()
             if not changed:
@@ -435,7 +360,7 @@ class PTreeContext:
         return curves
 
 
-def _affine_params(buffer: Buffer, tech: Technology) -> _BufferParams:
+def _affine_params(buffer: Buffer, tech: Technology) -> BufferParams:
     """Probe the gate-delay model into affine (intercept, slope) form."""
     d0 = tech.buffer_delay(buffer, 0.0)
     d1 = tech.buffer_delay(buffer, 1.0)

@@ -157,7 +157,7 @@ class SolutionCurve:
                 and len(solutions) >= kernels.EXTEND_MIN_ITEMS):
             return kernels.batch_insert(
                 self, solutions.loads, solutions.reqs, solutions.areas,
-                solutions.sols.__getitem__)
+                solutions.resolve_row)
         return sum(1 for s in solutions if self.add(s))
 
     def prune(self) -> None:
@@ -165,6 +165,13 @@ class SolutionCurve:
         if self._pruned:
             return
         rec = active_recorder()
+        if rec.enabled:
+            with rec.span(metric.SPAN_KERNEL_PRUNE):
+                self._prune_impl(rec)
+        else:
+            self._prune_impl(rec)
+
+    def _prune_impl(self, rec) -> None:
         before = len(self._by_bucket)
         survivors = None
         if self._numpy:

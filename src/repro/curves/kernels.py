@@ -1,31 +1,37 @@
-"""Vectorized (NumPy) curve kernels — the ``"numpy"`` backend.
+"""Vectorized (NumPy) curve kernels — the ``"numpy"`` backend internals.
 
 The engines spend nearly all of their time in four loops over solution
 attributes: the cross-product *join*, the *buffer* offer, the root
 *relocation* relaxation, and the 3-D Pareto *prune*.  Each loop touches
 only the ``(load, required_time, area)`` triples; the traceback detail of
-a solution matters only if the solution survives pruning and is frozen
-into a Γ/range result.  That split is what this module exploits:
+a solution matters only if the solution survives to the very end of the
+DP.  That split is what this module exploits:
 
-* frozen solution lists are mirrored as structure-of-arrays
-  (:class:`CurveSoA`) — one float64 vector per attribute, built lazily,
-  with the solution list itself as the traceback column;
 * live curves under accumulation are :class:`PendingCurve` instances
   whose bucket map holds lightweight ``(load, req, area, ctx, i)``
-  entries: the attribute triple plus a *traceback index* — ``ctx``
+  entries: the attribute triple plus a *traceback context* — ``ctx``
   describes the batch that produced the entry and ``i`` is its flat
   position inside that batch.  No :class:`Solution` (or its detail
-  record) is constructed while candidates are being generated and
-  culled; only the entries that survive the final prune of a range are
-  materialized, by :func:`resolve_entry`, when the curve is frozen.
+  record) is constructed while candidates are generated and culled;
+* frozen curves are :class:`CurveSoA` blocks: the surviving entries in
+  curve order, with the three attribute vectors built lazily.  Freezing
+  does **not** materialize solutions — a frozen block's entries keep
+  their contexts, and parents reference the block itself, so the whole
+  Γ table is built end-to-end over entry blocks.  Solutions exist only
+  after :func:`resolve_entry` walks an entry's context chain at
+  *traceback* time (the final curve, or an explicit thaw);
 * candidate triples are produced by whole-array arithmetic, and bucket
   acceptance for a whole batch is resolved at once by a grouped arg-max
   (:func:`_winner_stream`).
 
 Small batches (a few dozen elements) stay on scalar loops — array
-setup would cost more than it saves — but still store pending entries
-(or, where cheaper, eagerly materialized ones), so both paths feed the
-same curve representation.
+setup would cost more than it saves — but also store deferred entries,
+so both paths feed the same representation.
+
+This module is representation-internal: engine layers reach it only
+through the backend objects registered in
+:mod:`repro.curves.contract` (enforced by the ``LAY-KERNEL``
+staticcheck rule).
 
 Bit-identical results
 ---------------------
@@ -49,6 +55,10 @@ fingerprints, which requires exact — not approximate — equivalence:
   transitive, so "dominated by a kept earlier entry" equals "dominated by
   *any* earlier entry", which the vectorized prune evaluates as one
   boolean matrix.
+* Li & Shi-style shadow skips (see :mod:`repro.curves.contract`) only
+  drop a buffer offer when an earlier offer of the same batch provably
+  landed the same bucket key with a required time at least as high — a
+  candidate the bucket map would have rejected anyway.
 
 Availability
 ------------
@@ -86,6 +96,10 @@ BUFFER_MIN_OFFERS = 128
 RELOCATE_MIN_STREAM = 192
 EXTEND_MIN_ITEMS = 64
 PRUNE_MIN_ITEMS = 40
+#: Pending-entry prune crossover sits higher: its scalar sweep is a
+#: decorated C tuple sort over plain floats (no attribute access), so
+#: the lexsort-based vector path only wins on larger fronts.
+PENDING_PRUNE_MIN_ITEMS = 96
 
 _fallback_logged = False
 
@@ -117,30 +131,47 @@ def resolve_backend(requested: str) -> str:
     return requested
 
 
-class CurveSoA:
-    """A frozen solution list mirrored as structure-of-arrays.
+def _entry_order(t) -> Tuple[float, float, float]:
+    """Freeze order of pending entries — matches ``Solution.key``."""
+    return (t[0], -t[1], t[2])
 
-    ``sols`` is the traceback column: ``sols[i]`` is the full
-    :class:`Solution` whose attributes sit at row ``i`` of the ``loads`` /
-    ``reqs`` / ``areas`` vectors.  The vectors are built lazily on first
-    access — a frozen curve that only ever feeds scalar-dispatched (small)
-    batches never pays for them.  Iteration and indexing delegate to the
-    solution list, so a ``CurveSoA`` can stand in anywhere the engine
-    consumes a frozen ``List[Solution]``.
+
+class CurveSoA:
+    """A frozen curve as structure-of-arrays over pending entries.
+
+    ``entries`` is the canonical column: the surviving pending tuples in
+    curve order (ascending ``(load, -required_time, area)``).  The three
+    attribute vectors are built lazily on first access; the *solution*
+    column is built even later — ``sols``/iteration/indexing materialize
+    the traceback on demand via :func:`resolve_entry`, so a block whose
+    entries never reach the final curve never constructs a
+    :class:`Solution` at all.  A ``CurveSoA`` can stand in anywhere the
+    engine consumes a frozen ``List[Solution]``.
     """
 
-    __slots__ = ("sols", "_loads", "_reqs", "_areas")
+    __slots__ = ("entries", "_sols", "_resolved", "_loads", "_reqs",
+                 "_areas")
 
-    def __init__(self, sols: Sequence[Solution]):
-        self.sols: List[Solution] = list(sols)
+    def __init__(self, sols: Optional[Sequence[Solution]] = None,
+                 entries: Optional[list] = None):
+        if entries is None:
+            sol_list = list(sols) if sols is not None else []
+            self.entries = [(s.load, s.required_time, s.area, None, s)
+                            for s in sol_list]
+            self._sols: Optional[List[Solution]] = sol_list
+        else:
+            self.entries = entries
+            self._sols = None
+        #: Per-row materialization cache (deferred blocks only).
+        self._resolved: dict = {}
         self._loads = None
         self._reqs = None
         self._areas = None
 
     def _build(self) -> None:
-        flat = [x for s in self.sols
-                for x in (s.load, s.required_time, s.area)]
-        matrix = _np.array(flat, dtype=_np.float64).reshape(len(self.sols), 3)
+        flat = [x for t in self.entries for x in (t[0], t[1], t[2])]
+        matrix = _np.array(flat, dtype=_np.float64).reshape(
+            len(self.entries), 3)
         self._loads = _np.ascontiguousarray(matrix[:, 0])
         self._reqs = _np.ascontiguousarray(matrix[:, 1])
         self._areas = _np.ascontiguousarray(matrix[:, 2])
@@ -163,8 +194,37 @@ class CurveSoA:
             self._build()
         return self._areas
 
+    def resolve_row(self, i: int) -> Solution:
+        """Materialize (and cache) the solution at row ``i``."""
+        sols = self._sols
+        if sols is not None:
+            return sols[i]
+        cache = self._resolved
+        sol = cache.get(i)
+        if sol is None:
+            sol = resolve_entry(self.entries[i], {})
+            cache[i] = sol
+        return sol
+
+    @property
+    def sols(self) -> List[Solution]:
+        """The fully materialized solution column (the traceback)."""
+        sols = self._sols
+        if sols is None:
+            memo: dict = {}
+            cache = self._resolved
+            sols = []
+            for i, t in enumerate(self.entries):
+                sol = cache.get(i)
+                if sol is None:
+                    sol = resolve_entry(t, memo)
+                    cache[i] = sol
+                sols.append(sol)
+            self._sols = sols
+        return sols
+
     def __len__(self) -> int:
-        return len(self.sols)
+        return len(self.entries)
 
     def __iter__(self):
         return iter(self.sols)
@@ -173,7 +233,7 @@ class CurveSoA:
         return self.sols[index]
 
     def __bool__(self) -> bool:
-        return bool(self.sols)
+        return bool(self.entries)
 
 
 def as_soa(solutions) -> CurveSoA:
@@ -192,6 +252,11 @@ class BufferVectors:
     broadcast operations instead of a per-buffer column loop.
     ``params`` keeps the original ``(buffer, input_cap, area, d0, slope)``
     tuples for scalar fallbacks and traceback resolution.
+
+    :class:`repro.curves.contract.KernelLibrary` subclasses extend this
+    with the quantized cap keys and the Li & Shi shadow table; the
+    kernels below accept either (the extras are looked up with
+    ``getattr``).
     """
 
     __slots__ = ("params", "caps", "areas", "d0", "slope")
@@ -350,69 +415,145 @@ def batch_insert(curve, loads, reqs, areas,
 # is None when ``i`` already is the materialized Solution; otherwise it
 # is one of:
 #
-#   ("join", root, left_sols, right_sols, nb)
-#       flat i -> Join(left_sols[i // nb], right_sols[i % nb])
+#   ("join", root, left_block, right_block, nb)
+#       flat i -> Join(left_block[i // nb], right_block[i % nb])
 #   ("buf", root, sources, buffer_params)
 #       flat i -> Buffered(resolve(sources[i // m]), buffer i % m)
+#   ("ext1", root, src, length, width)
+#       the moved solution of one scalar relocation offer
+#   ("buf1", root, src, buffer)
+#       a buffer driving one already-described source (scalar relocation)
 #   ("reloc", root, starts, blocks, opts, flat_loads, flat_reqs,
 #    buffer_params)
 #       flat i -> the unbuffered moved solution, or a buffer driving it
 #       (the moved triple is recovered from row i's column 0)
 #
-# Sources inside a context may themselves be pending entries (buffer and
-# relocation chain within one range accumulation), so resolution recurses
-# — with a memo, since snapshots share entries.  Chains are shallow: a
-# freeze materializes everything, so the next range starts from plain
-# Solutions again.
+# Sources inside a context may be Solutions, other pending entries, or
+# rows of other frozen blocks — freezing no longer materializes, so
+# chains span the whole DP.  Resolution therefore runs on an explicit
+# stack (no recursion limit) with an ``id()``-keyed memo plus per-block
+# row caches, so shared sub-structures materialize once.
+
+def _src_solution(src, memo):
+    """Resolved solution for a context source, or None if not yet done."""
+    if isinstance(src, Solution):
+        return src
+    if src[3] is None:
+        return src[4]
+    return memo.get(id(src))
+
+
+def _block_row(block: CurveSoA, i: int, memo):
+    """Resolved solution for a block row, or None if not yet done."""
+    sols = block._sols
+    if sols is not None:
+        return sols[i]
+    cache = block._resolved
+    sol = cache.get(i)
+    if sol is not None:
+        return sol
+    t = block.entries[i]
+    if t[3] is None:
+        sol = t[4]
+    else:
+        sol = memo.get(id(t))
+        if sol is None:
+            return None
+    cache[i] = sol
+    return sol
+
 
 def resolve_entry(entry, memo: dict) -> Solution:
-    """Materialize a pending entry (recursively) into a :class:`Solution`."""
+    """Materialize a pending entry into a :class:`Solution`.
+
+    Iterative (explicit work stack): context chains now span the whole
+    DP — a parent block's join references child blocks, whose entries
+    reference grandchild blocks, and so on — so recursion depth would
+    scale with the hierarchy height times the per-range chain length.
+    """
     ctx = entry[3]
     if ctx is None:
         return entry[4]
-    key = id(entry)
-    sol = memo.get(key)
+    sol = memo.get(id(entry))
     if sol is not None:
         return sol
-    load, req, area = entry[0], entry[1], entry[2]
-    i = entry[4]
-    kind = ctx[0]
-    if kind == "join":
-        _, root, left_sols, right_sols, nb = ctx
-        ai, bi = divmod(i, nb)
-        sol = Solution(root, load, req, area,
-                       Join(left_sols[ai], right_sols[bi]))
-    elif kind == "buf":
-        _, root, sources, buffer_params = ctx
-        si, bj = divmod(i, len(buffer_params))
-        src = sources[si]
-        if not isinstance(src, Solution):
-            src = resolve_entry(src, memo)
-        sol = Solution(root, load, req, area,
-                       Buffered(src, buffer_params[bj][0]))
-    else:  # "reloc"
-        _, root, starts, blocks, opts, flat_loads, flat_reqs, \
-            buffer_params = ctx
-        bi = bisect_right(starts, i) - 1
-        start, sources, length, width = blocks[bi]
-        si, opt = divmod(i - start, opts)
-        src = sources[si]
-        if not isinstance(src, Solution):
-            src = resolve_entry(src, memo)
-        if opt == 0:
-            sol = Solution(root, load, req, area, Extend(src, length, width))
-        else:
-            # Rebuild the intermediate moved solution the buffer drives;
-            # its triple sits in column 0 of the same row.
-            base_i = start + si * opts
-            moved = Solution(root, float(flat_loads[base_i]),
-                             float(flat_reqs[base_i]),
-                             area - buffer_params[opt - 1][2],
-                             Extend(src, length, width))
-            sol = Solution(root, load, req, area,
-                           Buffered(moved, buffer_params[opt - 1][0]))
-    memo[key] = sol
-    return sol
+    stack = [entry]
+    push = stack.append
+    while stack:
+        cur = stack[-1]
+        ctx = cur[3]
+        if ctx is None:
+            stack.pop()
+            continue
+        key = id(cur)
+        if key in memo:
+            stack.pop()
+            continue
+        kind = ctx[0]
+        i = cur[4]
+        if kind == "join":
+            _, root, lblk, rblk, nb = ctx
+            ai, bi = divmod(i, nb)
+            left = _block_row(lblk, ai, memo)
+            right = _block_row(rblk, bi, memo)
+            if left is None or right is None:
+                if left is None:
+                    push(lblk.entries[ai])
+                if right is None:
+                    push(rblk.entries[bi])
+                continue
+            sol = Solution(root, cur[0], cur[1], cur[2], Join(left, right))
+        elif kind == "buf":
+            _, root, sources, buffer_params = ctx
+            si, bj = divmod(i, len(buffer_params))
+            src = _src_solution(sources[si], memo)
+            if src is None:
+                push(sources[si])
+                continue
+            sol = Solution(root, cur[0], cur[1], cur[2],
+                           Buffered(src, buffer_params[bj][0]))
+        elif kind == "ext1":
+            _, root, src_e, length, width = ctx
+            src = _src_solution(src_e, memo)
+            if src is None:
+                push(src_e)
+                continue
+            sol = Solution(root, cur[0], cur[1], cur[2],
+                           Extend(src, length, width))
+        elif kind == "buf1":
+            _, root, src_e, buffer = ctx
+            src = _src_solution(src_e, memo)
+            if src is None:
+                push(src_e)
+                continue
+            sol = Solution(root, cur[0], cur[1], cur[2],
+                           Buffered(src, buffer))
+        else:  # "reloc"
+            _, root, starts, blocks, opts, flat_loads, flat_reqs, \
+                buffer_params = ctx
+            bi = bisect_right(starts, i) - 1
+            start, sources, length, width = blocks[bi]
+            si, opt = divmod(i - start, opts)
+            src = _src_solution(sources[si], memo)
+            if src is None:
+                push(sources[si])
+                continue
+            if opt == 0:
+                sol = Solution(root, cur[0], cur[1], cur[2],
+                               Extend(src, length, width))
+            else:
+                # Rebuild the intermediate moved solution the buffer
+                # drives; its triple sits in column 0 of the same row.
+                base_i = start + si * opts
+                moved = Solution(root, float(flat_loads[base_i]),
+                                 float(flat_reqs[base_i]),
+                                 cur[2] - buffer_params[opt - 1][2],
+                                 Extend(src, length, width))
+                sol = Solution(root, cur[0], cur[1], cur[2],
+                               Buffered(moved, buffer_params[opt - 1][0]))
+        memo[key] = sol
+        stack.pop()
+    return memo[id(entry)]
 
 
 class PendingCurve:
@@ -423,9 +564,9 @@ class PendingCurve:
     strictly highest required time, first occupant winning ties — but the
     stored values are pending-entry tuples, so generating and culling
     candidates never constructs :class:`Solution` objects.  Survivors are
-    materialized by :attr:`solutions` (sorted, for freezing) or
-    :meth:`to_solution_curve` (dict order, for handing live curves back
-    to backend-agnostic callers).
+    frozen, still deferred, into :class:`CurveSoA` blocks; only
+    :attr:`solutions` / :meth:`to_solution_curve` (the thaw/traceback
+    boundary) materialize.
 
     Iterating a ``PendingCurve`` yields the raw entry tuples; that is the
     engine-facing snapshot format the pending kernels consume.
@@ -469,17 +610,34 @@ class PendingCurve:
         return False
 
     def extend(self, solutions) -> int:
-        """Insert a frozen solution sequence; return how many stored."""
-        if (isinstance(solutions, CurveSoA)
-                and len(solutions) >= EXTEND_MIN_ITEMS):
-            sols = solutions.sols
-            win, klo, kar, loads, reqs, areas = _winner_stream(
-                self._inv_load, self._inv_area,
-                solutions.loads, solutions.reqs, solutions.areas)
-            return _merge_entries(
-                self, zip(klo, kar),
-                zip(loads, reqs, areas, repeat(None),
-                    map(sols.__getitem__, win)))
+        """Merge a frozen sequence; return how many entries stored.
+
+        A :class:`CurveSoA` block merges without materializing: the
+        block's own entry tuples are inserted directly (their attribute
+        triples and contexts are exactly what this curve would store).
+        """
+        if isinstance(solutions, CurveSoA):
+            entries = solutions.entries
+            if len(entries) >= EXTEND_MIN_ITEMS:
+                win, klo, kar, _l, _r, _a = _winner_stream(
+                    self._inv_load, self._inv_area,
+                    solutions.loads, solutions.reqs, solutions.areas)
+                return _merge_entries(self, zip(klo, kar),
+                                      map(entries.__getitem__, win))
+            by_bucket = self._by_bucket
+            get = by_bucket.get
+            inv_load = self._inv_load
+            inv_area = self._inv_area
+            stored = 0
+            for t in entries:
+                key = (round(t[0] * inv_load), round(t[2] * inv_area))
+                incumbent = get(key)
+                if incumbent is None or incumbent[1] < t[1]:
+                    by_bucket[key] = t
+                    stored += 1
+            if stored:
+                self._pruned = False
+            return stored
         return sum(1 for s in solutions if self.add(s))
 
     def prune(self) -> None:
@@ -491,6 +649,13 @@ class PendingCurve:
         if self._pruned:
             return
         rec = active_recorder()
+        if rec.enabled:
+            with rec.span(metric.SPAN_KERNEL_PRUNE):
+                self._prune_impl(rec)
+        else:
+            self._prune_impl(rec)
+
+    def _prune_impl(self, rec) -> None:
         before = len(self._by_bucket)
         items = list(self._by_bucket.items())
         result = _pending_prune_vector(items, self.config.max_solutions)
@@ -511,6 +676,11 @@ class PendingCurve:
             rec.record(metric.CURVE_PRUNE_SURVIVOR_RATIO,
                        kept / before if before else 1.0)
 
+    def freeze(self) -> CurveSoA:
+        """Freeze into a (still deferred) :class:`CurveSoA` block."""
+        return CurveSoA(entries=sorted(self._by_bucket.values(),
+                                       key=_entry_order))
+
     @property
     def solutions(self) -> List[Solution]:
         """Materialized survivors, sorted by ascending load.
@@ -518,8 +688,7 @@ class PendingCurve:
         Same order as ``SolutionCurve.solutions``: stable sort of the
         dict values by ``(load, -required_time, area)``.
         """
-        entries = sorted(self._by_bucket.values(),
-                         key=lambda t: (t[0], -t[1], t[2]))
+        entries = sorted(self._by_bucket.values(), key=_entry_order)
         memo: dict = {}
         return [resolve_entry(t, memo) for t in entries]
 
@@ -545,7 +714,7 @@ class PendingCurve:
 # ----------------------------------------------------------------------
 
 def pending_join(curve: PendingCurve, lefts, rights) -> None:
-    """Cross-product join of two frozen curves into ``curve``.
+    """Cross-product join of two frozen blocks into ``curve``.
 
     Equivalent to the scalar double loop (left-major): loads and areas
     add, required time takes the branch minimum; winners store a pending
@@ -553,24 +722,28 @@ def pending_join(curve: PendingCurve, lefts, rights) -> None:
     """
     lefts = as_soa(lefts)
     rights = as_soa(rights)
-    nb = len(rights.sols)
-    ctx = ("join", curve.root, lefts.sols, rights.sols, nb)
+    left_entries = lefts.entries
+    right_entries = rights.entries
+    nb = len(right_entries)
+    ctx = ("join", curve.root, lefts, rights, nb)
     by_bucket = curve._by_bucket
     inv_load = curve._inv_load
     inv_area = curve._inv_area
-    if len(lefts.sols) * nb < JOIN_MIN_PAIRS:
+    if len(left_entries) * nb < JOIN_MIN_PAIRS:
         stored = 0
+        get = by_bucket.get
         i = 0
-        for a in lefts.sols:
-            a_load = a.load
-            a_req = a.required_time
-            a_area = a.area
-            for b in rights.sols:
-                load = a_load + b.load
-                req = a_req if a_req < b.required_time else b.required_time
-                area = a_area + b.area
+        for ta in left_entries:
+            a_load = ta[0]
+            a_req = ta[1]
+            a_area = ta[2]
+            for tb in right_entries:
+                load = a_load + tb[0]
+                b_req = tb[1]
+                req = a_req if a_req < b_req else b_req
+                area = a_area + tb[2]
                 key = (round(load * inv_load), round(area * inv_area))
-                incumbent = by_bucket.get(key)
+                incumbent = get(key)
                 if incumbent is None or incumbent[1] < req:
                     by_bucket[key] = (load, req, area, ctx, i)
                     stored += 1
@@ -587,53 +760,95 @@ def pending_join(curve: PendingCurve, lefts, rights) -> None:
                    zip(w_loads, w_reqs, w_areas, repeat(ctx), win))
 
 
-def pending_buffer(curve: PendingCurve, sources, bufvecs: BufferVectors,
-                   from_curve: bool = False) -> None:
+def pending_buffer(curve: PendingCurve, sources, lib,
+                   from_curve: bool = False) -> int:
     """Offer every library buffer at the root of each source.
 
     ``sources`` holds pending entries (``list(curve)``) or plain
     Solutions (sink base construction).  Stream order is source-major,
     buffer-minor — the scalar ``_buffer_all`` order.  ``from_curve``
     asserts that ``sources`` is the curve's own bucket map in dict order,
-    allowing the prune-time attribute cache to be reused.
+    allowing the prune-time attribute cache to be reused.  ``lib`` is a
+    :class:`BufferVectors` (or a richer
+    :class:`repro.curves.contract.KernelLibrary`, whose shadow table
+    enables the Li & Shi predecessor skips on the scalar path).  Returns
+    the number of offers skipped by the shadow table.
     """
     sources = list(sources)
-    buffer_params = bufvecs.params
+    buffer_params = lib.params
     ns = len(sources)
     m = len(buffer_params)
     if ns == 0 or m == 0:
-        return
+        return 0
     by_bucket = curve._by_bucket
     inv_load = curve._inv_load
     inv_area = curve._inv_area
     solution_sources = isinstance(sources[0], Solution)
     if ns * m < BUFFER_MIN_OFFERS:
-        root = curve.root
+        cap_keys = getattr(lib, "cap_keys", None)
+        if cap_keys is None:
+            cap_keys = [round(p[1] * inv_load) for p in buffer_params]
+        # When no two buffers share a load bucket the shadow skip can
+        # never fire; drop its per-offer bookkeeping entirely.
+        shadows = (lib.shadows
+                   if getattr(lib, "has_shadows", False) else None)
+        ctx = ("buf", curve.root, sources, buffer_params)
+        get = by_bucket.get
         stored = 0
-        memo: dict = {}
+        skipped = 0
+        i = 0
+        if shadows is None:
+            pairs = list(zip(cap_keys, buffer_params))
+            for s in sources:
+                if solution_sources:
+                    load, req, area = s.load, s.required_time, s.area
+                else:
+                    load, req, area = s[0], s[1], s[2]
+                for ck, (buffer, input_cap, buf_area, d0, slope) in pairs:
+                    new_req = req - d0 - slope * load
+                    new_area = area + buf_area
+                    key = (ck, round(new_area * inv_area))
+                    incumbent = get(key)
+                    if incumbent is None or incumbent[1] < new_req:
+                        by_bucket[key] = (input_cap, new_req, new_area,
+                                          ctx, i)
+                        stored += 1
+                    i += 1
+            if stored:
+                curve._pruned = False
+            return 0
+        reqs_j = [0.0] * m
+        akeys_j = [0] * m
         for s in sources:
             if solution_sources:
                 load, req, area = s.load, s.required_time, s.area
             else:
                 load, req, area = s[0], s[1], s[2]
-            resolved = s if solution_sources else None
-            for buffer, input_cap, buf_area, d0, slope in buffer_params:
+            for bj, (buffer, input_cap, buf_area, d0,
+                     slope) in enumerate(buffer_params):
                 new_req = req - d0 - slope * load
                 new_area = area + buf_area
-                key = (round(input_cap * inv_load),
-                       round(new_area * inv_area))
-                incumbent = by_bucket.get(key)
+                akey = round(new_area * inv_area)
+                reqs_j[bj] = new_req
+                akeys_j[bj] = akey
+                hit = False
+                for pi in shadows[bj]:
+                    if akeys_j[pi] == akey and reqs_j[pi] >= new_req:
+                        hit = True
+                        break
+                if hit:
+                    skipped += 1
+                    i += 1
+                    continue
+                key = (cap_keys[bj], akey)
+                incumbent = get(key)
                 if incumbent is None or incumbent[1] < new_req:
-                    if resolved is None:
-                        resolved = resolve_entry(s, memo)
-                    by_bucket[key] = (
-                        input_cap, new_req, new_area, None,
-                        Solution(root, input_cap, new_req, new_area,
-                                 Buffered(resolved, buffer)))
+                    by_bucket[key] = (input_cap, new_req, new_area, ctx, i)
                     stored += 1
+                i += 1
         if stored:
             curve._pruned = False
-        return
+        return skipped
     if (from_curve and curve._pruned and curve._cache is not None
             and len(curve._cache[0]) == ns):
         base_loads, base_reqs, base_areas = curve._cache
@@ -643,15 +858,16 @@ def pending_buffer(curve: PendingCurve, sources, bufvecs: BufferVectors,
     else:
         base = TupleSoA(sources)
         base_loads, base_reqs, base_areas = base.loads, base.reqs, base.areas
-    loads = _np.broadcast_to(bufvecs.caps, (ns, m))
-    reqs = (base_reqs[:, None] - bufvecs.d0) \
-        - bufvecs.slope * base_loads[:, None]
-    areas = base_areas[:, None] + bufvecs.areas
+    loads = _np.broadcast_to(lib.caps, (ns, m))
+    reqs = (base_reqs[:, None] - lib.d0) \
+        - lib.slope * base_loads[:, None]
+    areas = base_areas[:, None] + lib.areas
     ctx = ("buf", curve.root, sources, buffer_params)
     win, klo, kar, w_loads, w_reqs, w_areas = _winner_stream(
         inv_load, inv_area, loads.reshape(-1), reqs.ravel(), areas.ravel())
     _merge_entries(curve, zip(klo, kar),
                    zip(w_loads, w_reqs, w_areas, repeat(ctx), win))
+    return 0
 
 
 def pending_snapshots(curves: Sequence[PendingCurve]) -> List[TupleSoA]:
@@ -672,8 +888,7 @@ def pending_snapshots(curves: Sequence[PendingCurve]) -> List[TupleSoA]:
 
 def pending_relocate(curve: PendingCurve, to_idx: int,
                      snapshots: Sequence[TupleSoA], wire_res, wire_cap,
-                     candidates, wire_widths,
-                     bufvecs: BufferVectors) -> bool:
+                     candidates, wire_widths, lib) -> bool:
     """One target's relocation relaxation, batched over all sources.
 
     Builds the scalar stream — sources ascending, then wire widths, then
@@ -681,7 +896,7 @@ def pending_relocate(curve: PendingCurve, to_idx: int,
     every buffer — as one concatenated triple batch.  Returns the scalar
     loop's ``changed`` flag (any bucket accepted an entry).
     """
-    buffer_params = bufvecs.params
+    buffer_params = lib.params
     m = len(buffer_params)
     opts = 1 + m
     root = curve.root
@@ -694,7 +909,7 @@ def pending_relocate(curve: PendingCurve, to_idx: int,
     if stream_total < RELOCATE_MIN_STREAM:
         return _pending_relocate_scalar(
             curve, to_idx, snapshots, wire_res, wire_cap, candidates,
-            wire_widths, buffer_params)
+            wire_widths, lib)
     blocks = []       # (flat offset, snapshot entries, length, width)
     starts = []
     sizes = []        # per-block source count
@@ -739,10 +954,10 @@ def pending_relocate(curve: PendingCurve, to_idx: int,
     reqs[:, 0] = moved_req
     areas[:, 0] = cat_areas
     if m:
-        loads[:, 1:] = bufvecs.caps
-        reqs[:, 1:] = (moved_req[:, None] - bufvecs.d0) \
-            - bufvecs.slope * moved_load[:, None]
-        areas[:, 1:] = cat_areas[:, None] + bufvecs.areas
+        loads[:, 1:] = lib.caps
+        reqs[:, 1:] = (moved_req[:, None] - lib.d0) \
+            - lib.slope * moved_load[:, None]
+        areas[:, 1:] = cat_areas[:, None] + lib.areas
     flat_loads = loads.ravel()
     flat_reqs = reqs.ravel()
     flat_areas = areas.ravel()
@@ -757,15 +972,27 @@ def pending_relocate(curve: PendingCurve, to_idx: int,
 
 def _pending_relocate_scalar(curve: PendingCurve, to_idx: int,
                              snapshots, wire_res, wire_cap, candidates,
-                             wire_widths, buffer_params) -> bool:
-    """Scalar relocation for small streams; materializes winners eagerly
-    (sharing the intermediate moved solution, like the scalar backend)."""
+                             wire_widths, lib) -> bool:
+    """Scalar relocation for small streams; stores deferred entries
+    (sharing the intermediate moved entry, like the old eager path
+    shared the moved solution)."""
+    buffer_params = lib.params
+    m = len(buffer_params)
+    cap_keys = getattr(lib, "cap_keys", None)
     root = curve.root
     by_bucket = curve._by_bucket
     inv_load = curve._inv_load
     inv_area = curve._inv_area
+    if cap_keys is None:
+        cap_keys = [round(p[1] * inv_load) for p in buffer_params]
+    # When no two buffers share a load bucket the shadow skip can never
+    # fire; run the lean loop without its per-offer bookkeeping.
+    shadows = lib.shadows if getattr(lib, "has_shadows", False) else None
+    pairs = list(zip(cap_keys, buffer_params))
     changed = False
-    memo: dict = {}
+    get = by_bucket.get
+    reqs_j = [0.0] * m
+    akeys_j = [0] * m
     for frm_idx, snapshot in enumerate(snapshots):
         if frm_idx == to_idx or not snapshot.entries:
             continue
@@ -777,34 +1004,58 @@ def _pending_relocate_scalar(curve: PendingCurve, to_idx: int,
             cap = base_cap * width
             half_self = 0.5 * cap
             for t in snapshot.entries:
-                s_load, s_req, s_area = t[0], t[1], t[2]
+                s_load = t[0]
                 load = s_load + cap
-                req = s_req - res * (half_self + s_load)
-                area = s_area
-                moved: Optional[Solution] = None
+                req = t[1] - res * (half_self + s_load)
+                area = t[2]
+                moved_t = None
                 key = (round(load * inv_load), round(area * inv_area))
-                incumbent = by_bucket.get(key)
+                incumbent = get(key)
                 if incumbent is None or incumbent[1] < req:
-                    moved = Solution(root, load, req, area,
-                                     Extend(resolve_entry(t, memo),
-                                            length, width))
-                    by_bucket[key] = (load, req, area, None, moved)
+                    moved_t = (load, req, area,
+                               ("ext1", root, t, length, width), 0)
+                    by_bucket[key] = moved_t
                     changed = True
-                for buffer, input_cap, buf_area, d0, slope in buffer_params:
+                if shadows is None:
+                    for ck, (buffer, input_cap, buf_area, d0,
+                             slope) in pairs:
+                        b_req = req - d0 - slope * load
+                        b_area = area + buf_area
+                        b_key = (ck, round(b_area * inv_area))
+                        incumbent = get(b_key)
+                        if incumbent is None or incumbent[1] < b_req:
+                            if moved_t is None:
+                                moved_t = (load, req, area,
+                                           ("ext1", root, t, length,
+                                            width), 0)
+                            by_bucket[b_key] = (
+                                input_cap, b_req, b_area,
+                                ("buf1", root, moved_t, buffer), 0)
+                            changed = True
+                    continue
+                for bj, (buffer, input_cap, buf_area, d0,
+                         slope) in enumerate(buffer_params):
                     b_req = req - d0 - slope * load
                     b_area = area + buf_area
-                    b_key = (round(input_cap * inv_load),
-                             round(b_area * inv_area))
-                    incumbent = by_bucket.get(b_key)
+                    akey = round(b_area * inv_area)
+                    reqs_j[bj] = b_req
+                    akeys_j[bj] = akey
+                    hit = False
+                    for pi in shadows[bj]:
+                        if akeys_j[pi] == akey and reqs_j[pi] >= b_req:
+                            hit = True
+                            break
+                    if hit:
+                        continue
+                    b_key = (cap_keys[bj], akey)
+                    incumbent = get(b_key)
                     if incumbent is None or incumbent[1] < b_req:
-                        if moved is None:
-                            moved = Solution(root, load, req, area,
-                                             Extend(resolve_entry(t, memo),
-                                                    length, width))
-                        by_bucket[b_key] = (
-                            input_cap, b_req, b_area, None,
-                            Solution(root, input_cap, b_req, b_area,
-                                     Buffered(moved, buffer)))
+                        if moved_t is None:
+                            moved_t = (load, req, area,
+                                       ("ext1", root, t, length, width), 0)
+                        by_bucket[b_key] = (input_cap, b_req, b_area,
+                                            ("buf1", root, moved_t, buffer),
+                                            0)
                         changed = True
     if changed:
         curve._pruned = False
@@ -880,7 +1131,7 @@ def _pending_prune_vector(items, cap: int):
     index-even sampled along the ``(load, required_time)``-sorted front.
     """
     n = len(items)
-    if n < PRUNE_MIN_ITEMS:
+    if n < PENDING_PRUNE_MIN_ITEMS:
         return None
     flat = [x for kv in items for x in (kv[1][0], kv[1][2], kv[1][1])]
     matrix = _np.array(flat, dtype=_np.float64).reshape(n, 3)
@@ -920,12 +1171,17 @@ def _pending_prune_vector(items, cap: int):
 def _pending_prune_scalar(items) -> list:
     """Scalar staircase sweep over ``(key, entry)`` items — the pending
     mirror of ``repro.curves.curve._pareto_prune``."""
-    items = sorted(items, key=lambda kv: (kv[1][0], kv[1][2], -kv[1][1]))
+    # Decorated sort: C tuple comparison, no per-item key callable; the
+    # index tiebreak keeps the stable order sorted(key=...) would give
+    # and stops comparison ever reaching the (unorderable) items.
+    order = [(kv[1][0], kv[1][2], -kv[1][1], i)
+             for i, kv in enumerate(items)]
+    order.sort()
     kept = []
     stair_areas: List[float] = []
     stair_reqs: List[float] = []
-    for key, t in items:
-        area = t[2]
+    for _load, area, _neg_req, i in order:
+        key, t = items[i]
         req = t[1]
         idx = bisect_right(stair_areas, area)
         if idx > 0 and stair_reqs[idx - 1] >= req:
@@ -943,10 +1199,22 @@ def _pending_prune_scalar(items) -> list:
 
 def _pending_thin(items: list, cap: int) -> list:
     """Capacity cap over pending items — mirrors ``curve._thin``."""
-    indices = range(len(items))
-    by_req = max(indices, key=lambda i: items[i][1][1])
-    by_load = min(indices, key=lambda i: items[i][1][0])
-    by_area = min(indices, key=lambda i: items[i][1][2])
+    # Single fused pass; strict comparisons keep the first occurrence,
+    # matching max()/min() tie behavior.
+    first = items[0][1]
+    by_req = by_load = by_area = 0
+    best_req, best_load, best_area = first[1], first[0], first[2]
+    for i in range(1, len(items)):
+        t = items[i][1]
+        if t[1] > best_req:
+            best_req = t[1]
+            by_req = i
+        if t[0] < best_load:
+            best_load = t[0]
+            by_load = i
+        if t[2] < best_area:
+            best_area = t[2]
+            by_area = i
     # Positional dedup, mirroring curve._thin (no id()-derived keys).
     forced = {i: items[i] for i in dict.fromkeys((by_req, by_load, by_area))}
     rest = [kv for i, kv in enumerate(items) if i not in forced]

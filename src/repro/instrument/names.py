@@ -41,6 +41,13 @@ PTREE_BUFFER_OFFERS = "ptree.buffer.offers"
 PTREE_RELOCATE_PASSES = "ptree.relocate.passes"
 #: Sink base curves built (cache misses; hits stay silent).
 PTREE_BASE_CURVES = "ptree.base_curves"
+#: Buffer offers skipped by the Li & Shi predecessor (shadow) table —
+#: candidates provably rejected by the bucket map without computing keys.
+PTREE_BUFFER_SHADOW_SKIPS = "ptree.buffer.shadow_skips"
+
+#: Γ-table cells reused across MERLIN iterations via the content-keyed
+#: group memo (leaf fingerprints unchanged → prior slice reused).
+BUBBLE_GAMMA_MEMO_HITS = "bubble.gamma_memo_hits"
 
 #: SolutionCurve.prune invocations that had work to do.
 CURVE_PRUNE_CALLS = "curve.prune.calls"
@@ -171,6 +178,14 @@ SPAN_MERLIN = "merlin"
 SPAN_BUBBLE_CONSTRUCT = "bubble_construct"
 SPAN_PTREE = "ptree"
 SPAN_FINALIZE = "finalize"
+
+#: Kernel-contract operation spans (recorded only when a recorder is
+#: enabled; the spans attribute hot-path regressions to the operation —
+#: join vs buffer vs relocate vs prune — not just to the scenario).
+SPAN_KERNEL_JOIN = "curves.kernel.join"
+SPAN_KERNEL_BUFFER = "curves.kernel.buffer"
+SPAN_KERNEL_RELOCATE = "curves.kernel.relocate"
+SPAN_KERNEL_PRUNE = "curves.kernel.prune"
 
 
 def span_flow(flow: str) -> str:

@@ -447,6 +447,17 @@ class OptimizationService:
         jobs = {i: self._make_job(
             nets[i], objectives[i] if objectives is not None else None)
             for i in misses}
+        if (len(misses) == 1 and timeout_s is None
+                and self._pool is None):
+            # Singleton batch, no deadline, no warm pool yet: spawning a
+            # multi-process pool costs more than the job itself, so run
+            # it inline (bit-identical results — the pool exists for
+            # parallelism and timeout enforcement, and neither applies).
+            # A timeout, or an already-warm pool, keeps the pool path.
+            i = misses[0]
+            self._finish_job(nets[i], i, keys, started, results,
+                             self._run_inline(jobs[i]))
+            return
         pool = self._acquire_pool()
         if pool is None:
             for i in misses:

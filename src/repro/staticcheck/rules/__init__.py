@@ -13,6 +13,7 @@ them):
 ``NUM-FLOAT-EQ``          exact float ``==``/``!=`` in engine packages
 ``LAY-UPWARD``            lower layer importing a higher layer
 ``LAY-CYCLE``             module-level import cycle across ``repro.*``
+``LAY-KERNEL``            engine layer importing curve-kernel internals
 ``RES-BARE-EXCEPT``       bare/``BaseException`` handler in service/
                           parallel/resilience
 ========================  ==============================================

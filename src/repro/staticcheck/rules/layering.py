@@ -10,6 +10,17 @@ escape hatch for top-layer glue.
 ``LAY-CYCLE`` reports strongly connected components of the
 module-level runtime import graph; every cycle is reported once,
 anchored at its alphabetically first member, listing the full loop.
+
+``LAY-KERNEL`` seals the curve-kernel boundary: only the ``curves``
+package itself (and future registered backend modules) may import the
+block-representation modules — :mod:`repro.curves.kernels` and the
+``repro.curves.backend_*`` implementations.  Engine layers (``core``,
+``routing``, ``service``, ``pipeline``) must go through
+:mod:`repro.curves.contract`, which re-exports the backend-agnostic
+names (``BACKENDS``, ``get_kernel``, …).  Unlike ``LAY-UPWARD``,
+deferred imports are *not* exempt — reaching into block internals from
+a function body is still a boundary breach; only erased
+``TYPE_CHECKING`` imports pass.
 """
 
 from __future__ import annotations
@@ -56,6 +67,46 @@ class UpwardImportRule(ProjectRule):
                         f"must not import higher ones — move the shared "
                         f"symbol down or defer the import into the "
                         f"using function")))
+        return findings
+
+
+#: Modules that hold the curve block representation.  Importing any of
+#: these from outside ``repro.curves`` bypasses the kernel contract.
+KERNEL_MODULES = frozenset({
+    "repro.curves.kernels",
+    "repro.curves.backend_python",
+    "repro.curves.backend_numpy",
+})
+
+#: Packages that must stay backend-blind: everything engine-side that
+#: consumes curves.  Tool-layer packages (``bench``, ``staticcheck``)
+#: may introspect backends; the engine may not.
+KERNEL_SEALED_PACKAGES = frozenset({
+    "core", "routing", "service", "pipeline",
+})
+
+
+@register
+class KernelBoundaryRule(ProjectRule):
+    id = "LAY-KERNEL"
+    title = "engine layer importing curve-kernel internals"
+
+    def check_project(self,
+                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for edge in project_edges(modules):
+            if edge.type_only or edge.target not in KERNEL_MODULES:
+                continue
+            if package_of(edge.source) not in KERNEL_SEALED_PACKAGES:
+                continue
+            findings.append(Finding(
+                path=edge.path, line=edge.line, col=0, rule_id=self.id,
+                message=(
+                    f"{edge.source} imports {edge.target}: engine layers "
+                    f"must stay backend-blind — import "
+                    f"repro.curves.contract (it re-exports BACKENDS, "
+                    f"get_kernel, resolve_backend, ...) so curve block "
+                    f"internals remain swappable")))
         return findings
 
 

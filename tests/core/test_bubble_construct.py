@@ -200,3 +200,74 @@ class TestStats:
         second = bubble_construct(net, order, TECH, config=cfg,
                                   context=context)
         assert second.stats["ranges"] <= first.stats["ranges"]
+
+
+class TestGammaMemo:
+    """Cross-iteration Γ-cell reuse keyed on leaf-content fingerprints."""
+
+    def test_unchanged_net_reuses_every_parent_cell(self, cfg):
+        net = build_net(5, seed=3)
+        context = make_context(net, TECH, cfg)
+        order = tsp_order(net)
+        first = bubble_construct(net, order, TECH, config=cfg,
+                                 context=context)
+        second = bubble_construct(net, order, TECH, config=cfg,
+                                  context=context)
+        # Every multi-sink cell comes from the memo; only the single-sink
+        # initialization cells are (re)counted as computed.
+        assert second.stats["gamma_memo_hits"] > 0
+        assert second.stats["cells"] + second.stats["gamma_memo_hits"] \
+            == first.stats["cells"]
+        assert second.solution.required_time == first.solution.required_time
+        assert list(second.order_out) == list(first.order_out)
+
+    def test_single_leaf_change_invalidates_only_its_cells(self, cfg):
+        """Changing exactly one sink's required time must recompute the
+        cells whose member set contains that sink — and only those —
+        while producing bit-identical results to a cold context."""
+        from dataclasses import replace
+
+        from repro.net import Net
+
+        net = build_net(5, seed=3)
+        order = tsp_order(net)
+        context = make_context(net, TECH, cfg)
+        first = bubble_construct(net, order, TECH, config=cfg,
+                                 context=context)
+        warm_same = bubble_construct(net, order, TECH, config=cfg,
+                                     context=context)
+        full_hits = warm_same.stats["gamma_memo_hits"]
+
+        # Same geometry (the candidate set is unchanged), one sink's
+        # timing perturbed: its fingerprint — and only its — changes.
+        sinks = list(net.sinks)
+        sinks[2] = replace(sinks[2],
+                           required_time=sinks[2].required_time - 150.0)
+        changed = Net(name=net.name, source=net.source, sinks=tuple(sinks))
+
+        warm = bubble_construct(changed, order, TECH, config=cfg,
+                                context=context)
+        # Cells not containing sink 2 still hit the memo...
+        assert warm.stats["gamma_memo_hits"] > 0
+        # ...while every cell containing it misses and recomputes.
+        assert warm.stats["gamma_memo_hits"] < full_hits
+        recomputed = full_hits - warm.stats["gamma_memo_hits"]
+        assert recomputed > 0
+
+        # Invalidation is sound: the warm result equals a cold run.
+        cold = bubble_construct(changed, order, TECH, config=cfg,
+                                context=make_context(changed, TECH, cfg))
+        assert warm.solution.required_time == cold.solution.required_time
+        assert warm.solution.load == cold.solution.load
+        assert warm.solution.area == cold.solution.area
+        assert list(warm.order_out) == list(cold.order_out)
+        assert [(s.load, s.required_time, s.area)
+                for s in warm.final_solutions] \
+            == [(s.load, s.required_time, s.area)
+                for s in cold.final_solutions]
+
+        # And the perturbed entries stay: re-running the changed net
+        # warm again is a full reuse.
+        again = bubble_construct(changed, order, TECH, config=cfg,
+                                 context=context)
+        assert again.stats["gamma_memo_hits"] == full_hits

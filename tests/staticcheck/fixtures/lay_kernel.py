@@ -1,0 +1,13 @@
+"""Bad example: an engine-layer module importing kernel internals
+(LAY-KERNEL).  The import is downward (core -> curves), so only the
+kernel-boundary rule fires, not LAY-UPWARD."""
+# staticcheck: module=repro.core.fixture_lay_kernel
+
+
+def fresh(root, config):
+    # Deferred imports are NOT exempt from LAY-KERNEL: touching the
+    # block representation from a function body still breaches the
+    # boundary.
+    from repro.curves.kernels import PendingCurve
+
+    return PendingCurve(root, config)

@@ -191,7 +191,7 @@ def test_rule_catalogue_is_complete_and_sorted():
     assert set(ids) == {
         "DET-RANDOM", "DET-TIME", "DET-SET-ORDER", "DET-ID-HASH",
         "POOL-CALLABLE", "POOL-RECORDER", "NUM-FLOAT-EQ",
-        "LAY-UPWARD", "LAY-CYCLE", "RES-BARE-EXCEPT",
+        "LAY-UPWARD", "LAY-CYCLE", "LAY-KERNEL", "RES-BARE-EXCEPT",
     }
     with pytest.raises(KeyError):
         get_rule("NO-SUCH-RULE")

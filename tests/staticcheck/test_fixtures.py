@@ -19,6 +19,7 @@ EXPECTED = [
     ("pool_recorder.py", "POOL-RECORDER"),
     ("num_float_eq.py", "NUM-FLOAT-EQ"),
     ("lay_upward.py", "LAY-UPWARD"),
+    ("lay_kernel.py", "LAY-KERNEL"),
     ("res_bare_except.py", "RES-BARE-EXCEPT"),
 ]
 

@@ -29,7 +29,7 @@ def test_ci_json_invocation_shape(capsys):
     assert document["version"] == 1
     assert document["findings"] == []
     assert document["files_checked"] > 50
-    assert len(document["rules_run"]) == 10
+    assert len(document["rules_run"]) == 11
 
 
 def test_list_rules(capsys):

@@ -104,6 +104,7 @@ def _fake_suite(calibration, **timings):
         "cases": [{
             "name": "t",
             "kind": "closure",
+            "backend": "numpy",
             "runs": {order: {"wall_s": wall}
                      for order, wall in timings.items()},
         }],
@@ -113,19 +114,32 @@ def _fake_suite(calibration, **timings):
 def test_tracked_timings_cover_every_case_kind():
     suite = {"cases": [
         {"name": "e", "kind": "engine",
-         "runs": {"python": {"wall_s": 1.0}, "numpy": {"wall_s": 0.5}}},
+         "runs": {
+             "python": {"wall_s": 1.0},
+             "numpy": {"wall_s": 0.5, "instrument": {"spans": {
+                 "merlin/bubble_construct/ptree":
+                     {"count": 3, "total_s": 0.3},
+                 "merlin/bubble_construct/ptree/curves.kernel.prune":
+                     {"count": 9, "total_s": 0.1},
+                 "merlin/bubble_construct/curves.kernel.prune":
+                     {"count": 2, "total_s": 0.05},
+             }}},
+         }},
         {"name": "m", "kind": "multi_start",
          "runs": {"1": {"wall_s": 2.0}, "2": {"wall_s": 1.5}}},
-        {"name": "s", "kind": "service",
+        {"name": "s", "kind": "service", "backend": "numpy",
          "cold_wall_s": 3.0, "warm_wall_s": 0.25},
-        {"name": "c", "kind": "closure",
+        {"name": "c", "kind": "closure", "backend": "numpy",
          "runs": {"criticality": {"wall_s": 4.0}}},
     ]}
-    assert bench.tracked_timings(suite) == {
+    timings = bench.tracked_timings(suite)
+    assert timings == {
         "engine/e/python": 1.0, "engine/e/numpy": 0.5,
+        "star_ptree.run/e/numpy": 0.3,
+        "curves.prune/e/numpy": pytest.approx(0.15),
         "multi_start/m/w1": 2.0, "multi_start/m/w2": 1.5,
-        "service/s/cold": 3.0, "service/s/warm": 0.25,
-        "closure/c/criticality": 4.0,
+        "service/s/numpy/cold": 3.0, "service/s/numpy/warm": 0.25,
+        "closure/c/numpy/criticality": 4.0,
     }
 
 
@@ -135,7 +149,7 @@ class TestCompareToBaseline:
         current = _fake_suite(1.0, criticality=1.5)
         failures = bench.compare_to_baseline(current, baseline)
         assert len(failures) == 1
-        assert "closure/t/criticality" in failures[0]
+        assert "closure/t/numpy/criticality" in failures[0]
 
     def test_within_threshold_passes(self):
         baseline = _fake_suite(1.0, criticality=1.0)
@@ -191,6 +205,8 @@ def test_main_writes_versioned_json(tmp_path, monkeypatch):
     for case in padded["cases"]:
         for run in case.get("runs", {}).values():
             run["wall_s"] *= 3.0
+            for span in run.get("instrument", {}).get("spans", {}).values():
+                span["total_s"] *= 3.0
         for key in ("cold_wall_s", "warm_wall_s"):
             if key in case:
                 case[key] *= 3.0
