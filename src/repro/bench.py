@@ -412,6 +412,18 @@ def _environment() -> Dict[str, Any]:
     return env
 
 
+def calibration_seconds(repeats: int = 3) -> float:
+    """Public alias of :func:`_calibration_s` for other timing artifacts
+    (the serving load harness normalizes its latency claims with the
+    same machine-speed probe, so BENCH_*.json files stay comparable)."""
+    return _calibration_s(repeats)
+
+
+def environment_info() -> Dict[str, Any]:
+    """Public alias of :func:`_environment` (same cross-artifact reuse)."""
+    return _environment()
+
+
 def run_suite(quick: bool, backends: Sequence[str],
               worker_counts: Sequence[int], tag: str) -> Dict[str, Any]:
     cases: List[Dict[str, Any]] = []

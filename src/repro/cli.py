@@ -8,6 +8,10 @@ Usage (after ``pip install -e .``)::
     merlin-repro ablation {candidates,orders,alpha,bubbling,convergence,curves}
     merlin-repro serve --port N [--workers K] [--cache-dir DIR]
                        [--budget-ops N] [--deadline S] [--pool-retries N]
+                       [--async --shards N --queue-limit N]
+    merlin-repro loadgen [--url URL | --cross-check | (self-serve)]
+                         [--requests N] [--concurrency C] [--record FILE]
+                         [--replay FILE] [--out BENCH_serve.json]
     merlin-repro closure --circuit b9 [--order criticality] [--batch N]
                          [--json] [--list-orders]
     merlin-repro check [--format json] [--rules ID,...] [paths ...]
@@ -84,10 +88,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ab.add_argument("--seed", type=int, default=1)
 
     p_srv = sub.add_parser(
-        "serve", help="run the HTTP optimization service "
-                      "(POST /optimize, GET /stats, GET /healthz)")
+        "serve", help="run the HTTP optimization service (v1 API: "
+                      "POST /v1/optimize, POST /v1/closure, GET /v1/stats, "
+                      "GET /v1/healthz)")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8731)
+    p_srv.add_argument("--async", dest="async_mode", action="store_true",
+                       help="asyncio front end with consistent-hash "
+                            "sharding and bounded admission instead of "
+                            "the sync threading server")
+    p_srv.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="worker-pool shards behind --async "
+                            "(default 2)")
+    p_srv.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="max in-flight requests before --async "
+                            "answers 429 + Retry-After (default 64)")
     p_srv.add_argument("--workers", type=int, default=None,
                        help="warm-pool size (default: the config's "
                             "workers; 0 = one per CPU; 1 = serial)")
@@ -118,6 +133,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "default)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    p_lg = sub.add_parser(
+        "loadgen", help="seeded load generation / replay against a "
+                        "serving front end (latency percentiles, "
+                        "BENCH_serve.json, bit-identity gates)")
+    p_lg.add_argument("--url", default=None, metavar="URL",
+                      help="target an already-running front end; without "
+                           "it an async sharded server is spun up "
+                           "in-process for the run")
+    p_lg.add_argument("--cross-check", action="store_true",
+                      help="replay through BOTH the sync and the async "
+                           "path in-process and fail on any tree-"
+                           "signature divergence (ignores --url)")
+    p_lg.add_argument("--requests", type=int, default=64)
+    p_lg.add_argument("--nets", type=int, default=16, metavar="N",
+                      help="distinct underlying nets (default 16)")
+    p_lg.add_argument("--min-sinks", type=int, default=4)
+    p_lg.add_argument("--max-sinks", type=int, default=10)
+    p_lg.add_argument("--seed", type=int, default=1999)
+    p_lg.add_argument("--twin-fraction", type=float, default=0.25,
+                      help="fraction of renamed cache-equivalent twins "
+                           "(default 0.25)")
+    p_lg.add_argument("--repeat-fraction", type=float, default=0.25,
+                      help="fraction of verbatim repeats (default 0.25)")
+    p_lg.add_argument("--translate-twins", action="store_true",
+                      help="also translate twins (cache-realistic but "
+                           "not bit-stable across replays; see "
+                           "repro.loadgen.workload)")
+    p_lg.add_argument("--concurrency", type=int, default=4)
+    p_lg.add_argument("--record", metavar="FILE", default=None,
+                      help="save the generated workload JSON to FILE")
+    p_lg.add_argument("--replay", metavar="FILE", default=None,
+                      help="replay the recorded workload in FILE instead "
+                           "of generating one")
+    p_lg.add_argument("--out", metavar="FILE", default=None,
+                      help="write the BENCH_serve.json artifact to FILE")
+    p_lg.add_argument("--tag", default="serve",
+                      help="tag stored in the artifact (default serve)")
+    p_lg.add_argument("--no-check", action="store_true",
+                      help="skip the per-replay equivalence-class "
+                           "signature gate")
+    p_lg.add_argument("--shards", type=int, default=2,
+                      help="shards of the in-process async server "
+                           "(self-serve and --cross-check modes)")
+    p_lg.add_argument("--queue-limit", type=int, default=64)
+    p_lg.add_argument("--workers", type=int, default=1,
+                      help="warm-pool size per service (default 1)")
+    p_lg.add_argument("--preset", choices=["fast", "test", "paper"],
+                      default="fast",
+                      help="MerlinConfig preset of in-process services "
+                           "(default fast)")
+    p_lg.add_argument("--backend", choices=["python", "numpy"],
+                      default=None)
 
     p_cls = sub.add_parser(
         "closure", help="full-netlist timing closure (place, STA, "
@@ -188,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_net(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     if args.command == "closure":
         return _run_closure(args)
     return _run_ablation(args)
@@ -330,31 +400,131 @@ def _resolve_cli_workers(cli_workers, config) -> int:
     return cli_workers
 
 
-def _run_serve(args) -> int:
-    from repro.service import OptimizationService, ResultCache, serve
-
+def _resolve_preset_config(preset: str, backend):
     presets = {
         "fast": MerlinConfig.fast_preset,
         "test": MerlinConfig.test_preset,
         "paper": MerlinConfig.paper_preset,
     }
-    config = presets[args.preset]()
-    if args.backend is not None:
-        config = config.with_(backend=args.backend)
+    config = presets[preset]()
+    if backend is not None:
+        config = config.with_(backend=backend)
+    return config
+
+
+def _run_serve(args) -> int:
+    from repro.service import OptimizationService, ResultCache, serve
+
+    config = _resolve_preset_config(args.preset, args.backend)
     workers = _resolve_cli_workers(args.workers, config)
-    service = OptimizationService(
-        tech=default_technology(),
-        config=config,
-        cache=ResultCache(capacity=args.cache_capacity,
-                          disk_dir=args.cache_dir),
-        workers=workers,
-        job_timeout_s=args.job_timeout,
-        budget_ops=args.budget_ops,
-        deadline_s=args.deadline,
-        pool_retries=args.pool_retries,
-    )
+
+    def service_factory(cache) -> OptimizationService:
+        return OptimizationService(
+            tech=default_technology(),
+            config=config,
+            cache=cache,
+            workers=workers,
+            job_timeout_s=args.job_timeout,
+            budget_ops=args.budget_ops,
+            deadline_s=args.deadline,
+            pool_retries=args.pool_retries,
+        )
+
+    if args.async_mode:
+        from repro.serve import serve_async
+
+        serve_async(args.host, args.port,
+                    shards=args.shards,
+                    queue_limit=args.queue_limit,
+                    cache_capacity=args.cache_capacity,
+                    disk_dir=args.cache_dir,
+                    service_factory=service_factory)
+        return 0
+    service = service_factory(ResultCache(capacity=args.cache_capacity,
+                                          disk_dir=args.cache_dir))
     serve(args.host, args.port, service=service, verbose=args.verbose)
     return 0
+
+
+def _run_loadgen(args) -> int:
+    from repro.loadgen import (
+        WorkloadSpec,
+        check_equivalence,
+        generate_workload,
+        load_workload,
+        render_trend,
+        run_cross_check,
+        run_workload,
+        save_workload,
+        write_bench_serve,
+    )
+    from repro.resilience.errors import MerlinInputError
+
+    if args.replay is not None:
+        try:
+            workload = load_workload(args.replay)
+        except (OSError, ValueError, KeyError, TypeError,
+                MerlinInputError) as exc:
+            print(f"error: cannot load workload {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        try:
+            spec = WorkloadSpec(
+                requests=args.requests, distinct_nets=args.nets,
+                min_sinks=args.min_sinks, max_sinks=args.max_sinks,
+                seed=args.seed, twin_fraction=args.twin_fraction,
+                repeat_fraction=args.repeat_fraction,
+                translate_twins=args.translate_twins)
+        except MerlinInputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = generate_workload(spec)
+    if args.record is not None:
+        save_workload(workload, args.record)
+        print(f"workload recorded to {args.record} "
+              f"({len(workload)} requests)")
+
+    config = _resolve_preset_config(args.preset, args.backend)
+    service_kwargs = {"config": config, "workers": args.workers,
+                      "tech": default_technology()}
+    failures: List[str] = []
+    mode = "replay"
+    if args.cross_check:
+        mode = "cross-check"
+        verdict = run_cross_check(workload, shards=args.shards,
+                                  concurrency=args.concurrency,
+                                  queue_limit=args.queue_limit,
+                                  **service_kwargs)
+        report = verdict["async"]
+        failures = list(verdict["failures"])
+        state = "IDENTICAL" if verdict["identical"] else "DIVERGED"
+        print(f"cross-check sync vs async ({args.shards} shards): {state}")
+    elif args.url is not None:
+        report = run_workload(args.url, workload,
+                              concurrency=args.concurrency)
+        if not args.no_check:
+            failures = check_equivalence(workload, report)
+    else:
+        mode = "self-serve"
+        from repro.serve.embedded import EmbeddedAsyncServer
+
+        with EmbeddedAsyncServer(shards=args.shards,
+                                 queue_limit=args.queue_limit,
+                                 **service_kwargs) as server:
+            report = run_workload(server.base_url, workload,
+                                  concurrency=args.concurrency)
+        if not args.no_check:
+            failures = check_equivalence(workload, report)
+    print(render_trend(report))
+    if args.out is not None:
+        write_bench_serve(report, args.out, tag=args.tag,
+                          extra={"mode": mode, "shards": args.shards,
+                                 "preset": args.preset})
+        print(f"artifact written to {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _run_closure(args) -> int:

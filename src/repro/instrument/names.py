@@ -76,6 +76,16 @@ SERVICE_JOBS = "service.jobs"
 SERVICE_JOB_FAILURES = "service.job.failures"
 #: Jobs abandoned after exceeding the per-job timeout.
 SERVICE_JOB_TIMEOUTS = "service.job.timeouts"
+#: Requests arriving on a deprecated pre-v1 HTTP path (`/optimize`,
+#: `/closure`, `/stats`, `/healthz` without the `/v1` prefix).
+SERVICE_HTTP_LEGACY_PATH = "service.http.legacy_path"
+
+#: Requests accepted by the async front end's admission control.
+SERVE_ADMITTED = "serve.admitted"
+#: Requests rejected with 429 because the bounded queue was full.
+SERVE_REJECTED = "serve.rejected"
+#: Requests rerouted inline because their shard could not take them.
+SERVE_SHARD_FAILOVERS = "serve.shard.failovers"
 
 #: Timing-closure pipeline iterations executed (STA -> pick -> optimize).
 PIPELINE_ITERATIONS = "pipeline.iterations"
@@ -122,6 +132,10 @@ CURVE_PRUNE_SURVIVOR_RATIO = "curve.prune.survivor_ratio"
 FLOW_RUNTIME_S = "flow.runtime_s"
 #: End-to-end latency (s) of one service request (cache hits included).
 SERVICE_REQUEST_LATENCY_S = "service.request.latency_s"
+#: End-to-end latency (s) of one async-front-end request.
+SERVE_REQUEST_LATENCY_S = "serve.request.latency_s"
+#: Queue depth (in-flight requests) sampled at each admission decision.
+SERVE_QUEUE_DEPTH = "serve.queue.depth"
 #: Engine wall-clock (s) of one service job (cache misses only).
 SERVICE_JOB_LATENCY_S = "service.job.latency_s"
 #: STA critical delay (ps) after each closure-pipeline iteration.
@@ -134,6 +148,12 @@ def service_endpoint_requests(endpoint: str) -> str:
     """Per-endpoint request counter (``service.endpoint.<name>.requests``,
     endpoint names without the leading slash: optimize, stats, healthz)."""
     return f"service.endpoint.{endpoint}.requests"
+
+
+def serve_shard_requests(shard: int) -> str:
+    """Per-shard dispatch counter of the async front end
+    (``serve.shard.<index>.requests``)."""
+    return f"serve.shard.{shard}.requests"
 
 
 def resilience_fault(site: str) -> str:

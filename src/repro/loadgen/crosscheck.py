@@ -1,0 +1,71 @@
+"""The sync-vs-async bit-identity gate, as one callable.
+
+Replays one workload through **both** serving paths — the sync
+single-pool threading server and the async sharded front end — and
+diffs the tree signatures request-by-request.  The engine is
+deterministic and both paths share :mod:`repro.service.protocol`, so
+any divergence means a routing/caching bug, not noise; the gate treats
+a single mismatch as failure.
+
+Used three ways, same code: the ``merlin-repro loadgen --cross-check``
+CLI flag, the ``tests/serve`` suite, and the ``async-serve-smoke`` CI
+job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.loadgen.harness import (
+    check_equivalence,
+    compare_signature_maps,
+    run_workload,
+)
+from repro.loadgen.workload import Workload
+
+
+def run_cross_check(workload: Workload, shards: int = 2,
+                    concurrency: int = 4,
+                    queue_limit: Optional[int] = None,
+                    **service_kwargs: Any) -> Dict[str, Any]:
+    """Replay ``workload`` through both paths; return the verdict.
+
+    ``service_kwargs`` configure every :class:`OptimizationService`
+    (both the sync server's single pool and each async shard) so the
+    two paths optimize under identical tech/config/objective.
+
+    Returns ``{"identical", "failures", "sync", "async"}`` where the
+    reports carry full latency detail for whoever wants it.
+    """
+    from repro.serve import DEFAULT_QUEUE_LIMIT
+    from repro.serve.embedded import EmbeddedAsyncServer, EmbeddedSyncServer
+
+    with EmbeddedSyncServer(**service_kwargs) as sync_server:
+        sync_report = run_workload(sync_server.base_url, workload,
+                                   concurrency=concurrency)
+    with EmbeddedAsyncServer(
+            shards=shards,
+            queue_limit=queue_limit or DEFAULT_QUEUE_LIMIT,
+            **service_kwargs) as async_server:
+        async_report = run_workload(async_server.base_url, workload,
+                                    concurrency=concurrency)
+
+    failures = []
+    failures += [f"sync: {f}"
+                 for f in check_equivalence(workload, sync_report)]
+    failures += [f"async: {f}"
+                 for f in check_equivalence(workload, async_report)]
+    failures += [f"cross-path: {f}" for f in compare_signature_maps(
+        sync_report.signature_map(), async_report.signature_map())]
+    sync_ok = {o.index for o in sync_report.outcomes if o.ok}
+    async_ok = {o.index for o in async_report.outcomes if o.ok}
+    if sync_ok != async_ok:
+        failures.append(
+            f"success sets differ: sync-only={sorted(sync_ok - async_ok)} "
+            f"async-only={sorted(async_ok - sync_ok)}")
+    return {
+        "identical": not failures,
+        "failures": failures,
+        "sync": sync_report,
+        "async": async_report,
+    }

@@ -106,6 +106,22 @@ class CacheCorruptionError(MerlinInternalError):
     """A disk-cache entry failed its checksum or schema check."""
 
 
+class AdmissionRejectedError(MerlinResourceError):
+    """The serving tier's bounded request queue is full; the request was
+    rejected before any work happened.  The HTTP front ends map this to
+    **429** with a ``Retry-After`` header (retrying later is exactly the
+    right response, unlike the generic 503 resource failures)."""
+
+
+class ShardUnavailableError(MerlinResourceError):
+    """A sharded worker pool could not take the request and the inline
+    fallback failed too (shard-down normally degrades silently)."""
+
+
+class UnknownPathError(MerlinInputError):
+    """The request named an HTTP path no front end serves (404)."""
+
+
 class FaultInjected(MerlinInternalError):
     """An error deliberately raised by the fault-injection framework."""
 
@@ -117,7 +133,8 @@ _KINDS: Dict[str, Type[MerlinError]] = {
         MerlinError, MerlinInputError, MerlinResourceError,
         MerlinInternalError, MalformedNetError, JobTimeoutError,
         WorkerCrashError, PoolUnavailableError, BudgetExhaustedError,
-        CacheCorruptionError, FaultInjected,
+        CacheCorruptionError, AdmissionRejectedError,
+        ShardUnavailableError, UnknownPathError, FaultInjected,
     )
 }
 

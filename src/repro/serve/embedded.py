@@ -1,0 +1,125 @@
+"""Run front ends in-process, on background threads.
+
+Tests, the load harness's ``--self-serve`` mode, and the CI smoke jobs
+all need a bound, serving front end without shelling out: these context
+managers own the thread/loop plumbing so call sites stay three lines.
+
+::
+
+    with EmbeddedAsyncServer(shards=4, workers=1) as server:
+        report = run_workload(server.base_url, workload)
+
+    with EmbeddedSyncServer(service) as server:
+        MerlinClient(server.base_url).optimize(net)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.service.engine import OptimizationService
+from repro.service.http import make_server
+from repro.serve.server import (
+    DEFAULT_QUEUE_LIMIT,
+    AsyncShardedServer,
+    build_shard_services,
+)
+
+
+class EmbeddedAsyncServer:
+    """An :class:`AsyncShardedServer` on a daemon event-loop thread.
+
+    Pass ready-made ``services`` (their lifetime stays yours) or let the
+    constructor build ``shards`` services from ``service_kwargs`` (then
+    they are closed on exit).
+    """
+
+    def __init__(self, services: Optional[Sequence[OptimizationService]]
+                 = None, shards: int = 2,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 host: str = "127.0.0.1",
+                 **service_kwargs: Any) -> None:
+        self._owns_services = services is None
+        if services is None:
+            services = build_shard_services(shards, **service_kwargs)
+        self.server = AsyncShardedServer(services, host=host,
+                                         queue_limit=queue_limit)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._host = host
+
+    def __enter__(self) -> "EmbeddedAsyncServer":
+        started = threading.Event()
+        failure: list = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.server.start())
+            except Exception as exc:  # pragma: no cover - bind failures
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            loop.run_forever()
+            # Drain the stop() scheduled by __exit__ before closing.
+            loop.run_until_complete(self.server.stop())
+            loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True,
+                                        name="merlin-async-serve")
+        self._thread.start()
+        if not started.wait(timeout=30) or failure:
+            raise RuntimeError(
+                f"async server failed to start: {failure or 'timeout'}")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self.server.close(close_services=self._owns_services)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self.server.port}"
+
+
+class EmbeddedSyncServer:
+    """The threading HTTP server on a daemon thread (same contract)."""
+
+    def __init__(self, service: Optional[OptimizationService] = None,
+                 host: str = "127.0.0.1", **service_kwargs: Any) -> None:
+        self._owns_service = service is None
+        self.service = service if service is not None \
+            else OptimizationService(**service_kwargs)
+        self._host = host
+        self._server = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "EmbeddedSyncServer":
+        self._server = make_server(self.service, host=self._host)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="merlin-sync-serve")
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        if self._owns_service:
+            self.service.close()
+
+    @property
+    def base_url(self) -> str:
+        assert self._server is not None
+        return f"http://{self._host}:{self._server.server_port}"

@@ -1,0 +1,74 @@
+"""Consistent-hash routing of canonical net signatures onto shards.
+
+The async front end (:mod:`repro.serve.server`) routes each request to
+one of N worker-pool shards by the request's *canonical key* — the same
+translation/rename-normalized signature the cache uses
+(:mod:`repro.service.canonical`).  Routing on that key (and nothing
+else) gives two properties the serving tier leans on:
+
+* **Cache affinity.**  Equivalent requests — including renamed or
+  translated twins of earlier nets — always land on the same shard, so
+  each shard's in-memory LRU sees every repeat of its keyspace and the
+  per-shard hit rate equals the single-pool hit rate.  A shared on-disk
+  tier is therefore an optimization, not a correctness requirement.
+* **Stability under resharding.**  Keys are placed on a hash ring with
+  :data:`DEFAULT_REPLICAS` virtual points per shard; growing N shards to
+  N+1 remaps only ~1/(N+1) of the keyspace instead of reshuffling
+  everything, so most of the warm per-shard caches survive a resize.
+
+Hashing is SHA-256 (first 8 bytes, big-endian) — deterministic across
+processes and Python versions, unlike ``hash()`` which is salted per
+process (``PYTHONHASHSEED``) and would silently break replay
+comparisons between server runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List
+
+from repro.resilience.errors import MerlinInputError
+
+#: Virtual points per shard on the ring.  Enough that the largest
+#: shard's keyspace share stays within a few percent of the mean for
+#: the shard counts this tier targets (2-16), cheap enough that ring
+#: construction is microseconds.
+DEFAULT_REPLICAS = 96
+
+
+def _point(label: str) -> int:
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps hex-string keys to shard indices ``0..shards-1``."""
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
+        if shards < 1:
+            raise MerlinInputError(f"ring needs >= 1 shard, got {shards}")
+        if replicas < 1:
+            raise MerlinInputError(f"ring needs >= 1 replica, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[tuple] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((_point(f"shard-{shard}#{replica}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point at or after its
+        hash, wrapping)."""
+        index = bisect.bisect_right(self._hashes, _point(key))
+        return self._owners[index % len(self._owners)]
+
+    def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
+        """How many of ``keys`` each shard owns (diagnostics/tests)."""
+        counts: Dict[int, int] = {shard: 0 for shard in range(self.shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

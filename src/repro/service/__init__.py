@@ -9,9 +9,12 @@ Turns the one-shot MERLIN engine into a long-lived multi-net service:
 * :mod:`repro.service.engine` — :class:`OptimizationService` /
   :func:`optimize_many`, the warm-process-pool batch engine with per-job
   timeout, error isolation, and serial degradation;
-* :mod:`repro.service.http` — the stdlib HTTP front end behind
-  ``merlin-repro serve`` (``POST /optimize``, ``GET /stats``,
-  ``GET /healthz``).
+* :mod:`repro.service.protocol` — the versioned v1 wire surface
+  (envelope, error bodies, endpoint handlers) shared by every front end;
+* :mod:`repro.service.http` — the stdlib sync HTTP front end behind
+  ``merlin-repro serve`` (``POST /v1/optimize``, ``POST /v1/closure``,
+  ``GET /v1/stats``, ``GET /v1/healthz``, plus deprecated pre-v1 shims);
+  the async sharded front end lives in :mod:`repro.serve`.
 
 Typical library use::
 
@@ -34,6 +37,12 @@ from repro.service.engine import (
     optimize_many,
 )
 from repro.service.http import ServiceHTTPServer, make_server, serve
+from repro.service.protocol import (
+    API_VERSION,
+    EndpointOutcome,
+    envelope,
+    legacy_body,
+)
 
 __all__ = [
     "ResultCache",
@@ -46,4 +55,8 @@ __all__ = [
     "ServiceHTTPServer",
     "make_server",
     "serve",
+    "API_VERSION",
+    "EndpointOutcome",
+    "envelope",
+    "legacy_body",
 ]

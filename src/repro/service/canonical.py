@@ -122,24 +122,36 @@ def technology_fingerprint(tech: Technology) -> str:
 
 
 def canonical_request(net: Net, tech: Technology, config: MerlinConfig,
-                      objective: Objective) -> Dict[str, Any]:
+                      objective: Objective,
+                      tech_fingerprint_hex: Optional[str] = None,
+                      ) -> Dict[str, Any]:
     """The complete canonical request record (hashed by
     :func:`canonical_key`; exposed separately for debugging cache
-    behavior — two requests collide iff these dicts are equal)."""
+    behavior — two requests collide iff these dicts are equal).
+
+    ``tech_fingerprint_hex`` lets long-lived callers (the optimization
+    service, the async sharding front end) pass a precomputed
+    :func:`technology_fingerprint` instead of re-serializing the whole
+    buffer library on every request — the dominant cost of key
+    construction for small nets.
+    """
     return {
         "version": CANONICAL_VERSION,
         "net": canonical_net_dict(net),
-        "tech": technology_fingerprint(tech),
+        "tech": tech_fingerprint_hex or technology_fingerprint(tech),
         "config": config_fingerprint_dict(config),
         "objective": objective_fingerprint_dict(objective),
     }
 
 
 def canonical_key(net: Net, tech: Technology, config: MerlinConfig,
-                  objective: Optional[Objective] = None) -> str:
+                  objective: Optional[Objective] = None,
+                  tech_fingerprint_hex: Optional[str] = None) -> str:
     """SHA-256 hex key identifying this request up to translation/rename."""
     objective = objective or Objective.max_required_time()
-    return _digest(canonical_request(net, tech, config, objective))
+    return _digest(canonical_request(
+        net, tech, config, objective,
+        tech_fingerprint_hex=tech_fingerprint_hex))
 
 
 def _digest(data: Any) -> str:

@@ -84,7 +84,7 @@ from repro.routing.export import (
 )
 from repro.routing.tree import RoutingTree
 from repro.service.cache import ResultCache
-from repro.service.canonical import canonical_key
+from repro.service.canonical import canonical_key, technology_fingerprint
 from repro.tech.technology import Technology, default_technology
 
 #: Backoff before pool rebuild r (1-based) is
@@ -285,6 +285,25 @@ class OptimizationService:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_disabled: Optional[str] = None
         self._lock = Lock()
+        # The technology never changes over the service's lifetime, so
+        # its (library-sized) fingerprint is computed once and reused by
+        # every canonical-key construction.
+        self._tech_fingerprint = technology_fingerprint(self.tech)
+
+    @property
+    def tech_fingerprint(self) -> str:
+        """Precomputed :func:`technology_fingerprint` of this service's
+        technology (shared with front ends that canonicalize for
+        routing, so shard keys and cache keys agree byte-for-byte)."""
+        return self._tech_fingerprint
+
+    def canonical_key_for(self, net: Net,
+                          objective: Optional[Objective] = None) -> str:
+        """The canonical cache key this service would use for ``net``."""
+        return canonical_key(
+            net, self.tech, self.config,
+            objective if objective is not None else self.objective,
+            tech_fingerprint_hex=self._tech_fingerprint)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -373,8 +392,9 @@ class OptimizationService:
             started[i] = time.perf_counter()
             self._record(metric.SERVICE_REQUESTS)
             try:
-                key = canonical_key(net, self.tech, self.config,
-                                    job_objectives[i])
+                key = canonical_key(
+                    net, self.tech, self.config, job_objectives[i],
+                    tech_fingerprint_hex=self._tech_fingerprint)
             except Exception as exc:  # un-canonicalizable input
                 self._record(metric.SERVICE_ERRORS)
                 results[i] = self._error_result(

@@ -1,40 +1,46 @@
-"""Stdlib HTTP front end for the optimization service.
+"""Stdlib HTTP front end for the optimization service (sync, threaded).
 
 ``merlin-repro serve --port N`` exposes a long-lived
-:class:`~repro.service.engine.OptimizationService` over three endpoints:
+:class:`~repro.service.engine.OptimizationService` over the **v1 API**
+(see ``API.md`` and :mod:`repro.service.protocol`, where the wire
+surface is actually defined — this module is transport only):
 
-* ``POST /optimize`` — body is a net JSON object (the
+* ``POST /v1/optimize`` — body is a net JSON object (the
   :func:`repro.net.net_from_dict` schema, optionally wrapped as
-  ``{"net": {...}}``); the response is the
+  ``{"net": {...}}``); the envelope's ``result`` is the
   :meth:`~repro.service.engine.ServiceResult.to_dict` body: the tree
   (``repro.routing.export`` schema), its signature, the evaluation, and
   the ``cached`` flag.  Per-request ``{"timeout_s": ...}`` is honored.
-  Failures map the error taxonomy onto status codes: malformed input is
-  400, transient resource exhaustion (timeout, dead pool) is 503, and
-  internal errors are 500 — every error body carries the structured
-  ``error_detail`` record (kind / category / stage).
-* ``POST /closure`` — full-netlist timing closure through the shared
+* ``POST /v1/closure`` — full-netlist timing closure through the shared
   service (warm pool and cache included).  Body selects the circuit —
   ``{"circuit": "b9", "seed": 1999}`` (a Table 2 name or a custom
   ``"gates:levels:pis:pos[:max_fanout]"`` shape) or an inline
   ``{"netlist": {...}}`` interchange object — plus optional closure
   knobs ``order`` / ``batch_size`` / ``max_iterations`` /
-  ``target_scale`` / ``min_sinks`` and ``include_trees``.  The response
-  is the :meth:`repro.pipeline.ClosureResult.to_dict` report (one entry
-  per iteration, final delay/slack/area, per-net tree signatures).
-* ``GET /stats`` — cache hit/miss counters and the request-latency
+  ``target_scale`` / ``min_sinks`` and ``include_trees``.
+* ``GET /v1/stats`` — cache hit/miss counters and the request-latency
   series recorded through :mod:`repro.instrument`.
-* ``GET /healthz`` — liveness probe.
+* ``GET /v1/healthz`` — liveness probe.
+
+Every ``/v1/*`` response — including 404s for unknown paths — is the
+uniform envelope ``{api_version, request_id, result, error, degraded,
+timing_ms}``; failures map the error taxonomy onto status codes (400
+input / 429 admission / 503 resource / 500 internal) with a structured
+``error`` body.  The pre-v1 paths (``/optimize`` etc.) remain as
+deprecated shims: same handlers, historical response shape, plus a
+``Deprecation: true`` header and a ``service.http.legacy_path`` counter.
 
 Built on ``http.server.ThreadingHTTPServer`` only (no third-party web
 stack): each request runs in its own thread, the service object is
-shared, and everything inside it is thread-safe.  This is a
-reproduction-scale serving layer, not a hardened internet-facing one —
-run it behind a real proxy if you must expose it.
+shared, and everything inside it is thread-safe.  This is the simple
+single-pool front end; :mod:`repro.serve` is the async sharded one, and
+both speak bit-identically through :mod:`repro.service.protocol`.  This
+is a reproduction-scale serving layer, not a hardened internet-facing
+one — run it behind a real proxy if you must expose it.
 
 Example::
 
-    curl -s -X POST localhost:8731/optimize -d '{
+    curl -s -X POST localhost:8731/v1/optimize -d '{
       "name": "demo", "source": [0, 0],
       "sinks": [{"name": "a", "position": [900, 300],
                  "load": 12.0, "required_time": 900.0}]}'
@@ -43,28 +49,16 @@ Example::
 from __future__ import annotations
 
 import json
+import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.instrument import names as metric
-from repro.net import net_from_dict
-from repro.resilience.errors import classify
-from repro.resilience.faults import FaultInjected, fault_point
+from repro.resilience.errors import MerlinInputError, classify
+from repro.service import protocol
 from repro.service.engine import OptimizationService
-
-#: Request bodies above this size are rejected outright (a net of tens of
-#: thousands of sinks is far beyond what the DP can serve anyway).
-MAX_BODY_BYTES = 8 * 1024 * 1024
-
-#: HTTP status per error-taxonomy category: the client's fault is 400,
-#: a transient capacity problem (timeout, dead pool, exhausted budget
-#: that could not even degrade) is 503 retry-later, everything else is
-#: an honest 500.
-_STATUS_BY_CATEGORY = {
-    "input": 400,
-    "resource": 503,
-    "internal": 500,
-}
+from repro.service.protocol import MAX_BODY_BYTES  # noqa: F401 (re-export)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -88,155 +82,72 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
-        service = self.server.service
-        if self.path == "/healthz":
-            service._record(metric.service_endpoint_requests("healthz"))
-            self._reply(200, {"status": "ok"})
-        elif self.path == "/stats":
-            service._record(metric.service_endpoint_requests("stats"))
-            self._reply(200, service.stats())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
-        if self.path == "/closure":
-            self._do_closure()
-            return
-        if self.path != "/optimize":
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
-            return
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
         service = self.server.service
-        service._record(metric.service_endpoint_requests("optimize"))
-        try:
-            fault_point("service.http", key=self.path)
-        except FaultInjected as exc:
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(500, {"error": str(exc),
-                              "error_detail": exc.record.to_dict()})
-            return
-        try:
-            body = self._read_body()
-        except ValueError as exc:
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": str(exc),
-                              "error_detail": classify(
-                                  exc, stage="http").to_dict()})
-            return
-        try:
-            net_data = body.get("net", body) if isinstance(body, dict) \
-                else body
-            net = net_from_dict(net_data)
-        except (ValueError, TypeError, AttributeError) as exc:
-            # MalformedNetError carries the offending field in its
-            # message; surface it verbatim so clients can fix the input.
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": f"invalid net payload: {exc}",
-                              "error_detail": classify(
-                                  exc, stage="net").to_dict()})
-            return
-        timeout_s = body.get("timeout_s") if isinstance(body, dict) else None
-        result = service.optimize(net, timeout_s=timeout_s)
-        status = 200 if result.ok else _STATUS_BY_CATEGORY.get(
-            result.error_category or "internal", 500)
-        self._reply(status, result.to_dict())
-
-    def _do_closure(self) -> None:
-        """``POST /closure``: timing closure through the shared service.
-
-        The pipeline import is deferred to request time — ``pipeline``
-        and ``service`` share a layer, and the lazy edge keeps the HTTP
-        module importable without dragging the whole closure stack in.
-        """
-        from repro.pipeline import ClosureConfig, run_closure
-        from repro.resilience.errors import MerlinInputError
-
-        service = self.server.service
-        service._record(metric.service_endpoint_requests("closure"))
-        try:
-            fault_point("service.http", key=self.path)
-        except FaultInjected as exc:
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(500, {"error": str(exc),
-                              "error_detail": exc.record.to_dict()})
-            return
-        try:
-            body = self._read_body()
-            if not isinstance(body, dict):
-                raise ValueError("closure request body must be a JSON "
-                                 "object")
-            netlist = _closure_netlist(body)
-            closure = ClosureConfig(
-                order=str(body.get("order", "criticality")),
-                min_sinks=int(body.get("min_sinks", 2)),
-                target_scale=float(body.get("target_scale", 0.88)),
-                batch_size=(None if body.get("batch_size") is None
-                            else int(body["batch_size"])),
-                max_iterations=int(body.get("max_iterations", 10)),
-            )
-        except (ValueError, TypeError, KeyError, MerlinInputError) as exc:
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": f"invalid closure request: {exc}",
-                              "error_detail": classify(
-                                  exc, stage="http").to_dict()})
-            return
-        try:
-            result = run_closure(netlist, closure=closure, service=service)
-        except MerlinInputError as exc:
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(400, {"error": str(exc),
-                              "error_detail": classify(
-                                  exc, stage="pipeline").to_dict()})
-            return
-        except Exception as exc:  # noqa: BLE001 — honest 500, not a hang
-            service._record(metric.SERVICE_ERRORS)
-            self._reply(500, {"error": f"closure failed: {exc}",
-                              "error_detail": classify(
-                                  exc, stage="pipeline").to_dict()})
-            return
-        self._reply(200, result.to_dict(
-            include_trees=bool(body.get("include_trees", False))))
+        started = time.perf_counter()
+        is_v1, endpoint, is_legacy = protocol.split_path(self.path)
+        if is_legacy:
+            service._record(metric.SERVICE_HTTP_LEGACY_PATH)
+        outcome: Optional[protocol.EndpointOutcome] = None
+        body: Any = None
+        if method == "POST" and endpoint is not None:
+            try:
+                body = protocol.parse_json_bytes(self._read_raw())
+            except MerlinInputError as exc:
+                service._record(metric.SERVICE_ERRORS)
+                outcome = protocol.EndpointOutcome(
+                    400, None, classify(exc, stage="http"))
+        if outcome is None:
+            outcome = protocol.dispatch(service, method, endpoint, body,
+                                        path=self.path)
+        if is_v1 or endpoint is None:
+            # Unknown paths always answer in the v1 envelope, whatever
+            # prefix the client used — a structured 404, never a bare one.
+            payload = protocol.envelope(
+                outcome, protocol.new_request_id(),
+                protocol.timing_ms_since(started))
+        else:
+            payload = protocol.legacy_body(outcome)
+        self._reply(outcome.status, payload, deprecated=is_legacy,
+                    retry_after_s=outcome.retry_after_s)
 
     # -- plumbing -------------------------------------------------------
 
-    def _read_body(self) -> Any:
+    def _read_raw(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
-            raise ValueError("empty request body (expected net JSON)")
+            return b""
         if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}")
+            # Refuse before reading; protocol.parse_json_bytes re-checks
+            # for front ends that buffer first.
+            raise MerlinInputError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+                stage="http")
+        return self.rfile.read(length)
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+    def _reply(self, status: int, payload: Dict[str, Any], *,
+               deprecated: bool = False,
+               retry_after_s: Optional[float] = None) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if deprecated:
+            self.send_header("Deprecation", "true")
+        if retry_after_s is not None:
+            self.send_header("Retry-After",
+                             str(max(1, math.ceil(retry_after_s))))
         self.end_headers()
         self.wfile.write(blob)
 
     def log_message(self, fmt: str, *args: Any) -> None:
         if self.verbose:
             super().log_message(fmt, *args)
-
-
-def _closure_netlist(body: Dict[str, Any]):
-    """Resolve a closure request body to a placed-ready ``Netlist``."""
-    from repro.experiments.circuits import resolve_circuit_spec
-    from repro.netlist.generator import generate_circuit
-    from repro.netlist.io import netlist_from_dict
-
-    if isinstance(body.get("netlist"), dict):
-        return netlist_from_dict(body["netlist"])
-    circuit = body.get("circuit")
-    if not isinstance(circuit, str) or not circuit:
-        raise ValueError("closure request needs a 'circuit' name/shape "
-                         "or an inline 'netlist' object")
-    seed = int(body.get("seed", 1999))
-    return generate_circuit(resolve_circuit_spec(circuit, seed))
 
 
 def make_server(service: OptimizationService, host: str = "127.0.0.1",
@@ -257,8 +168,8 @@ def serve(host: str, port: int, service: Optional[OptimizationService] = None,
     _Handler.verbose = verbose
     server = make_server(service, host, port)
     print(f"merlin-repro service listening on http://{host}:"
-          f"{server.server_port}  (POST /optimize, POST /closure, "
-          f"GET /stats, GET /healthz; Ctrl-C to stop)")
+          f"{server.server_port}  (POST /v1/optimize, POST /v1/closure, "
+          f"GET /v1/stats, GET /v1/healthz; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

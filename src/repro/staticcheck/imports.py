@@ -47,12 +47,16 @@ PACKAGE_LAYERS: Dict[str, int] = {
     # circuit substrate (drives per-net flows over a netlist)
     "netlist": 6,
     # experiment harnesses, the long-running service, and the
-    # full-netlist timing-closure pipeline that drives the service
-    "experiments": 7, "service": 7, "pipeline": 7,
+    # full-netlist timing-closure pipeline that drives the service;
+    # the serving tier (async sharded front end) and the typed API
+    # client sit beside the service they front
+    "experiments": 7, "service": 7, "pipeline": 7, "serve": 7,
+    "client": 7,
     # developer tooling (imports nothing from repro at runtime)
     "staticcheck": 8,
-    # public facade and benchmark driver
-    "api": 8, "bench": 8,
+    # public facade, benchmark driver, and the serving load harness
+    # (drives servers through the client, reuses bench calibration)
+    "api": 8, "bench": 8, "loadgen": 8,
     # entry points; the root package __init__ re-exports the facade
     "cli": 9, "__main__": 9, "repro": 9,
 }

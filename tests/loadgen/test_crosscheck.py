@@ -1,0 +1,37 @@
+"""End-to-end: a real workload through both serving paths must agree.
+
+This is the in-suite (small) version of the ``async-serve-smoke`` CI
+gate: same engine preset, fewer requests.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MerlinConfig
+from repro.loadgen import (
+    WorkloadSpec,
+    check_equivalence,
+    generate_workload,
+    run_cross_check,
+)
+
+SPEC = WorkloadSpec(requests=6, distinct_nets=2, min_sinks=2, max_sinks=3,
+                    seed=3, twin_fraction=0.3, repeat_fraction=0.3)
+
+
+def test_sync_and_async_paths_answer_bit_identically():
+    workload = generate_workload(SPEC)
+    verdict = run_cross_check(
+        workload, shards=2, concurrency=2,
+        config=MerlinConfig.test_preset(), workers=1)
+    assert verdict["failures"] == []
+    assert verdict["identical"] is True
+    for path in ("sync", "async"):
+        report = verdict[path]
+        counts = report.counts()
+        assert counts["ok"] == counts["requests"] == len(workload)
+        assert check_equivalence(workload, report) == []
+        assert report.throughput_rps > 0
+    # Both replays answered every request — the signature maps must be
+    # keyed identically, not just overlap.
+    assert set(verdict["sync"].signature_map()) == \
+        set(verdict["async"].signature_map())

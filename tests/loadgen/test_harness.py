@@ -1,0 +1,200 @@
+"""Harness math and gates, on synthetic outcomes (no server needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    LoadReport,
+    RequestOutcome,
+    Workload,
+    WorkloadSpec,
+    build_bench_serve,
+    check_equivalence,
+    compare_signature_maps,
+    percentile,
+    render_trend,
+    write_bench_serve,
+)
+
+
+# ----------------------------------------------------------------------
+# percentile math
+# ----------------------------------------------------------------------
+
+def test_percentile_edge_cases():
+    assert percentile([], 50.0) == 0.0
+    assert percentile([7.0], 99.0) == 7.0
+    assert percentile([1.0, 3.0], 50.0) == 2.0  # linear interpolation
+
+
+def test_percentile_matches_numpy_linear_method():
+    np = pytest.importorskip("numpy")
+    values = sorted(float(v) for v in [5, 1, 9, 2, 8, 3, 7, 4, 6, 10])
+    for q in (0.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q, method="linear")))
+
+
+# ----------------------------------------------------------------------
+# report aggregates
+# ----------------------------------------------------------------------
+
+def _outcome(index, latency_ms, *, ok=True, status=200, kind="fresh",
+             cached=False, signature=None, retries=0, offset_s=0.0):
+    return RequestOutcome(
+        index=index, kind=kind, status=status, ok=ok,
+        latency_s=latency_ms / 1000.0, start_offset_s=offset_s,
+        retries=retries, cached=cached,
+        signature=signature if signature is not None
+        else (f"sig{index}" if ok else None))
+
+
+def _report(outcomes, wall_s=2.0):
+    return LoadReport(target="http://test", concurrency=2, wall_s=wall_s,
+                      spec={"seed": 1}, outcomes=outcomes)
+
+
+def test_counts_and_throughput():
+    report = _report([
+        _outcome(0, 10.0, cached=False),
+        _outcome(1, 30.0, cached=True, retries=1, offset_s=1.2),
+        _outcome(2, 5.0, ok=False, status=429, offset_s=1.4),
+    ])
+    counts = report.counts()
+    assert counts == {"requests": 3, "ok": 2, "errors": 1,
+                      "rejected_429": 1, "retried": 1, "cache_hits": 1}
+    assert report.completed == 2
+    assert report.throughput_rps == pytest.approx(1.0)
+
+
+def test_histogram_buckets_successes_only():
+    report = _report([
+        _outcome(0, 0.5),
+        _outcome(1, 1.5),
+        _outcome(2, 40.0),
+        _outcome(3, 9999.0),
+        _outcome(4, 3.0, ok=False, status=500),
+    ])
+    histogram = {b["le_ms"]: b["count"] for b in report.histogram_ms()}
+    assert histogram[1.0] == 1      # 0.5 ms
+    assert histogram[2.0] == 1      # 1.5 ms
+    assert histogram[50.0] == 1     # 40 ms
+    assert histogram[None] == 1     # 9999 ms overflows the last bound
+    assert sum(histogram.values()) == 4  # the failure is excluded
+
+
+def test_time_series_buckets_by_start_offset():
+    report = _report([
+        _outcome(0, 10.0, offset_s=0.1),
+        _outcome(1, 30.0, offset_s=0.9),
+        _outcome(2, 50.0, offset_s=1.5),
+    ])
+    series = report.time_series(bucket_s=1.0)
+    assert [point["count"] for point in series] == [2, 1]
+    assert series[0]["mean_ms"] == pytest.approx(20.0)
+
+
+def test_signature_map_skips_failures():
+    report = _report([
+        _outcome(0, 1.0, signature="sigA"),
+        _outcome(1, 1.0, ok=False, status=503),
+    ])
+    assert report.signature_map() == {"0": "sigA"}
+
+
+# ----------------------------------------------------------------------
+# the identity gates
+# ----------------------------------------------------------------------
+
+def _two_class_workload():
+    spec = WorkloadSpec(requests=4, distinct_nets=2, min_sinks=2,
+                        max_sinks=2, seed=1)
+    return Workload(spec=spec, requests=[
+        {"path": "/v1/optimize", "body": {}, "kind": "fresh", "base": 0},
+        {"path": "/v1/optimize", "body": {}, "kind": "fresh", "base": 1},
+        {"path": "/v1/optimize", "body": {}, "kind": "twin", "base": 0},
+        {"path": "/v1/optimize", "body": {}, "kind": "repeat", "base": 1},
+    ])
+
+
+def test_check_equivalence_accepts_one_signature_per_class():
+    workload = _two_class_workload()
+    report = _report([
+        _outcome(0, 1.0, signature="sigA"),
+        _outcome(1, 1.0, signature="sigB"),
+        _outcome(2, 1.0, signature="sigA", kind="twin"),
+        _outcome(3, 1.0, signature="sigB", kind="repeat"),
+    ])
+    assert check_equivalence(workload, report) == []
+
+
+def test_check_equivalence_flags_a_split_class():
+    workload = _two_class_workload()
+    report = _report([
+        _outcome(0, 1.0, signature="sigA"),
+        _outcome(1, 1.0, signature="sigB"),
+        _outcome(2, 1.0, signature="sigX", kind="twin"),  # diverged
+        _outcome(3, 1.0, signature="sigB", kind="repeat"),
+    ])
+    failures = check_equivalence(workload, report)
+    assert len(failures) == 1
+    assert "request 0" in failures[0]
+
+
+def test_compare_signature_maps_diffs_shared_requests_only():
+    left = {"0": "sigA", "1": "sigB", "2": "sigC"}
+    right = {"0": "sigA", "1": "sigZ"}  # 2 missing on the right: skipped
+    failures = compare_signature_maps(left, right)
+    assert failures == ["request 1: 'sigB' != 'sigZ'"]
+    assert compare_signature_maps(left, dict(left)) == []
+
+
+# ----------------------------------------------------------------------
+# artifacts and rendering
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def fast_calibration(monkeypatch):
+    import repro.bench as bench
+
+    monkeypatch.setattr(bench, "calibration_seconds", lambda: 0.123)
+
+
+def test_bench_serve_document_shape(fast_calibration, tmp_path):
+    import json
+
+    report = _report([_outcome(0, 10.0), _outcome(1, 20.0)])
+    path = str(tmp_path / "BENCH_serve.json")
+    write_bench_serve(report, path, tag="test", extra={"mode": "async"})
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["version"] == 1
+    assert document["kind"] == "serve"
+    assert document["tag"] == "test"
+    assert document["mode"] == "async"
+    assert document["environment"]["calibration_s"] == 0.123
+    assert document["counts"]["ok"] == 2
+    assert "outcomes" not in document  # the summary is the artifact
+    assert set(document["percentiles_ms"]) == \
+        {"p50", "p95", "p99", "mean", "max"}
+
+
+def test_build_bench_serve_matches_report_numbers(fast_calibration):
+    report = _report([_outcome(0, 10.0), _outcome(1, 20.0)])
+    document = build_bench_serve(report)
+    assert document["throughput_rps"] == round(report.throughput_rps, 3)
+    assert document["percentiles_ms"]["p50"] == pytest.approx(15.0)
+
+
+def test_render_trend_carries_the_headline_claim():
+    report = _report([
+        _outcome(0, 10.0, offset_s=0.2),
+        _outcome(1, 30.0, cached=True, offset_s=0.8),
+    ])
+    text = render_trend(report)
+    assert "2/2 ok" in text
+    assert "p50" in text and "p99" in text
+    assert "cache hits 1" in text
+    assert "latency histogram:" in text
+    assert "per-second trend" in text

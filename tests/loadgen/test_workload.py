@@ -1,0 +1,121 @@
+"""Workload generation: determinism, twin semantics, record/replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.core.objective import Objective
+from repro.loadgen import (
+    WorkloadSpec,
+    generate_workload,
+    load_workload,
+    resolve_workload,
+    save_workload,
+)
+from repro.net import net_from_dict
+from repro.resilience.errors import MerlinInputError
+from repro.service.canonical import canonical_key
+from repro.tech.technology import default_technology
+
+SPEC = WorkloadSpec(requests=24, distinct_nets=6, min_sinks=2,
+                    max_sinks=4, seed=5)
+
+
+def test_same_spec_generates_byte_identical_workloads():
+    assert generate_workload(SPEC).to_dict() == \
+        generate_workload(SPEC).to_dict()
+
+
+def test_different_seeds_generate_different_workloads():
+    other = WorkloadSpec(requests=24, distinct_nets=6, min_sinks=2,
+                         max_sinks=4, seed=6)
+    assert generate_workload(SPEC).to_dict() != \
+        generate_workload(other).to_dict()
+
+
+def test_request_mix_respects_the_spec():
+    workload = generate_workload(SPEC)
+    assert len(workload) == SPEC.requests
+    kinds = {r["kind"] for r in workload.requests}
+    assert kinds <= {"fresh", "repeat", "twin"}
+    fresh = [r for r in workload.requests if r["kind"] == "fresh"]
+    assert 1 <= len(fresh) <= SPEC.distinct_nets
+    for request in workload.requests:
+        assert request["path"] == "/v1/optimize"
+        sinks = request["body"]["net"]["sinks"]
+        assert SPEC.min_sinks <= len(sinks) <= SPEC.max_sinks
+
+
+def test_equivalence_classes_group_repeats_under_their_fresh_base():
+    workload = generate_workload(SPEC)
+    classes = workload.equivalence_classes()
+    assert sum(len(v) for v in classes.values()) == len(workload)
+    for base, indices in classes.items():
+        assert workload.requests[base]["kind"] == "fresh"
+        assert base == indices[0]
+
+
+@pytest.mark.parametrize("translate", [False, True])
+def test_twins_share_the_base_canonical_key(translate):
+    spec = WorkloadSpec(requests=32, distinct_nets=4, min_sinks=2,
+                        max_sinks=3, seed=9, twin_fraction=0.6,
+                        repeat_fraction=0.0, translate_twins=translate)
+    workload = generate_workload(spec)
+    twins = [r for r in workload.requests if r["kind"] == "twin"]
+    assert twins, "spec with twin_fraction=0.6 produced no twins"
+    tech = default_technology()
+    config = MerlinConfig.test_preset()
+    objective = Objective.max_required_time()
+
+    def key_of(body):
+        return canonical_key(net_from_dict(body["net"]), tech, config,
+                             objective)
+
+    moved = 0
+    for twin in twins:
+        base_body = workload.requests[twin["base"]]["body"]
+        assert twin["body"] != base_body  # genuinely disguised
+        assert key_of(twin["body"]) == key_of(base_body)
+        if twin["body"]["net"]["source"] != base_body["net"]["source"]:
+            moved += 1
+    # Rename-only twins never move; translated ones (almost surely) do.
+    assert moved == (len(twins) if translate else 0)
+
+
+def test_save_load_round_trip(tmp_path):
+    workload = generate_workload(SPEC)
+    path = str(tmp_path / "workload.json")
+    save_workload(workload, path)
+    loaded = load_workload(path)
+    assert loaded.to_dict() == workload.to_dict()
+    assert resolve_workload(path=path).to_dict() == workload.to_dict()
+
+
+def test_resolve_without_a_path_generates_from_the_spec():
+    assert resolve_workload(spec=SPEC).to_dict() == \
+        generate_workload(SPEC).to_dict()
+
+
+def test_version_mismatch_is_rejected(tmp_path):
+    import json
+
+    workload = generate_workload(SPEC)
+    data = workload.to_dict()
+    data["version"] = 99
+    path = tmp_path / "stale.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(MerlinInputError, match="version 99"):
+        load_workload(str(path))
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(requests=0),
+    dict(distinct_nets=0),
+    dict(min_sinks=1),
+    dict(min_sinks=5, max_sinks=4),
+    dict(twin_fraction=0.7, repeat_fraction=0.7),
+])
+def test_bad_specs_are_rejected(kwargs):
+    with pytest.raises(MerlinInputError):
+        WorkloadSpec(**kwargs)

@@ -42,21 +42,40 @@ def _url(httpd, path):
     return f"http://{host}:{port}{path}"
 
 
+def _get_full(httpd, path):
+    try:
+        with urllib.request.urlopen(_url(httpd, path),
+                                    timeout=10) as response:
+            return (response.status,
+                    json.loads(response.read().decode("utf-8")),
+                    dict(response.headers))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode()), \
+            dict(error.headers)
+
+
 def _get(httpd, path):
-    with urllib.request.urlopen(_url(httpd, path), timeout=10) as response:
-        return response.status, json.loads(response.read().decode("utf-8"))
+    status, body, _ = _get_full(httpd, path)
+    return status, body
 
 
-def _post(httpd, path, body):
+def _post_full(httpd, path, body):
     data = body if isinstance(body, bytes) else json.dumps(body).encode()
     request = urllib.request.Request(
         _url(httpd, path), data=data,
         headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=60) as response:
-            return response.status, json.loads(response.read().decode())
+            return (response.status, json.loads(response.read().decode()),
+                    dict(response.headers))
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read().decode())
+        return error.code, json.loads(error.read().decode()), \
+            dict(error.headers)
+
+
+def _post(httpd, path, body):
+    status, payload, _ = _post_full(httpd, path, body)
+    return status, payload
 
 
 def test_healthz(server):
@@ -114,13 +133,26 @@ def test_empty_body_is_rejected(server):
     assert status == 400
 
 
-def test_unknown_paths_are_404(server):
-    request = urllib.request.Request(_url(server, "/nope"))
-    with pytest.raises(urllib.error.HTTPError) as excinfo:
-        urllib.request.urlopen(request, timeout=10)
-    assert excinfo.value.code == 404
-    status, _ = _post(server, "/nope", {})
+def test_unknown_paths_are_404_in_the_v1_envelope(server):
+    # Even pre-v1 clients hitting a dead path get the structured error
+    # (there is no legacy 404 shape worth preserving).
+    status, body, headers = _get_full(server, "/nope")
     assert status == 404
+    assert headers["Content-Type"] == "application/json"
+    assert body["api_version"] == "v1"
+    assert body["result"] is None
+    assert body["error"]["code"] == "unknown_path"
+    assert body["error"]["category"] == "input"
+    assert "/nope" in body["error"]["message"]
+    status, body = _post(server, "/nope", {})
+    assert status == 404
+    assert body["error"]["code"] == "unknown_path"
+
+
+def test_v1_paths_reject_wrong_methods_as_unknown(server):
+    status, body, _ = _get_full(server, "/v1/optimize")
+    assert status == 404
+    assert body["error"]["code"] == "unknown_path"
 
 
 def test_stats_reports_execution_mode(server):
@@ -128,6 +160,129 @@ def test_stats_reports_execution_mode(server):
     assert status == 200
     assert stats["execution_mode"] == "serial"
     assert stats["workers"] == 1
+
+
+def test_every_response_is_json_content_type(server):
+    net = build_net(2, seed=14)
+    for status, _, headers in (
+        _get_full(server, "/healthz"),
+        _get_full(server, "/stats"),
+        _get_full(server, "/v1/healthz"),
+        _post_full(server, "/optimize", {"net": net_to_dict(net)}),
+        _post_full(server, "/v1/optimize", b"{not json"),
+        _get_full(server, "/nope"),
+    ):
+        assert headers["Content-Type"] == "application/json"
+        assert int(headers["Content-Length"]) > 0
+
+
+# ----------------------------------------------------------------------
+# the v1 surface: envelope goldens and legacy-shim equivalence
+# ----------------------------------------------------------------------
+
+ENVELOPE_KEYS = {"api_version", "request_id", "result", "error",
+                 "degraded", "timing_ms"}
+
+
+def _assert_envelope(body):
+    assert set(body) == ENVELOPE_KEYS
+    assert body["api_version"] == "v1"
+    assert isinstance(body["request_id"], str) and body["request_id"]
+    assert isinstance(body["timing_ms"], (int, float))
+    assert (body["result"] is None) != (body["error"] is None)
+
+
+def test_v1_optimize_success_envelope(server):
+    net = build_net(3, seed=21)
+    status, body, headers = _post_full(
+        server, "/v1/optimize", {"net": net_to_dict(net)})
+    assert status == 200
+    assert "Deprecation" not in headers
+    _assert_envelope(body)
+    assert body["error"] is None and body["degraded"] is False
+    result = body["result"]
+    assert result["ok"] and not result["cached"]
+    tree = tree_from_dict(result["tree"], net, TECH.buffers)
+    validate_tree(tree)
+    assert tree_signature(tree) == result["tree_signature"]
+
+
+def test_v1_optimize_error_envelope(server):
+    status, body, _ = _post_full(
+        server, "/v1/optimize", {"net": {"name": "broken"}})
+    assert status == 400
+    _assert_envelope(body)
+    assert body["result"] is None
+    error = body["error"]
+    assert set(error) == {"category", "code", "message", "detail"}
+    assert error["category"] == "input"
+    assert error["code"] == "malformed_net"
+    assert error["detail"]["kind"] == "MalformedNetError"
+
+
+def test_v1_healthz_and_stats_envelopes(server):
+    status, body, _ = _get_full(server, "/v1/healthz")
+    assert status == 200
+    _assert_envelope(body)
+    assert body["result"] == {"status": "ok"}
+    status, body, _ = _get_full(server, "/v1/stats")
+    assert status == 200
+    _assert_envelope(body)
+    assert body["result"]["workers"] == 1
+
+
+def test_v1_closure_success_envelope(server):
+    status, body, _ = _post_full(
+        server, "/v1/closure",
+        {"circuit": "b9", "order": "criticality", "batch_size": 4})
+    assert status == 200
+    _assert_envelope(body)
+    assert body["result"]["converged"] is True
+    assert body["result"]["circuit"] == "b9"
+
+
+def test_v1_closure_error_envelope(server):
+    status, body, _ = _post_full(server, "/v1/closure",
+                                 {"circuit": "nope"})
+    assert status == 400
+    _assert_envelope(body)
+    assert body["error"]["category"] == "input"
+    assert "unknown circuit" in body["error"]["message"]
+
+
+def test_legacy_paths_carry_deprecation_header_and_tick_the_counter(server):
+    net = build_net(3, seed=22)
+    status, _, headers = _post_full(server, "/optimize",
+                                    {"net": net_to_dict(net)})
+    assert status == 200
+    assert headers["Deprecation"] == "true"
+    _, _, headers = _get_full(server, "/healthz")
+    assert headers["Deprecation"] == "true"
+    _, stats = _get(server, "/stats")
+    assert stats["counters"]["service.http.legacy_path"] >= 2
+
+
+def test_legacy_shim_body_equals_the_v1_result_field(server):
+    net = build_net(3, seed=23)
+    payload = {"net": net_to_dict(net)}
+    _, legacy = _post(server, "/optimize", payload)
+    _, enveloped = _post(server, "/v1/optimize", payload)
+    # Identical net through both surfaces: the shim body is exactly the
+    # envelope's result, modulo the per-call timing and the cache flag
+    # (the second call is the hit).
+    result = enveloped["result"]
+    assert result["cached"] is True
+    drop = ("cached", "elapsed_s")
+    assert {k: v for k, v in legacy.items() if k not in drop} == \
+        {k: v for k, v in result.items() if k not in drop}
+
+
+def test_legacy_error_shim_matches_the_v1_error_detail(server):
+    bad = {"net": {"name": "broken"}}
+    _, legacy = _post(server, "/optimize", bad)
+    _, enveloped = _post(server, "/v1/optimize", bad)
+    assert legacy["error"] == enveloped["error"]["message"]
+    assert legacy["error_detail"] == enveloped["error"]["detail"]
 
 
 # ----------------------------------------------------------------------
