@@ -27,6 +27,14 @@ def derived_metrics(source: Union[Recorder, Dict[str, Any], str]
     * ``join_pairs_per_call`` — mean cross-product size per join.
     * ``ptree_time_fraction`` — *PTREE routing seconds over total
       ``bubble_construct`` seconds (span-path based).
+    * ``curve_op_mix_*`` — fraction of kernel curve operations that were
+      extends / joins / buffer insertions (DP work profile).
+    * ``buffer_shadow_skip_ratio`` — fraction of candidate buffer offers
+      the Li & Shi predecessor test discarded before insertion.
+    * ``relocate_passes_total`` / ``vg_hops_total`` — relocation sweep
+      and van Ginneken bottom-up hop volume.
+    * ``dp_reuse_hits_total`` — Γ-cell memo plus neighborhood-search
+      reuse hits across MERLIN iterations.
     """
     rec = coerce_recorder(source)
     counters = rec.counters
@@ -55,6 +63,33 @@ def derived_metrics(source: Union[Recorder, Dict[str, Any], str]
                   if path.split("/")[-1] == metric.SPAN_PTREE)
     if bubble_s > 0:
         out["ptree_time_fraction"] = ptree_s / bubble_s
+
+    extends = counters.get(metric.OPS_EXTEND, 0)
+    joins = counters.get(metric.OPS_JOIN, 0)
+    buffers = counters.get(metric.OPS_BUFFER, 0)
+    ops_total = extends + joins + buffers
+    if ops_total:
+        out["curve_ops_total"] = float(ops_total)
+        out["curve_op_mix_extend"] = extends / ops_total
+        out["curve_op_mix_join"] = joins / ops_total
+        out["curve_op_mix_buffer"] = buffers / ops_total
+
+    skips = counters.get(metric.PTREE_BUFFER_SHADOW_SKIPS, 0)
+    if buffers + skips:
+        out["buffer_shadow_skip_ratio"] = skips / (buffers + skips)
+
+    passes = counters.get(metric.PTREE_RELOCATE_PASSES, 0)
+    if passes:
+        out["relocate_passes_total"] = float(passes)
+
+    reuse = (counters.get(metric.BUBBLE_GAMMA_MEMO_HITS, 0)
+             + counters.get(metric.BUBBLE_NEIGHBORHOOD_HITS, 0))
+    if reuse:
+        out["dp_reuse_hits_total"] = float(reuse)
+
+    hops = counters.get(metric.VG_HOPS, 0)
+    if hops:
+        out["vg_hops_total"] = float(hops)
     return out
 
 

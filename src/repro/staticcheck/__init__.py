@@ -18,12 +18,22 @@ warm process pool — the coding patterns those invariants depend on:
   :mod:`repro.units`;
 * **layering** — ``core``/``curves``/``geometry``/``tech`` must never
   import ``service``/``cli``/``api``/``bench``, and the module-level
-  import graph across ``repro.*`` must stay acyclic.
+  import graph across ``repro.*`` must stay acyclic;
+* **async safety** — no blocking calls inside the serving tier's
+  coroutines, no discarded coroutine objects, no unlocked state shared
+  between the event loop and shard worker threads;
+* **registry contracts** — fault-site, instrument-metric, and
+  kernel/ordering string keys must match a real registration on the
+  other side of the string.
 
-The engine is stdlib-``ast`` only (no new dependencies) and runs as
+The engine is stdlib-``ast`` only (no new dependencies) and analyzes
+in two phases: per-file facts collected in parallel behind a
+content-hash incremental cache (``.staticcheck-cache.json``), then
+whole-program passes over the merged fact base.  It runs as
 ``merlin-repro check [--format json] [--rules ...] [paths]``.  Inline
 suppressions use ``# staticcheck: ignore[RULE-ID]`` comments; project
-defaults live in the ``[tool.staticcheck]`` block of ``pyproject.toml``.
+defaults live in the ``[tool.staticcheck]`` block of ``pyproject.toml``;
+a committed ``staticcheck-baseline.json`` ratchets tolerated findings.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from repro.staticcheck.engine import (
     render_text,
     run_check,
 )
+from repro.staticcheck.facts import FileFacts, ProjectFacts
 
 # Importing the rules package registers every shipped rule.
 import repro.staticcheck.rules  # noqa: F401  (import for side effect)
@@ -50,8 +61,10 @@ import repro.staticcheck.rules  # noqa: F401  (import for side effect)
 __all__ = [
     "CheckConfig",
     "CheckResult",
+    "FileFacts",
     "Finding",
     "ModuleInfo",
+    "ProjectFacts",
     "ProjectRule",
     "Rule",
     "all_rules",

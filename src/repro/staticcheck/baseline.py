@@ -1,0 +1,108 @@
+"""Ratchet baseline: tolerate committed findings, fail on new ones.
+
+A baseline file (``staticcheck-baseline.json``, committed) records
+known findings as ``(rule, path, message)`` triples — line numbers are
+deliberately excluded so unrelated edits that shift a tolerated
+finding do not break the build, while any *new* finding (or a second
+instance of a tolerated one) still fails.  Matching is multiset-style:
+a baseline entry absorbs at most one live finding per occurrence
+recorded.
+
+Paths are stored relative to the config root with posix separators, so
+the committed file is stable across checkouts and operating systems.
+
+``merlin-repro check --update-baseline`` rewrites the file from the
+current findings; reviewers see the ratchet loosen or tighten in the
+diff.  Deleting the file (or shrinking it) is how the ratchet
+advances — the engine never widens it implicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the config root.
+BASELINE_BASENAME = "staticcheck-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _normalize_path(path: str, config_root: Optional[str]) -> str:
+    if config_root:
+        rel = os.path.relpath(os.path.abspath(path), config_root)
+        if not rel.startswith(".."):
+            return rel.replace(os.sep, "/")
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+class Baseline:
+    """A loaded baseline: a multiset of tolerated finding keys."""
+
+    def __init__(self, keys: Optional[Counter] = None) -> None:
+        self._keys: Counter = keys if keys is not None else Counter()
+
+    def __len__(self) -> int:
+        return sum(self._keys.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load ``path``; a missing or malformed file is an empty
+        baseline (the ratchet fails closed: every finding counts)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return cls()
+        if (not isinstance(document, dict)
+                or document.get("version") != BASELINE_VERSION):
+            return cls()
+        keys: Counter = Counter()
+        for entry in document.get("findings", ()):
+            if not isinstance(entry, dict):
+                continue
+            try:
+                keys[(str(entry["rule"]), str(entry["path"]),
+                      str(entry["message"]))] += 1
+            except KeyError:
+                continue
+        return cls(keys)
+
+    def filter(self, findings: Sequence[Finding],
+               config_root: Optional[str] = None,
+               ) -> Tuple[List[Finding], int]:
+        """Split ``findings`` into (new, number-baselined)."""
+        remaining = Counter(self._keys)
+        kept: List[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key: _Key = (finding.rule_id,
+                         _normalize_path(finding.path, config_root),
+                         finding.message)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                absorbed += 1
+            else:
+                kept.append(finding)
+        return kept, absorbed
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   config_root: Optional[str] = None) -> int:
+    """Serialize ``findings`` as the new baseline; returns the count."""
+    entries: List[Dict[str, str]] = sorted(
+        ({"rule": f.rule_id,
+          "path": _normalize_path(f.path, config_root),
+          "message": f.message} for f in findings),
+        key=lambda e: (e["rule"], e["path"], e["message"]))
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

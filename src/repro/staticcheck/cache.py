@@ -1,0 +1,131 @@
+"""Incremental analysis cache keyed on file content hashes.
+
+One JSON document (default ``.staticcheck-cache.json`` next to the
+loaded ``pyproject.toml``; gitignored) maps absolute file paths to the
+sha256 of their bytes, their phase-1 :class:`~repro.staticcheck.facts.
+FileFacts`, and the pre-suppression findings of every per-module rule.
+A warm run replays hits without re-parsing; only changed files pay for
+``ast.parse`` and the rule walks.
+
+Correctness guards — any mismatch degrades to a miss (or a full
+invalidation), never to a wrong answer:
+
+* the cache schema version and :data:`~repro.staticcheck.facts.
+  FACTS_VERSION` are stored and must match,
+* the per-module rule id list at save time is stored; if the registered
+  set changed (a rule added, removed, or renamed), every entry is
+  stale — the stored findings were computed under different rules,
+* each entry stores the display path it was analyzed under; a lookup
+  from a different spelling of the same file misses,
+* a corrupt or unreadable cache file is silently ignored.
+
+Writes are atomic (temp file + ``os.replace``) and merge into the
+previous content, so alternating ``src``-only and ``src``+``tests``
+runs do not evict each other's entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Sequence
+
+from repro.staticcheck.engine import FileAnalysis, file_digest, \
+    module_rule_ids
+from repro.staticcheck.facts import FACTS_VERSION
+
+#: Bump on any change to the cache document layout.
+CACHE_VERSION = 1
+
+#: Default cache filename, resolved against the config root by the CLI.
+CACHE_BASENAME = ".staticcheck-cache.json"
+
+
+class Cache:
+    """In-memory view of the on-disk cache for one run."""
+
+    def __init__(self, path: str,
+                 entries: Optional[Dict[str, dict]] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, dict] = entries or {}
+        self._fresh: Dict[str, dict] = {}
+
+    # -- loading --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Cache":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return cls(path)
+        if not isinstance(document, dict):
+            return cls(path)
+        if (document.get("version") != CACHE_VERSION
+                or document.get("facts_version") != FACTS_VERSION
+                or document.get("module_rules") != module_rule_ids()):
+            # Schema or rule-set drift: stored findings are untrusted.
+            return cls(path)
+        entries = document.get("files")
+        if not isinstance(entries, dict):
+            return cls(path)
+        return cls(path, entries)
+
+    # -- lookups --------------------------------------------------------
+
+    def lookup(self, path: str) -> Optional[FileAnalysis]:
+        """Replay a stored analysis when ``path``'s bytes still match."""
+        key = os.path.abspath(path)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                digest = file_digest(handle.read())
+        except OSError:
+            return None
+        if entry.get("sha256") != digest or entry.get("display") != path:
+            return None
+        try:
+            return FileAnalysis.from_cache_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- updates --------------------------------------------------------
+
+    def update(self, analyses: Sequence[FileAnalysis]) -> None:
+        for analysis in analyses:
+            if not analysis.sha256:
+                continue  # unreadable file: nothing worth caching
+            key = os.path.abspath(analysis.path)
+            self._fresh[key] = analysis.to_cache_dict()
+
+    def save(self) -> None:
+        if not self._fresh:
+            return
+        merged = dict(self._entries)
+        merged.update(self._fresh)
+        document = {
+            "version": CACHE_VERSION,
+            "facts_version": FACTS_VERSION,
+            "module_rules": module_rule_ids(),
+            "files": merged,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(prefix=".staticcheck-cache.",
+                                       suffix=".tmp", dir=directory)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, sort_keys=True)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only checkout must not fail the check run.
+            pass

@@ -3,11 +3,18 @@
 Kept out of :mod:`repro.cli` so the analyzer stays importable and
 testable on its own (and so the top-level CLI keeps its lazy-import
 discipline).
+
+The CLI is where the incremental cache and the ratchet baseline turn
+on: ``run_check`` defaults both off at the library level, while
+``merlin-repro check`` caches to ``.staticcheck-cache.json`` next to
+the loaded ``pyproject.toml`` and honors a committed
+``staticcheck-baseline.json`` when one exists.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -34,15 +41,33 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--format", choices=["text", "json"], default="text",
         help="report format (default: text)")
     parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the rendered report to FILE")
+    parser.add_argument(
         "--rules", default=None, metavar="ID[,ID...]",
         help="comma-separated rule ids to run (default: all enabled "
              "by [tool.staticcheck] in pyproject.toml)")
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit")
+        help="print the rule catalogue (sorted by id) and exit")
     parser.add_argument(
         "--no-config", action="store_true",
         help="ignore [tool.staticcheck] (run every rule, no excludes)")
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="incremental cache file (default: .staticcheck-cache.json "
+             "next to pyproject.toml)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental fact cache for this run")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="ratchet baseline to tolerate (default: "
+             "staticcheck-baseline.json next to pyproject.toml, when "
+             "present)")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0")
 
 
 def _select_rules(args, config: CheckConfig):
@@ -63,29 +88,78 @@ def _select_rules(args, config: CheckConfig):
     return rules, None
 
 
+def _cache_path(args, config: CheckConfig) -> Optional[str]:
+    if args.no_cache:
+        return None
+    if args.cache:
+        return args.cache
+    if config.root:
+        from repro.staticcheck.cache import CACHE_BASENAME
+        return os.path.join(config.root, CACHE_BASENAME)
+    return None
+
+
+def _baseline_path(args, config: CheckConfig,
+                   for_update: bool = False) -> Optional[str]:
+    if args.baseline:
+        return args.baseline
+    if config.root:
+        from repro.staticcheck.baseline import BASELINE_BASENAME
+        candidate = os.path.join(config.root, BASELINE_BASENAME)
+        if for_update or os.path.exists(candidate):
+            return candidate
+    return None
+
+
 def run_from_args(args) -> int:
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id:15s} {rule.title}")
+            print(f"{rule.id:17s} {rule.title}")
         return 0
     paths: List[str] = list(args.paths) or ["src/repro"]
+    # Usage errors are checked before any analysis or config work: a
+    # typo'd path must not silently analyze nothing.
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
     config = CheckConfig() if args.no_config else load_config(paths[0])
     rules, error = _select_rules(args, config)
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    import os
 
-    for path in paths:
-        if not os.path.exists(path):
-            print(f"error: no such path: {path}", file=sys.stderr)
+    if args.update_baseline:
+        from repro.staticcheck.baseline import write_baseline
+        target = _baseline_path(args, config, for_update=True)
+        if target is None:
+            print("error: no baseline path (pass --baseline FILE or "
+                  "run inside a pyproject tree)", file=sys.stderr)
             return 2
+        result = run_check(paths, rules=rules, exclude=config.exclude,
+                           config_root=config.root,
+                           cache_path=_cache_path(args, config))
+        count = write_baseline(target, result.findings,
+                               config_root=config.root)
+        print(f"wrote {count} finding(s) to {target}")
+        return 0
+
     result = run_check(paths, rules=rules, exclude=config.exclude,
-                       config_root=config.root)
-    if args.format == "json":
-        print(render_json(result))
-    else:
-        print(render_text(result))
+                       config_root=config.root,
+                       cache_path=_cache_path(args, config),
+                       baseline_path=_baseline_path(args, config))
+    report = (render_json(result) if args.format == "json"
+              else render_text(result))
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(report)
     return result.exit_code
 
 

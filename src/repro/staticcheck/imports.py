@@ -1,7 +1,7 @@
 """Import-graph builder for the layering and cycle rules.
 
-Builds a *module-level* directed graph of ``repro.*`` imports from the
-parsed ASTs.  Each edge records where it came from and whether it is
+Builds a *module-level* directed graph of ``repro.*`` imports.  Each
+edge records where it came from and whether it is
 
 * **lazy** — the import statement sits inside a function body, so it
   executes at call time, not at module import time; lazy edges are the
@@ -10,6 +10,15 @@ parsed ASTs.  Each edge records where it came from and whether it is
   enforcement, and
 * **type-only** — inside an ``if TYPE_CHECKING:`` block, erased at
   runtime, likewise excluded.
+
+Since the two-phase engine landed, collection and resolution are
+split: phase 1 records unresolved :class:`~repro.staticcheck.facts.
+RawImport` statements per file (cacheable, context-free), and this
+module resolves them against the run's *known module set* in phase 2 —
+``from repro.curves import kernels`` depends on the submodule
+``repro.curves.kernels`` when one exists in the run, else on the
+package ``__init__`` that re-exports the name.  The AST-level
+``module_edges``/``project_edges`` entry points remain for direct use.
 
 The layer map mirrors the package DAG documented in DESIGN.md §1; a
 package may import its own layer or below, never above.  New top-level
@@ -20,11 +29,24 @@ importing them upward.
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+)
 
-from repro.staticcheck.engine import ModuleInfo
+from repro.staticcheck.facts import (
+    ProjectFacts,
+    RawImport,
+    collect_raw_imports,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.engine import ModuleInfo
 
 #: Layer ranks of the top-level components of ``repro``.  An import
 #: from rank r to rank r' is legal iff r' <= r.  Kept in one place so
@@ -92,82 +114,78 @@ def layer_of(module: str) -> int:
     return PACKAGE_LAYERS.get(package_of(module), DEFAULT_LAYER)
 
 
-def _is_type_checking_test(test: ast.AST) -> bool:
-    if isinstance(test, ast.Name):
-        return test.id == "TYPE_CHECKING"
-    if isinstance(test, ast.Attribute):
-        return test.attr == "TYPE_CHECKING"
-    return False
-
-
-def _resolve_from(node: ast.ImportFrom, source_module: str,
+def _from_targets(raw: RawImport, source_module: str,
                   known: Set[str]) -> List[str]:
     """Targets of a ``from X import a, b`` statement.
 
-    ``from repro.curves import kernels`` depends on the *submodule*
-    ``repro.curves.kernels`` when one exists, else on the package
-    ``__init__`` that re-exports the name.  Relative imports resolve
-    against the source module's location.
+    Relative imports resolve against the source module's location; one
+    level strips the module's own name, further levels strip enclosing
+    packages.
     """
-    if node.level:
+    if raw.level:
         parts = source_module.split(".")
-        # one level strips the module's own name; further levels strip
-        # enclosing packages
-        base_parts = parts[:-node.level] if node.level < len(parts) else []
+        base_parts = parts[:-raw.level] if raw.level < len(parts) else []
         base = ".".join(base_parts)
-        prefix = f"{base}.{node.module}" if node.module else base
+        prefix = f"{base}.{raw.module}" if raw.module else base
     else:
-        prefix = node.module or ""
+        prefix = raw.module
     if not prefix or not (prefix == "repro" or prefix.startswith("repro.")):
         return []
     targets: List[str] = []
-    for alias in node.names:
-        candidate = f"{prefix}.{alias.name}"
+    for name in raw.names:
+        candidate = f"{prefix}.{name}"
         targets.append(candidate if candidate in known else prefix)
     return targets
 
 
-def module_edges(module: ModuleInfo,
-                 known: Set[str]) -> List[ImportEdge]:
-    """Every resolved ``repro.*`` import edge leaving ``module``."""
-    if module.module is None:
-        return []
+def edges_from_raw(raw_imports: Iterable[RawImport], source_module: str,
+                   path: str, known: Set[str]) -> List[ImportEdge]:
+    """Resolve one file's raw imports against the known module set."""
     edges: List[ImportEdge] = []
-    # (node, inside_function, inside_type_checking)
-    stack: List[Tuple[ast.AST, bool, bool]] = [(module.tree, False, False)]
-    while stack:
-        node, lazy, type_only = stack.pop()
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.name
-                if name == "repro" or name.startswith("repro."):
-                    edges.append(ImportEdge(
-                        source=module.module, target=name,
-                        path=module.path, line=node.lineno,
-                        lazy=lazy, type_only=type_only))
-        elif isinstance(node, ast.ImportFrom):
-            for target in _resolve_from(node, module.module, known):
+    for raw in raw_imports:
+        if raw.kind == "import":
+            name = raw.module
+            if name == "repro" or name.startswith("repro."):
                 edges.append(ImportEdge(
-                    source=module.module, target=target,
-                    path=module.path, line=node.lineno,
-                    lazy=lazy, type_only=type_only))
-        for child in ast.iter_child_nodes(node):
-            child_lazy = lazy or isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
-            child_type_only = type_only or (
-                isinstance(node, ast.If)
-                and _is_type_checking_test(node.test)
-                and child in node.body)
-            stack.append((child, child_lazy, child_type_only))
+                    source=source_module, target=name, path=path,
+                    line=raw.line, lazy=raw.lazy,
+                    type_only=raw.type_only))
+        else:
+            for target in _from_targets(raw, source_module, known):
+                edges.append(ImportEdge(
+                    source=source_module, target=target, path=path,
+                    line=raw.line, lazy=raw.lazy,
+                    type_only=raw.type_only))
     edges.sort(key=lambda e: (e.line, e.target))
     return edges
 
 
-def project_edges(modules: Sequence[ModuleInfo]) -> List[ImportEdge]:
+def module_edges(module: "ModuleInfo",
+                 known: Set[str]) -> List[ImportEdge]:
+    """Every resolved ``repro.*`` import edge leaving ``module``."""
+    if module.module is None:
+        return []
+    return edges_from_raw(collect_raw_imports(module.tree),
+                          module.module, module.path, known)
+
+
+def project_edges(modules: Sequence["ModuleInfo"]) -> List[ImportEdge]:
     known = {m.module for m in modules if m.module is not None}
     edges: List[ImportEdge] = []
     for module in sorted(modules, key=lambda m: m.path):
         edges.extend(module_edges(module, known))
+    return edges
+
+
+def resolve_project_edges(project: ProjectFacts) -> List[ImportEdge]:
+    """Phase-2 resolution: every edge in the merged fact base."""
+    known = set(project.known_modules)
+    edges: List[ImportEdge] = []
+    for facts in project.files:
+        if facts.module is None:
+            continue
+        edges.extend(edges_from_raw(facts.imports, facts.module,
+                                    facts.path, known))
     return edges
 
 

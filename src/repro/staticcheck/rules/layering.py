@@ -21,24 +21,24 @@ names (``BACKENDS``, ``get_kernel``, …).  Unlike ``LAY-UPWARD``,
 deferred imports are *not* exempt — reaching into block internals from
 a function body is still a boundary breach; only erased
 ``TYPE_CHECKING`` imports pass.
+
+All three are phase-2 passes: they consume the resolved edge list the
+merged :class:`~repro.staticcheck.facts.ProjectFacts` derives from the
+cached per-file raw imports, so a warm run enforces layering without
+re-parsing a single file.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
-from repro.staticcheck.engine import (
-    Finding,
-    ModuleInfo,
-    ProjectRule,
-    register,
-)
+from repro.staticcheck.engine import Finding, ProjectRule, register
+from repro.staticcheck.facts import ProjectFacts
 from repro.staticcheck.imports import (
     build_graph,
     find_cycles,
     layer_of,
     package_of,
-    project_edges,
 )
 
 
@@ -47,10 +47,9 @@ class UpwardImportRule(ProjectRule):
     id = "LAY-UPWARD"
     title = "lower layer importing a higher layer"
 
-    def check_project(self,
-                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+    def check_project(self, project: ProjectFacts) -> Iterable[Finding]:
         findings: List[Finding] = []
-        for edge in project_edges(modules):
+        for edge in project.edges():
             if not edge.runtime:
                 continue
             source_layer = layer_of(edge.source)
@@ -91,10 +90,9 @@ class KernelBoundaryRule(ProjectRule):
     id = "LAY-KERNEL"
     title = "engine layer importing curve-kernel internals"
 
-    def check_project(self,
-                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+    def check_project(self, project: ProjectFacts) -> Iterable[Finding]:
         findings: List[Finding] = []
-        for edge in project_edges(modules):
+        for edge in project.edges():
             if edge.type_only or edge.target not in KERNEL_MODULES:
                 continue
             if package_of(edge.source) not in KERNEL_SEALED_PACKAGES:
@@ -115,20 +113,19 @@ class ImportCycleRule(ProjectRule):
     id = "LAY-CYCLE"
     title = "module-level import cycle"
 
-    def check_project(self,
-                      modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+    def check_project(self, project: ProjectFacts) -> Iterable[Finding]:
         findings: List[Finding] = []
-        edges = [e for e in project_edges(modules) if e.runtime]
+        edges = [e for e in project.edges() if e.runtime]
         graph = build_graph(edges)
-        by_module = {m.module: m for m in modules if m.module}
+        paths = {facts.module: facts.path for facts in project.files
+                 if facts.module}
         for cycle in find_cycles(graph):
-            anchor = by_module.get(cycle[0])
             # Point at the anchor's first edge into the cycle, when the
             # anchor was among the checked files.
             line = 1
-            path = anchor.path if anchor else cycle[0]
+            path = paths.get(cycle[0], cycle[0])
             members = set(cycle)
-            if anchor is not None:
+            if cycle[0] in paths:
                 for edge in edges:
                     if edge.source == cycle[0] and edge.target in members:
                         line = edge.line

@@ -1,0 +1,25 @@
+"""``SUP-UNUSED``: stale inline suppression comments.
+
+The check itself lives in the engine driver
+(:func:`repro.staticcheck.engine._suppression_pass`) because it must
+observe which directives actually absorbed a finding during the run —
+no per-module or per-project hook sees that.  This marker registers
+the id so selection, ``--list-rules``, and the catalogue tests treat
+it like any other rule.
+
+Judgment is deliberately conservative: a named directive is stale only
+when it names an unknown rule id, or when every rule it names was
+selected for this run and none fired on its line; a blanket
+``# staticcheck: ignore`` is judged only under the full rule set.  A
+directive that names ``SUP-UNUSED`` itself opts out permanently.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.engine import EnginePass, register
+
+
+@register
+class UnusedSuppressionRule(EnginePass):
+    id = "SUP-UNUSED"
+    title = "suppression comment that no longer suppresses anything"

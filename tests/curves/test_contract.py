@@ -97,7 +97,7 @@ def test_get_kernel_is_idempotent_singleton():
 
 def test_get_kernel_rejects_unknown_name():
     with pytest.raises(ValueError, match="unknown curve kernel"):
-        contract.get_kernel("fortran")
+        contract.get_kernel("fortran")  # staticcheck: ignore[REG-DANGLING-KEY]
 
 
 def test_register_kernel_requires_a_name():

@@ -1,0 +1,10 @@
+"""Bad example: blocking sleep on the event loop (ASYNC-BLOCKING)."""
+# staticcheck: module=repro.serve.fixture_async_blocking
+
+import time
+
+
+async def handle_request(payload):
+    # Stalls every in-flight request on this loop, not just ours.
+    time.sleep(0.05)
+    return payload

@@ -1,0 +1,15 @@
+"""Bad example: loop/thread shared mutation, no lock (ASYNC-SHARED-MUT)."""
+# staticcheck: module=repro.serve.fixture_async_shared_mut
+
+
+class DepthGauge:
+    def __init__(self):
+        self.depth = 0
+
+    async def admit(self):
+        # Mutated on the event loop ...
+        self.depth += 1
+
+    def release_from_worker(self):
+        # ... and from shard worker threads, with no lock on either side.
+        self.depth -= 1

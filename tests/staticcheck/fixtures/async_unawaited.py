@@ -1,0 +1,12 @@
+"""Bad example: coroutine called as a statement (ASYNC-UNAWAITED)."""
+# staticcheck: module=repro.serve.fixture_async_unawaited
+
+
+async def refresh_shard_map(server):
+    server.ring = server.build_ring()
+
+
+async def handle_admin(server):
+    # The coroutine object is created and dropped; the body never runs.
+    refresh_shard_map(server)
+    return "ok"

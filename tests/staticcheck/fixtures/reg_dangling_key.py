@@ -1,0 +1,13 @@
+"""Bad example: ordering lookup nobody registered (REG-DANGLING-KEY)."""
+
+from repro.pipeline.ordering import get_ordering, register_ordering
+
+
+@register_ordering("fixture_real")
+def _fixture_policy(nets, timing):
+    return list(nets)
+
+
+def pick_policy():
+    # Typo'd key: raises MerlinInputError at runtime.
+    return get_ordering("fixture_missing")

@@ -1,0 +1,7 @@
+"""Bad example, half 1: metric catalogue (REG-DEAD-METRIC).
+
+``EMITTED_ONLY`` is emitted by ``reader.py`` but read by nothing."""
+# staticcheck: module=repro.instrument.names
+
+EMITTED_ONLY = "fixture.emitted_only"
+USED_OK = "fixture.used"

@@ -1,0 +1,7 @@
+"""Bad example, half 2: emits both metrics, reads only one."""
+
+
+def run(recorder, metric):
+    recorder.incr(metric.EMITTED_ONLY)
+    recorder.incr(metric.USED_OK)
+    return recorder.report()["counters"]["fixture.used"]

@@ -1,0 +1,11 @@
+"""Bad example: fault spec naming a ghost site (REG-UNKNOWN-SITE)."""
+
+from repro.resilience.faults import FaultSpec, fault_point
+
+
+def guarded_step():
+    fault_point("fixture.real")
+
+
+# The glob matches no fault_point(...) site, so it can never fire.
+CHAOS_PLAN = FaultSpec(site="fixture.bogus.*", kind="error")

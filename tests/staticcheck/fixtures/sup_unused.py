@@ -1,0 +1,3 @@
+"""Bad example: a suppression with nothing to suppress (SUP-UNUSED)."""
+
+ANSWER = 42  # staticcheck: ignore[DET-RANDOM]

@@ -1,0 +1,99 @@
+"""Ratchet baseline: absorb committed findings, fail on new ones."""
+
+import json
+import os
+
+from repro.cli import main as cli_main
+from repro.staticcheck import run_check
+from repro.staticcheck.baseline import Baseline, write_baseline
+from repro.staticcheck.engine import Finding
+
+_VIOLATION = "import random\n\n\ndef jitter(x):\n    return x + random.random()\n"
+
+
+def test_baselined_findings_are_absorbed(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(_VIOLATION)
+    dirty = run_check([str(target)])
+    assert dirty.exit_code == 1
+    baseline = str(tmp_path / "baseline.json")
+    write_baseline(baseline, dirty.findings, config_root=str(tmp_path))
+    clean = run_check([str(target)], config_root=str(tmp_path),
+                      baseline_path=baseline)
+    assert clean.findings == []
+    assert clean.baselined == len(dirty.findings)
+    assert clean.exit_code == 0
+
+
+def test_new_findings_still_fail_under_a_baseline(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(_VIOLATION)
+    baseline = str(tmp_path / "baseline.json")
+    write_baseline(baseline, run_check([str(target)]).findings,
+                   config_root=str(tmp_path))
+    # A second, different violation appears: the ratchet must catch it.
+    target.write_text(_VIOLATION + "\n\nBY_ID = {id(o): o for o in []}\n")
+    result = run_check([str(target)], config_root=str(tmp_path),
+                       baseline_path=baseline)
+    assert [f.rule_id for f in result.findings] == ["DET-ID-HASH"]
+    assert result.baselined == 1
+    assert result.exit_code == 1
+
+
+def test_matching_is_multiset_not_set():
+    baseline = Baseline.load("/nonexistent")
+    findings = [Finding("a.py", 1, 0, "X", "m"),
+                Finding("a.py", 9, 0, "X", "m")]
+    kept, absorbed = baseline.filter(findings)
+    assert (len(kept), absorbed) == (2, 0)
+    one = Baseline(__import__("collections").Counter({("X", "a.py", "m"): 1}))
+    kept, absorbed = one.filter(findings)
+    # Identical rule/path/message at two lines: only one is tolerated.
+    assert (len(kept), absorbed) == (1, 1)
+
+
+def test_baseline_paths_are_config_root_relative(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(_VIOLATION)
+    baseline = str(tmp_path / "baseline.json")
+    write_baseline(baseline, run_check([str(target)]).findings,
+                   config_root=str(tmp_path))
+    document = json.loads(open(baseline, encoding="utf-8").read())
+    assert [entry["path"] for entry in document["findings"]] == ["bad.py"]
+
+
+def test_missing_or_malformed_baseline_fails_closed(tmp_path):
+    broken = tmp_path / "baseline.json"
+    broken.write_text("[]")
+    findings = [Finding("a.py", 1, 0, "X", "m")]
+    kept, absorbed = Baseline.load(str(broken)).filter(findings)
+    assert (len(kept), absorbed) == (1, 0)
+
+
+def test_update_baseline_cli_round_trip(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text("[tool.staticcheck]\n")
+    target = tmp_path / "bad.py"
+    target.write_text(_VIOLATION)
+    assert cli_main(["check", "--update-baseline", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 1 finding(s)" in out
+    # The follow-up run picks the default baseline up and passes.
+    assert cli_main(["check", str(target)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_repo_baseline_matches_the_live_findings():
+    # The committed ratchet must stay exact: no unused entries (they
+    # would mask future regressions) and no uncovered findings.
+    repo = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    baseline_path = os.path.join(repo, "staticcheck-baseline.json")
+    document = json.loads(open(baseline_path, encoding="utf-8").read())
+    result = run_check([os.path.join(repo, "src", "repro"),
+                        os.path.join(repo, "tests")],
+                       exclude=("tests/staticcheck/fixtures/*",
+                                "tests/staticcheck/fixtures/*/*"),
+                       config_root=repo,
+                       baseline_path=baseline_path)
+    assert result.findings == []
+    assert result.baselined == len(document["findings"])

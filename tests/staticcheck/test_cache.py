@@ -1,0 +1,100 @@
+"""Incremental cache: hit accounting, invalidation, replay fidelity."""
+
+import json
+import os
+
+from repro.staticcheck import run_check
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+_VIOLATION = "import random\n\n\ndef jitter(x):\n    return x + random.random()\n"
+_CLEAN = "def double(x):\n    return 2 * x\n"
+
+
+def _tree(tmp_path, count=3):
+    paths = []
+    for index in range(count):
+        target = tmp_path / f"mod_{index}.py"
+        target.write_text(_CLEAN)
+        paths.append(str(target))
+    cache = str(tmp_path / "cache.json")
+    return str(tmp_path), cache
+
+
+def test_cold_run_is_all_misses_warm_run_all_hits(tmp_path):
+    root, cache = _tree(tmp_path)
+    cold = run_check([root], cache_path=cache)
+    assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+    warm = run_check([root], cache_path=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+
+
+def test_warm_run_reparses_only_the_changed_file(tmp_path):
+    root, cache = _tree(tmp_path)
+    run_check([root], cache_path=cache)
+    (tmp_path / "mod_1.py").write_text(_VIOLATION)
+    warm = run_check([root], cache_path=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (2, 1)
+    assert [f.rule_id for f in warm.findings] == ["DET-RANDOM"]
+    assert warm.findings[0].path.endswith("mod_1.py")
+
+
+def test_findings_replay_identically_from_cache(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text(_VIOLATION)
+    cache = str(tmp_path / "cache.json")
+    cold = run_check([str(target)], cache_path=cache)
+    warm = run_check([str(target)], cache_path=cache)
+    assert warm.cache_hits == 1
+    assert warm.findings == cold.findings
+    assert warm.files_checked == cold.files_checked
+
+
+def test_rule_set_drift_invalidates_every_entry(tmp_path):
+    root, cache = _tree(tmp_path)
+    run_check([root], cache_path=cache)
+    document = json.loads(open(cache, encoding="utf-8").read())
+    document["module_rules"] = ["SOMETHING-ELSE"]
+    with open(cache, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    warm = run_check([root], cache_path=cache)
+    assert (warm.cache_hits, warm.cache_misses) == (0, 3)
+
+
+def test_corrupt_cache_degrades_to_a_cold_run(tmp_path):
+    root, cache = _tree(tmp_path)
+    with open(cache, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    result = run_check([root], cache_path=cache)
+    assert (result.cache_hits, result.cache_misses) == (0, 3)
+    # ... and the broken file was replaced by a valid one.
+    assert json.loads(open(cache, encoding="utf-8").read())["files"]
+
+
+def test_cache_entries_merge_across_disjoint_runs(tmp_path):
+    root, cache = _tree(tmp_path)
+    run_check([os.path.join(root, "mod_0.py")], cache_path=cache)
+    run_check([os.path.join(root, "mod_1.py")], cache_path=cache)
+    warm = run_check([root], cache_path=cache)
+    assert warm.cache_hits == 2
+    assert warm.cache_misses == 1
+
+
+def test_suppressions_survive_the_cache_round_trip(tmp_path):
+    target = tmp_path / "quiet.py"
+    target.write_text("import random\n"
+                      "x = random.random()  # staticcheck: ignore[DET-RANDOM]\n")
+    cache = str(tmp_path / "cache.json")
+    assert run_check([str(target)], cache_path=cache).findings == []
+    warm = run_check([str(target)], cache_path=cache)
+    assert warm.cache_hits == 1
+    assert warm.findings == []
+
+
+def test_library_default_runs_without_any_cache(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_CLEAN)
+    result = run_check([str(target)])
+    assert (result.cache_hits, result.cache_misses) == (0, 1)
+    assert list(tmp_path.glob("*.json")) == []

@@ -127,9 +127,11 @@ def test_syntax_error_becomes_parse_error_finding(tmp_path):
 def test_json_schema_is_stable():
     result = run_check([fixture("num_float_eq.py")])
     document = json.loads(render_json(result))
-    assert document["version"] == 1
+    assert document["version"] == 2
     assert set(document) == {"version", "files_checked", "rules_run",
-                             "counts", "findings"}
+                             "counts", "findings", "cache", "baselined"}
+    assert set(document["cache"]) == {"hits", "misses"}
+    assert document["baselined"] == 0
     assert document["files_checked"] == 1
     assert document["counts"] == {"NUM-FLOAT-EQ": 1}
     (finding,) = document["findings"]
@@ -189,9 +191,12 @@ def test_rule_catalogue_is_complete_and_sorted():
     ids = [rule.id for rule in all_rules()]
     assert ids == sorted(ids)
     assert set(ids) == {
+        "ASYNC-BLOCKING", "ASYNC-SHARED-MUT", "ASYNC-UNAWAITED",
         "DET-RANDOM", "DET-TIME", "DET-SET-ORDER", "DET-ID-HASH",
         "POOL-CALLABLE", "POOL-RECORDER", "NUM-FLOAT-EQ",
-        "LAY-UPWARD", "LAY-CYCLE", "LAY-KERNEL", "RES-BARE-EXCEPT",
+        "LAY-UPWARD", "LAY-CYCLE", "LAY-KERNEL",
+        "REG-UNKNOWN-SITE", "REG-DEAD-METRIC", "REG-DANGLING-KEY",
+        "RES-BARE-EXCEPT", "SUP-UNUSED",
     }
     with pytest.raises(KeyError):
         get_rule("NO-SUCH-RULE")

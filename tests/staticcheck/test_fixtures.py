@@ -11,6 +11,9 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
 
 EXPECTED = [
+    ("async_blocking.py", "ASYNC-BLOCKING"),
+    ("async_shared_mut.py", "ASYNC-SHARED-MUT"),
+    ("async_unawaited.py", "ASYNC-UNAWAITED"),
     ("det_random.py", "DET-RANDOM"),
     ("det_time.py", "DET-TIME"),
     ("det_set_order.py", "DET-SET-ORDER"),
@@ -20,7 +23,10 @@ EXPECTED = [
     ("num_float_eq.py", "NUM-FLOAT-EQ"),
     ("lay_upward.py", "LAY-UPWARD"),
     ("lay_kernel.py", "LAY-KERNEL"),
+    ("reg_unknown_site.py", "REG-UNKNOWN-SITE"),
+    ("reg_dangling_key.py", "REG-DANGLING-KEY"),
     ("res_bare_except.py", "RES-BARE-EXCEPT"),
+    ("sup_unused.py", "SUP-UNUSED"),
 ]
 
 
@@ -59,6 +65,25 @@ def test_cycle_pair_trips_only_the_cycle_rule():
 
 def test_half_a_cycle_is_not_a_cycle():
     result = run_check([os.path.join(FIXTURES, "cycle", "cycle_a.py")])
+    assert result.findings == []
+
+
+def test_dead_metric_pair_trips_only_the_dead_metric_rule():
+    # Directory fixture: the catalogue override plus an out-of-tree
+    # reader, satisfying both of REG-DEAD-METRIC's presence gates.
+    result = run_check([os.path.join(FIXTURES, "reg_dead_metric")])
+    assert [f.rule_id for f in result.findings] == ["REG-DEAD-METRIC"]
+    (finding,) = result.findings
+    assert finding.path.endswith("names_catalogue.py")
+    assert "EMITTED_ONLY" in finding.message
+    assert result.exit_code == 1
+
+
+def test_dead_metric_rule_gates_on_catalogue_and_tests_presence():
+    # The catalogue alone (no out-of-tree reader in the run) must stay
+    # silent: "never read" is unknowable without the test side.
+    result = run_check([os.path.join(FIXTURES, "reg_dead_metric",
+                                     "names_catalogue.py")])
     assert result.findings == []
 
 

@@ -14,30 +14,46 @@ TESTS = os.path.join(REPO_ROOT, "tests")
 def test_shipped_tree_is_clean(capsys):
     assert cli_main(["check", SRC]) == 0
     out = capsys.readouterr().out
-    assert out.strip().endswith("files checked)")
+    assert "files checked" in out.strip().splitlines()[-1]
 
 
 def test_tests_tree_is_clean_too():
     # Same invocation CI runs: fixtures are quarantined by the
-    # [tool.staticcheck] exclude globs, everything else must be clean.
+    # [tool.staticcheck] exclude globs, everything else must be clean
+    # (or absorbed by the committed ratchet baseline).
     assert cli_main(["check", "--format", "json", SRC, TESTS]) == 0
 
 
 def test_ci_json_invocation_shape(capsys):
     assert cli_main(["check", "--format", "json", SRC]) == 0
     document = json.loads(capsys.readouterr().out)
-    assert document["version"] == 1
+    assert document["version"] == 2
     assert document["findings"] == []
     assert document["files_checked"] > 50
-    assert len(document["rules_run"]) == 11
+    assert len(document["rules_run"]) == 18
+    assert set(document["cache"]) == {"hits", "misses"}
 
 
-def test_list_rules(capsys):
+def test_warm_cli_rerun_reports_cache_hits(capsys):
+    # Two identical CLI runs back to back: the second must replay from
+    # the content-hash cache rather than re-parsing the tree.
+    assert cli_main(["check", "--format", "json", SRC]) == 0
+    capsys.readouterr()
+    assert cli_main(["check", "--format", "json", SRC]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["cache"]["hits"] == document["files_checked"]
+    assert document["cache"]["misses"] == 0
+
+
+def test_list_rules_is_sorted(capsys):
     assert cli_main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("DET-RANDOM", "POOL-CALLABLE", "NUM-FLOAT-EQ",
-                    "LAY-UPWARD", "LAY-CYCLE"):
+                    "LAY-UPWARD", "LAY-CYCLE", "ASYNC-BLOCKING",
+                    "REG-DEAD-METRIC", "SUP-UNUSED"):
         assert rule_id in out
+    listed = [line.split()[0] for line in out.strip().splitlines()]
+    assert listed == sorted(listed)
 
 
 def test_unknown_rule_is_a_usage_error(capsys):
@@ -47,4 +63,23 @@ def test_unknown_rule_is_a_usage_error(capsys):
 
 def test_missing_path_is_a_usage_error(capsys):
     assert cli_main(["check", os.path.join(REPO_ROOT, "no-such-dir")]) == 2
-    assert "no such path" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "no such path" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_output_file_written_alongside_stdout(capsys, tmp_path):
+    target = tmp_path / "report.json"
+    assert cli_main(["check", "--format", "json",
+                     "--output", str(target), SRC]) == 0
+    on_disk = json.loads(target.read_text())
+    on_stdout = json.loads(capsys.readouterr().out)
+    assert on_disk == on_stdout
+    assert on_disk["version"] == 2
+
+
+def test_output_to_unwritable_path_is_an_io_error(capsys):
+    assert cli_main(["check", "--format", "json",
+                     "--output", os.path.join(REPO_ROOT, "no-such-dir",
+                                              "report.json"), SRC]) == 2
+    assert "cannot write" in capsys.readouterr().err
