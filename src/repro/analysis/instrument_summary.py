@@ -35,6 +35,16 @@ def derived_metrics(source: Union[Recorder, Dict[str, Any], str]
       and van Ginneken bottom-up hop volume.
     * ``dp_reuse_hits_total`` — Γ-cell memo plus neighborhood-search
       reuse hits across MERLIN iterations.
+    * ``flow_runtime_total_s`` / ``merlin_*`` / ``finalize_time_fraction``
+      / ``kernel_span_mix_*`` — whole-run profile: where the wall-clock
+      went and how far the cost converged.
+    * ``service_*`` / ``serve_*`` / ``cache_flushed_entries_total`` —
+      serving-tier health: admission pressure, job latency, breaker
+      opens, supervisor probe/restart activity, brownout and drain
+      accounting.
+    * ``pipeline_*`` — timing-closure loop health: cache leverage,
+      degradation/failure fractions, rollback rate, best delay reached,
+      and write-ahead journal activity.
     """
     rec = coerce_recorder(source)
     counters = rec.counters
@@ -90,7 +100,120 @@ def derived_metrics(source: Union[Recorder, Dict[str, Any], str]
     hops = counters.get(metric.VG_HOPS, 0)
     if hops:
         out["vg_hops_total"] = float(hops)
+
+    _derive_run_metrics(rec, counters, out)
+    _derive_serving_metrics(rec, counters, out)
+    _derive_pipeline_metrics(rec, counters, out)
     return out
+
+
+def _span_seconds(rec: Recorder, leaf: str) -> float:
+    """Total seconds of every span whose path ends in ``leaf``."""
+    return sum(s.total_s for path, s in rec.spans.items()
+               if path.split("/")[-1] == leaf)
+
+
+def _derive_run_metrics(rec: Recorder, counters: Dict[str, int],
+                        out: Dict[str, float]) -> None:
+    """Whole-run summaries: flow runtime, convergence, span profile."""
+    flow = rec.series.get(metric.FLOW_RUNTIME_S)
+    if flow is not None:
+        out["flow_runtime_total_s"] = flow.total
+
+    cost = rec.series.get(metric.MERLIN_ITERATION_COST)
+    if cost is not None and cost.count:
+        out["merlin_final_cost"] = cost.last
+        out["merlin_cost_improvement"] = cost.maximum - cost.last
+
+    merlin_s = _span_seconds(rec, metric.SPAN_MERLIN)
+    finalize_s = _span_seconds(rec, metric.SPAN_FINALIZE)
+    if merlin_s > 0:
+        out["finalize_time_fraction"] = finalize_s / merlin_s
+
+    join_s = _span_seconds(rec, metric.SPAN_KERNEL_JOIN)
+    buffer_s = _span_seconds(rec, metric.SPAN_KERNEL_BUFFER)
+    relocate_s = _span_seconds(rec, metric.SPAN_KERNEL_RELOCATE)
+    prune_s = _span_seconds(rec, metric.SPAN_KERNEL_PRUNE)
+    kernel_s = join_s + buffer_s + relocate_s + prune_s
+    if kernel_s > 0:
+        out["kernel_span_mix_join"] = join_s / kernel_s
+        out["kernel_span_mix_buffer"] = buffer_s / kernel_s
+        out["kernel_span_mix_relocate"] = relocate_s / kernel_s
+        out["kernel_span_mix_prune"] = prune_s / kernel_s
+
+
+def _derive_serving_metrics(rec: Recorder, counters: Dict[str, int],
+                            out: Dict[str, float]) -> None:
+    """Service/serving-tier health: admission, jobs, self-healing."""
+    requests = counters.get(metric.SERVICE_REQUESTS, 0)
+    jobs = counters.get(metric.SERVICE_JOBS, 0)
+    if requests:
+        out["service_jobs_per_request"] = jobs / requests
+    job_latency = rec.series.get(metric.SERVICE_JOB_LATENCY_S)
+    if job_latency is not None and job_latency.count:
+        out["service_job_latency_mean_s"] = job_latency.mean
+
+    admitted = counters.get(metric.SERVE_ADMITTED, 0)
+    rejected = counters.get(metric.SERVE_REJECTED, 0)
+    if admitted + rejected:
+        out["serve_rejection_rate"] = rejected / (admitted + rejected)
+    depth = rec.series.get(metric.SERVE_QUEUE_DEPTH)
+    if depth is not None and depth.count:
+        out["serve_queue_depth_peak"] = depth.maximum
+
+    probes = counters.get(metric.SERVE_SUPERVISOR_PROBES, 0)
+    probe_failures = counters.get(metric.SERVE_SUPERVISOR_PROBE_FAILURES, 0)
+    if probes:
+        out["serve_probe_failure_rate"] = probe_failures / probes
+    opens = counters.get(metric.SERVE_BREAKER_OPENS, 0)
+    if opens:
+        out["serve_breaker_opens_total"] = float(opens)
+        out["serve_breaker_short_circuits_total"] = float(
+            counters.get(metric.SERVE_BREAKER_SHORT_CIRCUITS, 0))
+    restarts = counters.get(metric.SERVE_SUPERVISOR_RESTARTS, 0)
+    if restarts:
+        out["serve_supervisor_restarts_total"] = float(restarts)
+    browned = counters.get(metric.SERVE_BROWNOUT_ADMITTED, 0)
+    if counters.get(metric.SERVE_BROWNOUT_ENTERED, 0) or browned:
+        out["serve_brownout_admitted_total"] = float(browned)
+    refusals = counters.get(metric.SERVE_DRAIN_REFUSALS, 0)
+    if refusals:
+        out["serve_drain_refusals_total"] = float(refusals)
+    flushed = counters.get(metric.RESILIENCE_CACHE_FLUSHED, 0)
+    if flushed:
+        out["cache_flushed_entries_total"] = float(flushed)
+
+
+def _derive_pipeline_metrics(rec: Recorder, counters: Dict[str, int],
+                             out: Dict[str, float]) -> None:
+    """Timing-closure loop health: progress, fallbacks, the journal."""
+    iterations = counters.get(metric.PIPELINE_ITERATIONS, 0)
+    reoptimized = counters.get(metric.PIPELINE_NETS_REOPTIMIZED, 0)
+    if reoptimized:
+        hits = counters.get(metric.PIPELINE_CACHE_HITS, 0)
+        out["pipeline_cache_hit_rate"] = hits / reoptimized
+        out["pipeline_degraded_fraction"] = \
+            counters.get(metric.PIPELINE_NETS_DEGRADED, 0) / reoptimized
+    failed = counters.get(metric.PIPELINE_NETS_FAILED, 0)
+    if reoptimized + failed:
+        out["pipeline_failed_fraction"] = failed / (reoptimized + failed)
+    if iterations:
+        out["pipeline_rollback_rate"] = \
+            counters.get(metric.PIPELINE_ROLLBACKS, 0) / iterations
+    delay = rec.series.get(metric.PIPELINE_ITERATION_DELAY_PS)
+    if delay is not None and delay.count:
+        out["pipeline_best_delay_ps"] = delay.minimum
+    wall = rec.series.get(metric.PIPELINE_ITERATION_WALL_S)
+    if wall is not None and wall.count:
+        out["pipeline_iteration_wall_mean_s"] = wall.mean
+
+    records = counters.get(metric.PIPELINE_JOURNAL_RECORDS, 0)
+    replayed = counters.get(metric.PIPELINE_JOURNAL_REPLAYED, 0)
+    torn = counters.get(metric.PIPELINE_JOURNAL_TORN, 0)
+    if records or replayed or torn:
+        out["pipeline_journal_records_total"] = float(records)
+        out["pipeline_journal_replayed_total"] = float(replayed)
+        out["pipeline_journal_torn_total"] = float(torn)
 
 
 def summarize_report(source: Union[Recorder, Dict[str, Any], str]) -> str:

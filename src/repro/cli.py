@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
                          [--replay FILE] [--out BENCH_serve.json]
     merlin-repro closure --circuit b9 [--order criticality] [--batch N]
                          [--json] [--list-orders]
+                         [--journal FILE | --resume FILE]
     merlin-repro check [--format json] [--rules ID,...] [paths ...]
     merlin-repro bench [--quick] [--backends LIST] [--baseline FILE]
                        [--profile N [--profile-format json]]
@@ -131,6 +132,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persist results as JSON under DIR (off by "
                             "default)")
+    p_srv.add_argument("--brownout-after", type=int, default=None,
+                       metavar="N",
+                       help="(--async) after N consecutive saturated "
+                            "admissions, downgrade optimize jobs to the "
+                            "fast degraded preset instead of answering "
+                            "429 (default: off)")
+    p_srv.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="max seconds to wait for in-flight requests "
+                            "when SIGTERM starts a graceful drain "
+                            "(default 30)")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -228,6 +240,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cls.add_argument("--json", action="store_true",
                        help="print the full closure report as JSON "
                             "instead of the iteration table")
+    p_cls.add_argument("--journal", metavar="FILE", default=None,
+                       help="write a crash-safe write-ahead journal: "
+                            "each completed iteration is checksummed "
+                            "and fsync'd to FILE")
+    p_cls.add_argument("--resume", metavar="FILE", default=None,
+                       help="resume a crashed run from its journal: "
+                            "completed iterations replay bit-identically "
+                            "and the loop continues from the crash point")
 
     p_chk = sub.add_parser(
         "check", help="run the domain static analyzer "
@@ -438,11 +458,14 @@ def _run_serve(args) -> int:
                     queue_limit=args.queue_limit,
                     cache_capacity=args.cache_capacity,
                     disk_dir=args.cache_dir,
-                    service_factory=service_factory)
+                    service_factory=service_factory,
+                    brownout_after=args.brownout_after,
+                    drain_timeout_s=args.drain_timeout)
         return 0
     service = service_factory(ResultCache(capacity=args.cache_capacity,
                                           disk_dir=args.cache_dir))
-    serve(args.host, args.port, service=service, verbose=args.verbose)
+    serve(args.host, args.port, service=service, verbose=args.verbose,
+          drain_timeout_s=args.drain_timeout)
     return 0
 
 
@@ -567,6 +590,12 @@ def _run_closure(args) -> int:
     if args.backend is not None:
         config = config.with_(backend=args.backend)
     workers = _resolve_cli_workers(args.workers, config)
+    if args.journal is not None and args.resume is not None:
+        print("error: --journal and --resume are mutually exclusive "
+              "(--resume reuses and extends its own journal)",
+              file=sys.stderr)
+        return 2
+    journal_path = args.resume if args.resume is not None else args.journal
     try:
         closure = ClosureConfig(
             order=args.order,
@@ -576,7 +605,8 @@ def _run_closure(args) -> int:
             max_iterations=args.max_iterations,
         )
         result = run_closure(netlist, config=config, closure=closure,
-                             workers=workers)
+                             workers=workers, journal_path=journal_path,
+                             resume=args.resume is not None)
     except MerlinInputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -11,12 +11,16 @@ sites drift out of sync with the envelope; the client centralizes:
   subclasses, a 429 raises ``AdmissionRejectedError``, and so on —
   reconstructed from the wire record, so callers catch typed errors);
 * bounded retries with seeded, jittered exponential backoff on 429/503
-  and transport failures, honoring ``Retry-After``.
+  and transport failures, honoring ``Retry-After``;
+* optional hedged requests (:class:`HedgePolicy`) — a second, identical
+  attempt after the observed p95 latency for idempotent endpoints,
+  first answer wins, extra load capped by a hedge budget.
 """
 
 from repro.client.http import (
     ClientResponse,
     ClientTransportError,
+    HedgePolicy,
     MerlinClient,
     RetryPolicy,
 )
@@ -24,6 +28,7 @@ from repro.client.http import (
 __all__ = [
     "ClientResponse",
     "ClientTransportError",
+    "HedgePolicy",
     "MerlinClient",
     "RetryPolicy",
 ]

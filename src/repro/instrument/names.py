@@ -86,6 +86,24 @@ SERVE_ADMITTED = "serve.admitted"
 SERVE_REJECTED = "serve.rejected"
 #: Requests rerouted inline because their shard could not take them.
 SERVE_SHARD_FAILOVERS = "serve.shard.failovers"
+#: Circuit-breaker trips (closed/half-open -> open), summed over shards.
+SERVE_BREAKER_OPENS = "serve.breaker.opens"
+#: Dispatches skipped because the shard's breaker was open.
+SERVE_BREAKER_SHORT_CIRCUITS = "serve.breaker.short_circuits"
+#: Supervisor health probes dispatched (all shards).
+SERVE_SUPERVISOR_PROBES = "serve.supervisor.probes"
+#: Supervisor health probes that failed (fed the shard's breaker).
+SERVE_SUPERVISOR_PROBE_FAILURES = "serve.supervisor.probe_failures"
+#: Shard worker pools restarted by the supervisor after a breaker trip.
+SERVE_SUPERVISOR_RESTARTS = "serve.supervisor.restarts"
+#: Times sustained admission pressure flipped the front end into
+#: brownout (degrade-don't-reject) mode.
+SERVE_BROWNOUT_ENTERED = "serve.brownout.entered"
+#: Would-be-429 requests admitted as fast-preset (degraded) work while
+#: browned out.
+SERVE_BROWNOUT_ADMITTED = "serve.brownout.admitted"
+#: Requests refused with 503 because the front end was draining.
+SERVE_DRAIN_REFUSALS = "serve.drain.refusals"
 
 #: Timing-closure pipeline iterations executed (STA -> pick -> optimize).
 PIPELINE_ITERATIONS = "pipeline.iterations"
@@ -99,6 +117,12 @@ PIPELINE_NETS_DEGRADED = "pipeline.nets.degraded"
 PIPELINE_NETS_FAILED = "pipeline.nets.failed"
 #: Iterations whose re-timing got *worse* and were rolled back.
 PIPELINE_ROLLBACKS = "pipeline.rollbacks"
+#: Records appended to the write-ahead closure journal (header included).
+PIPELINE_JOURNAL_RECORDS = "pipeline.journal.records"
+#: Completed iterations restored from a journal by ``--resume``.
+PIPELINE_JOURNAL_REPLAYED = "pipeline.journal.replayed"
+#: Torn/corrupt final journal lines discarded by the reader.
+PIPELINE_JOURNAL_TORN = "pipeline.journal.torn"
 
 #: Faults fired by the injection framework (chaos runs only; zero in
 #: production unless a FaultPlan is active).
@@ -111,6 +135,8 @@ RESILIENCE_JOB_RETRIES = "resilience.job.retries"
 RESILIENCE_CACHE_CORRUPTIONS = "resilience.cache.corruptions"
 #: Corrupt disk-cache entries moved aside into the quarantine directory.
 RESILIENCE_CACHE_QUARANTINED = "resilience.cache.quarantined"
+#: Memory-tier entries written to the disk tier by a shutdown flush.
+RESILIENCE_CACHE_FLUSHED = "resilience.cache.flushed"
 #: Jobs answered by a degradation-ladder fallback (valid but degraded).
 RESILIENCE_DEGRADED = "resilience.degraded"
 #: Ladder rungs abandoned because their compute budget ran out.

@@ -9,6 +9,8 @@ Public surface:
   ``learned``).
 * :mod:`repro.pipeline.learned` — the stdlib-only trained ranker and
   its ``--train`` entry point.
+* :mod:`repro.pipeline.journal` — the write-ahead closure journal that
+  makes ``run_closure`` crash-safe and resumable.
 """
 
 from repro.pipeline.closure import (
@@ -16,6 +18,11 @@ from repro.pipeline.closure import (
     ClosureIteration,
     ClosureResult,
     run_closure,
+)
+from repro.pipeline.journal import (
+    ClosureJournal,
+    JournalReplay,
+    read_journal,
 )
 from repro.pipeline.ordering import (
     ORDERING_POLICIES,
@@ -30,6 +37,9 @@ __all__ = [
     "ClosureIteration",
     "ClosureResult",
     "run_closure",
+    "ClosureJournal",
+    "JournalReplay",
+    "read_journal",
     "ORDERING_POLICIES",
     "OrderingPolicy",
     "available_orderings",

@@ -38,6 +38,7 @@ recorder is active, ``pipeline.*`` counters/series plus one
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -50,9 +51,10 @@ from repro.netlist.flow_runner import _to_routing_net
 from repro.netlist.netlist import CircuitNet, Netlist
 from repro.netlist.placement import place_netlist
 from repro.netlist.sta import NetDelayFn, StaResult, run_sta, star_net_delay
+from repro.pipeline.journal import ClosureJournal, read_journal
 from repro.pipeline.ordering import build_context, get_ordering
 from repro.resilience.errors import MerlinInputError
-from repro.routing.export import tree_signature, tree_to_dict
+from repro.routing.export import tree_from_dict, tree_signature, tree_to_dict
 from repro.routing.tree import RoutingTree
 
 
@@ -203,35 +205,51 @@ def run_closure(netlist: Netlist,
                 closure: Optional[ClosureConfig] = None,
                 service: Optional[Any] = None,
                 workers: Optional[int] = None,
-                recorder: Optional[Recorder] = None) -> ClosureResult:
+                recorder: Optional[Recorder] = None,
+                journal_path: Optional[str] = None,
+                resume: bool = False) -> ClosureResult:
     """Close timing on ``netlist``; see the module docstring.
 
     Pass a long-lived :class:`~repro.service.OptimizationService` to
     share its warm pool and cache across closure runs (its tech/config
     then apply, and ``tech``/``config``/``workers`` must be omitted);
     otherwise a transient service is spun up and shut down here.
+
+    ``journal_path`` makes the run crash-safe: each completed iteration
+    is sealed into a write-ahead journal
+    (:mod:`repro.pipeline.journal`).  With ``resume=True`` the journal
+    is replayed first — completed iterations are *restored*
+    bit-identically, not recomputed — and the loop continues from the
+    crash point.  Resuming refuses a journal written for a different
+    circuit, policy, closure config, or technology.
     """
     from repro.service.engine import OptimizationService
     from repro.tech.technology import default_technology
 
     closure = closure or ClosureConfig()
     policy = get_ordering(closure.order)
+    if resume and journal_path is None:
+        raise MerlinInputError("resume=True requires journal_path")
     if service is not None:
         if tech is not None or config is not None or workers is not None:
             raise MerlinInputError(
                 "run_closure(service=...) uses the service's own "
                 "tech/config/workers; configure the service instead")
         return _run(netlist, service, closure, policy,
-                    recorder or active_recorder())
+                    recorder or active_recorder(),
+                    journal_path=journal_path, resume=resume)
     tech = tech or default_technology()
     with OptimizationService(tech=tech, config=config,
                              workers=workers) as transient:
         return _run(netlist, transient, closure, policy,
-                    recorder or active_recorder())
+                    recorder or active_recorder(),
+                    journal_path=journal_path, resume=resume)
 
 
 def _run(netlist: Netlist, service: Any, closure: ClosureConfig,
-         policy: Any, rec: Recorder) -> ClosureResult:
+         policy: Any, rec: Recorder,
+         journal_path: Optional[str] = None,
+         resume: bool = False) -> ClosureResult:
     start = time.perf_counter()
     tech = service.tech
     place_netlist(netlist)
@@ -262,7 +280,97 @@ def _run(netlist: Netlist, service: Any, closure: ClosureConfig,
     sta = run_sta(netlist, tech, net_delay=net_delay, target=target)
     previous_delay = sta.critical_delay
 
-    for index in range(closure.max_iterations):
+    journal: Optional[ClosureJournal] = None
+    start_index = 0
+    if journal_path is not None:
+        header = _journal_header(netlist, service, closure, policy,
+                                 estimate.critical_delay, target)
+        journal_rec = rec if rec.enabled else None
+        if resume:
+            replay = read_journal(journal_path, journal_rec)
+            _check_journal_header(journal_path, replay.header, header)
+            if replay.records:
+                state = replay.records[-1]["state"]
+                delays.update({name: [float(d) for d in arr]
+                               for name, arr in state["delays"].items()})
+                buffer_areas.update({name: float(area) for name, area
+                                     in state["buffer_areas"].items()})
+                degraded.update(state["degraded"])
+                attempted.update({name: tuple(vec) for name, vec
+                                  in state["attempted"].items()})
+                previous_delay = float(state["previous_delay"])
+                # The restored delays drive the re-timing, so this STA
+                # lands exactly where the journaled iteration left it.
+                sta = run_sta(netlist, tech, net_delay=net_delay,
+                              target=target)
+                trees.update(_restore_trees(netlist, state["trees"],
+                                            sta, tech))
+                iterations.extend(ClosureIteration(**record["report"])
+                                  for record in replay.records)
+                start_index = replay.last_index + 1
+                converged = replay.stopped
+                if rec.enabled:
+                    rec.incr(metric.PIPELINE_JOURNAL_REPLAYED,
+                             len(replay.records))
+            journal = ClosureJournal.resume(journal_path, replay,
+                                            journal_rec)
+        else:
+            journal = ClosureJournal.create(journal_path, header,
+                                            journal_rec)
+
+    try:
+        if not converged:
+            converged = _iterate(
+                netlist, service, closure, policy, rec, tech, target,
+                eligible, delays, trees, buffer_areas, degraded, attempted,
+                net_delay, iterations, journal, start_index,
+                previous_delay, lambda: run_sta(
+                    netlist, tech, net_delay=net_delay, target=target))
+    finally:
+        if journal is not None:
+            journal.close()
+
+    sta = run_sta(netlist, tech, net_delay=net_delay, target=target)
+    gate_area = netlist.gate_area
+    buffer_area = sum(buffer_areas.values())
+    return ClosureResult(
+        circuit=netlist.name,
+        policy=policy.name,
+        estimate_delay=estimate.critical_delay,
+        target=target,
+        converged=converged,
+        iterations=iterations,
+        critical_delay=sta.critical_delay,
+        worst_slack=sta.worst_slack,
+        gate_area=gate_area,
+        buffer_area=buffer_area,
+        total_area=gate_area + buffer_area,
+        nets_optimized=len(trees),
+        runtime_s=time.perf_counter() - start,
+        sta=sta,
+        trees=trees,
+        degraded_nets=degraded,
+    )
+
+
+def _iterate(netlist: Netlist, service: Any, closure: ClosureConfig,
+             policy: Any, rec: Recorder, tech: Any, target: float,
+             eligible: List[CircuitNet],
+             delays: Dict[str, List[float]],
+             trees: Dict[str, RoutingTree],
+             buffer_areas: Dict[str, float],
+             degraded: Set[str],
+             attempted: Dict[str, Tuple[float, ...]],
+             net_delay: NetDelayFn,
+             iterations: List[ClosureIteration],
+             journal: Optional[ClosureJournal],
+             start_index: int, previous_delay: float,
+             retime: Any) -> bool:
+    """The STA -> rank -> optimize -> re-time loop (state mutated in
+    place); returns the converged flag."""
+    converged = False
+    sta = retime()
+    for index in range(start_index, closure.max_iterations):
         iter_start = time.perf_counter()
         candidates = [net for net in eligible
                       if _is_stale(net, sta, attempted, closure)]
@@ -316,10 +424,12 @@ def _run(netlist: Netlist, service: Any, closure: ClosureConfig,
                 + closure.improvement_tolerance_ps:
             # Worse circuit after this round: discard its trees and stop
             # (keeps the critical delay monotone non-increasing, i.e.
-            # the worst slack monotone non-decreasing).
-            delays, trees, buffer_areas, degraded = \
-                dict(snapshot[0]), dict(snapshot[1]), dict(snapshot[2]), \
-                set(snapshot[3])
+            # the worst slack monotone non-decreasing).  Restored in
+            # place — the caller's net_delay closure shares these dicts.
+            delays.clear(), delays.update(snapshot[0])
+            trees.clear(), trees.update(snapshot[1])
+            buffer_areas.clear(), buffer_areas.update(snapshot[2])
+            degraded.clear(), degraded.update(snapshot[3])
             sta = run_sta(netlist, tech, net_delay=net_delay, target=target)
             rolled_back = True
             if rec.enabled:
@@ -359,35 +469,84 @@ def _run(netlist: Netlist, service: Any, closure: ClosureConfig,
                       worst_slack=sta.worst_slack,
                       cache_hits=cache_hits,
                       rolled_back=rolled_back)
-        if rolled_back:
+        # A rolled-back round stops closure (monotonicity); a
+        # full-coverage round with no measurable gain is the fixpoint.
+        stop = rolled_back or (len(selected) == len(candidates)
+                               and improvement
+                               <= closure.improvement_tolerance_ps)
+        if journal is not None:
+            journal.append_iteration(
+                index,
+                _journal_state(delays, trees, buffer_areas, degraded,
+                               attempted, previous_delay),
+                report.to_dict(), stop)
+        if stop:
             converged = True
             break
-        if len(selected) == len(candidates) \
-                and improvement <= closure.improvement_tolerance_ps:
-            # Full coverage, no measurable gain: the fixpoint.
-            converged = True
-            break
+    return converged
 
-    gate_area = netlist.gate_area
-    buffer_area = sum(buffer_areas.values())
-    return ClosureResult(
-        circuit=netlist.name,
-        policy=policy.name,
-        estimate_delay=estimate.critical_delay,
-        target=target,
-        converged=converged,
-        iterations=iterations,
-        critical_delay=sta.critical_delay,
-        worst_slack=sta.worst_slack,
-        gate_area=gate_area,
-        buffer_area=buffer_area,
-        total_area=gate_area + buffer_area,
-        nets_optimized=len(trees),
-        runtime_s=time.perf_counter() - start,
-        sta=sta,
-        trees=trees,
-        degraded_nets=degraded,
-    )
+
+def _journal_header(netlist: Netlist, service: Any,
+                    closure: ClosureConfig, policy: Any,
+                    estimate_delay: float, target: float
+                    ) -> Dict[str, Any]:
+    """The run identity a journal pins (and ``--resume`` checks)."""
+    return {
+        "circuit": netlist.name,
+        "nets": len(netlist.nets),
+        "policy": policy.name,
+        "closure": dataclasses.asdict(closure),
+        "tech": service.tech_fingerprint,
+        "estimate_delay": estimate_delay,
+        "target": target,
+    }
+
+
+def _check_journal_header(path: str, stored: Dict[str, Any],
+                          expected: Dict[str, Any]) -> None:
+    """Refuse to resume a journal written for a different run."""
+    for key in ("circuit", "policy", "closure", "tech"):
+        if stored.get(key) != expected[key]:
+            raise MerlinInputError(
+                f"journal {path!r} was written for a different run: "
+                f"{key} is {stored.get(key)!r} there but "
+                f"{expected[key]!r} here")
+
+
+def _journal_state(delays: Dict[str, List[float]],
+                   trees: Dict[str, RoutingTree],
+                   buffer_areas: Dict[str, float],
+                   degraded: Set[str],
+                   attempted: Dict[str, Tuple[float, ...]],
+                   previous_delay: float) -> Dict[str, Any]:
+    """JSON snapshot of the loop state at the end of one iteration."""
+    return {
+        "delays": {name: list(arr)
+                   for name, arr in sorted(delays.items())},
+        "trees": {name: tree_to_dict(tree)
+                  for name, tree in sorted(trees.items())},
+        "buffer_areas": dict(sorted(buffer_areas.items())),
+        "degraded": sorted(degraded),
+        "attempted": {name: list(vec)
+                      for name, vec in sorted(attempted.items())},
+        "previous_delay": previous_delay,
+    }
+
+
+def _restore_trees(netlist: Netlist, tree_dicts: Dict[str, Any],
+                   sta: StaResult, tech: Any) -> Dict[str, RoutingTree]:
+    """Rebuild the accepted tree set from journaled ``tree_to_dict``
+    exports (placement is deterministic, so frames line up exactly)."""
+    by_name = {net.name: net for net in netlist.nets}
+    trees: Dict[str, RoutingTree] = {}
+    for name, data in tree_dicts.items():
+        circuit_net = by_name.get(name)
+        if circuit_net is None:
+            raise MerlinInputError(
+                f"journaled tree for unknown net {name!r}")
+        routing_net = _to_routing_net(netlist, circuit_net, sta)
+        trees[name] = tree_from_dict(data, routing_net, tech.buffers)
+    return trees
 
 
 def _is_stale(net: CircuitNet, sta: StaResult,

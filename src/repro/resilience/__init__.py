@@ -26,6 +26,7 @@ from repro.resilience.degrade import (
     LADDER_RUNGS,
     LadderOutcome,
     coarsened_config,
+    run_brownout,
     run_with_ladder,
 )
 from repro.resilience.errors import (
@@ -38,15 +39,22 @@ from repro.resilience.errors import (
     ErrorRecord,
     FaultInjected,
     JobTimeoutError,
+    JournalCorruptError,
     MalformedNetError,
     MerlinError,
     MerlinInputError,
     MerlinInternalError,
     MerlinResourceError,
     PoolUnavailableError,
+    ServerDrainingError,
     WorkerCrashError,
     classify,
     error_from_record,
+)
+from repro.resilience.supervise import (
+    BreakerConfig,
+    CircuitBreaker,
+    ShardSupervisor,
 )
 from repro.resilience.faults import (
     FaultPlan,
@@ -64,6 +72,7 @@ __all__ = [
     "LADDER_RUNGS",
     "LadderOutcome",
     "coarsened_config",
+    "run_brownout",
     "run_with_ladder",
     "CATEGORIES",
     "CATEGORY_INPUT",
@@ -74,15 +83,20 @@ __all__ = [
     "ErrorRecord",
     "FaultInjected",
     "JobTimeoutError",
+    "JournalCorruptError",
     "MalformedNetError",
     "MerlinError",
     "MerlinInputError",
     "MerlinInternalError",
     "MerlinResourceError",
     "PoolUnavailableError",
+    "ServerDrainingError",
     "WorkerCrashError",
     "classify",
     "error_from_record",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ShardSupervisor",
     "FaultPlan",
     "FaultSpec",
     "active_fault_plan",

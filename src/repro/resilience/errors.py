@@ -122,6 +122,17 @@ class UnknownPathError(MerlinInputError):
     """The request named an HTTP path no front end serves (404)."""
 
 
+class ServerDrainingError(MerlinResourceError):
+    """The front end is draining for shutdown: in-flight requests run to
+    completion but new work is refused with **503** + ``Retry-After``
+    (another replica — or the same one after restart — should take it)."""
+
+
+class JournalCorruptError(MerlinInputError):
+    """A closure journal failed its checksum/structure check somewhere
+    other than the torn final line; resuming over it would lose state."""
+
+
 class FaultInjected(MerlinInternalError):
     """An error deliberately raised by the fault-injection framework."""
 
@@ -134,7 +145,8 @@ _KINDS: Dict[str, Type[MerlinError]] = {
         MerlinInternalError, MalformedNetError, JobTimeoutError,
         WorkerCrashError, PoolUnavailableError, BudgetExhaustedError,
         CacheCorruptionError, AdmissionRejectedError,
-        ShardUnavailableError, UnknownPathError, FaultInjected,
+        ShardUnavailableError, UnknownPathError, ServerDrainingError,
+        JournalCorruptError, FaultInjected,
     )
 }
 

@@ -1,0 +1,347 @@
+"""Circuit breakers and the shard supervisor for the serving tier.
+
+A :class:`CircuitBreaker` guards one ``OptimizationService`` shard in
+the async front end.  It is a classic three-state machine:
+
+* ``closed`` — traffic flows; failures are tallied in a rolling window.
+  The breaker opens on either *consecutive* failures
+  (``failure_threshold``) or a windowed *error rate*
+  (``error_rate_threshold`` over at least ``min_window`` outcomes).
+* ``open`` — traffic is short-circuited (the ring walk skips the shard
+  without paying a dispatch).  After ``open_duration_s`` — stretched by
+  a seeded jitter so a fleet of breakers does not probe in lockstep —
+  the next ``allow()`` flips to half-open.
+* ``half_open`` — up to ``half_open_probes`` trial calls are let
+  through.  One success closes the breaker; one failure re-opens it
+  with a fresh (re-jittered) deadline.
+
+Everything is deterministic and testable: the clock is injectable, the
+jitter comes from a ``random.Random`` seeded per breaker, and every
+state transition is kept in a bounded history that ``snapshot()``
+exposes for ``/v1/healthz``, ``/v1/stats``, and the chaos suite.
+
+:class:`ShardSupervisor` is the active half: an asyncio task owned by
+the async server that health-probes every shard each tick (through the
+same breaker accounting as real traffic, which is what drives the
+open → half-open → closed recovery without needing a client request)
+and restarts the broken shard's worker pool — with seeded, jittered
+backoff — whenever its breaker trips open.
+
+Layering: rank 1, next to the fault framework; the supervisor reaches
+the serving layer only through the probe/restart callables handed to
+it, so this module imports neither ``repro.serve`` nor
+``repro.service``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Deque, Dict, List, Optional
+
+from repro.instrument import names as metric
+
+__all__ = [
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ShardSupervisor",
+]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Transition history kept per breaker (enough for any test window).
+_HISTORY_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds and timing for one per-shard circuit breaker.
+
+    ``failure_threshold`` consecutive failures — or an error rate of at
+    least ``error_rate_threshold`` across a rolling ``window`` once
+    ``min_window`` outcomes have been seen — trip the breaker open.  It
+    stays open for ``open_duration_s`` seconds, jittered by up to
+    ``jitter`` (fraction, seeded) so recovery probes de-synchronize.
+    """
+
+    failure_threshold: int = 3
+    error_rate_threshold: float = 0.5
+    window: int = 16
+    min_window: int = 8
+    open_duration_s: float = 1.0
+    half_open_probes: int = 1
+    jitter: float = 0.25
+    seed: int = 1999
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 < self.error_rate_threshold <= 1.0:
+            raise ValueError("error_rate_threshold must be in (0, 1]")
+        if self.window < 1 or self.min_window < 1:
+            raise ValueError("window sizes must be >= 1")
+        if self.min_window > self.window:
+            raise ValueError("min_window cannot exceed window")
+        if self.open_duration_s <= 0.0:
+            raise ValueError("open_duration_s must be positive")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker with an injectable clock.
+
+    ``allow()`` is called before dispatching to the shard (by both the
+    request path and the supervisor's probe); ``record_success()`` /
+    ``record_failure()`` report the outcome.  The breaker never raises
+    — policy belongs to the caller.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None, *,
+                 name: str = "", clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self.config = config or BreakerConfig()
+        self.name = name
+        self._clock = clock
+        # Per-breaker stream: the name folds into the seed so shards
+        # jitter differently but reproducibly.
+        self._rng = random.Random(f"{self.config.seed}:{name}")
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._window: Deque[bool] = deque(maxlen=self.config.window)
+        self._opened_until = 0.0
+        self._trial_budget = 0
+        self._opens = 0
+        self._transitions: Deque[Dict[str, Any]] = deque(
+            maxlen=_HISTORY_LIMIT)
+
+    # -- state machine -------------------------------------------------
+
+    def allow(self) -> bool:
+        """True if a call may be dispatched to the shard right now."""
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                if self._clock() < self._opened_until:
+                    return False
+                self._transition(STATE_HALF_OPEN)
+                self._trial_budget = self.config.half_open_probes
+            # half-open: hand out the bounded trial budget.
+            if self._trial_budget > 0:
+                self._trial_budget -= 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._window.append(True)
+            self._consecutive_failures = 0
+            if self._state != STATE_CLOSED:
+                self._transition(STATE_CLOSED)
+                self._window.clear()
+                self._trial_budget = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._window.append(False)
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN:
+                self._open()
+            elif self._state == STATE_CLOSED and self._should_open():
+                self._open()
+
+    def _should_open(self) -> bool:
+        if self._consecutive_failures >= self.config.failure_threshold:
+            return True
+        if len(self._window) >= self.config.min_window:
+            failures = sum(1 for ok in self._window if not ok)
+            return failures / len(self._window) \
+                >= self.config.error_rate_threshold
+        return False
+
+    def _open(self) -> None:
+        # Called under the lock.  Jitter stretches the open window by a
+        # seeded factor in [1, 1 + jitter) so breakers de-synchronize.
+        stretch = 1.0 + self._rng.random() * self.config.jitter
+        self._opened_until = self._clock() \
+            + self.config.open_duration_s * stretch
+        self._opens += 1
+        self._transition(STATE_OPEN)
+        self._trial_budget = 0
+
+    def _transition(self, to_state: str) -> None:
+        self._transitions.append({
+            "from": self._state, "to": to_state, "at": self._clock()})
+        self._state = to_state
+
+    # -- observability -------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        """Times this breaker has tripped open (its *generation*)."""
+        with self._lock:
+            return self._opens
+
+    def states_seen(self) -> List[str]:
+        """The state sequence so far (initial closed + each transition)."""
+        with self._lock:
+            return [STATE_CLOSED] + [t["to"] for t in self._transitions]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready view for healthz/stats and the chaos suite."""
+        with self._lock:
+            window = list(self._window)
+            failures = sum(1 for ok in window if not ok)
+            return {
+                "name": self.name,
+                "state": self._state,
+                "opens": self._opens,
+                "consecutive_failures": self._consecutive_failures,
+                "window": len(window),
+                "window_failures": failures,
+                "error_rate": (failures / len(window)) if window else 0.0,
+                "transitions": [dict(t) for t in self._transitions],
+            }
+
+
+class ShardSupervisor:
+    """Asyncio task that probes shards and restarts broken pools.
+
+    Each tick the supervisor walks every shard whose breaker admits a
+    call (``allow()`` — which is also what flips an expired open
+    breaker to half-open) and runs ``probe(index)``; the outcome feeds
+    the same breaker as real traffic, so a recovered shard closes its
+    breaker without waiting for a client request.  Whenever a breaker's
+    open-generation advances, the shard's pool is restarted once via
+    ``restart(index)`` after a seeded, jittered backoff.
+
+    ``record(metric_name, value)`` receives the supervisor counters
+    (keyed by the ``serve.supervisor.*`` names from
+    :mod:`repro.instrument.names`) so the owner can forward them to its
+    recorder under whatever locking it already uses.
+    """
+
+    def __init__(self, breakers: List[CircuitBreaker], *,
+                 probe: Callable[[int], Awaitable[None]],
+                 restart: Callable[[int], Awaitable[None]],
+                 interval_s: float = 0.25,
+                 backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 1.0,
+                 seed: int = 1999,
+                 record: Optional[Callable[[str, int], None]] = None
+                 ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        self.breakers = breakers
+        self._probe = probe
+        self._restart = restart
+        self.interval_s = interval_s
+        self._backoff_base_s = backoff_base_s
+        self._backoff_max_s = backoff_max_s
+        self._rng = random.Random(seed)
+        self._record = record or (lambda name, value=1: None)
+        self._restarted_generation = [0] * len(breakers)
+        self._restart_streak = [0] * len(breakers)
+        self._task: Optional["asyncio.Task[None]"] = None
+        self.probes = 0
+        self.probe_failures = 0
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def launch(self) -> None:
+        """Spawn the supervision loop on the running event loop.
+
+        (Named ``launch`` — not ``start`` — because it is synchronous:
+        the serving tier's ``start``s are coroutines, and a same-named
+        sync method invites exactly the discarded-coroutine confusion
+        the ASYNC-UNAWAITED rule polices.)
+        """
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="merlin-shard-supervisor")
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    # -- the loop ------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.tick()
+
+    async def tick(self) -> None:
+        """One supervision pass (public so tests can drive it directly)."""
+        for index, breaker in enumerate(self.breakers):
+            await self._restart_if_tripped(index, breaker)
+            if not breaker.allow():
+                continue
+            self.probes += 1
+            self._record(metric.SERVE_SUPERVISOR_PROBES, 1)
+            try:
+                await self._probe(index)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                breaker.record_failure()
+                self.probe_failures += 1
+                self._record(metric.SERVE_SUPERVISOR_PROBE_FAILURES, 1)
+            else:
+                breaker.record_success()
+                self._restart_streak[index] = 0
+
+    async def _restart_if_tripped(self, index: int,
+                                  breaker: CircuitBreaker) -> None:
+        generation = breaker.opens
+        if generation <= self._restarted_generation[index]:
+            return
+        self._restarted_generation[index] = generation
+        streak = self._restart_streak[index]
+        self._restart_streak[index] = streak + 1
+        # Exponential backoff with seeded jitter, capped; the streak
+        # resets on the first healthy probe after recovery.
+        backoff = min(self._backoff_base_s * (2.0 ** streak),
+                      self._backoff_max_s)
+        backoff *= 1.0 + self._rng.random() * 0.25
+        await asyncio.sleep(backoff)
+        await self._restart(index)
+        self.restarts += 1
+        self._record(metric.SERVE_SUPERVISOR_RESTARTS, 1)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "running": self.running,
+            "interval_s": self.interval_s,
+            "probes": self.probes,
+            "probe_failures": self.probe_failures,
+            "restarts": self.restarts,
+        }

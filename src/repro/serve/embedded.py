@@ -40,12 +40,18 @@ class EmbeddedAsyncServer:
                  = None, shards: int = 2,
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
                  host: str = "127.0.0.1",
+                 breaker_config: Any = None,
+                 supervise_interval_s: float = 0.25,
+                 brownout_after: Optional[int] = None,
                  **service_kwargs: Any) -> None:
         self._owns_services = services is None
         if services is None:
             services = build_shard_services(shards, **service_kwargs)
-        self.server = AsyncShardedServer(services, host=host,
-                                         queue_limit=queue_limit)
+        self.server = AsyncShardedServer(
+            services, host=host, queue_limit=queue_limit,
+            breaker_config=breaker_config,
+            supervise_interval_s=supervise_interval_s,
+            brownout_after=brownout_after)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._host = host
@@ -85,6 +91,13 @@ class EmbeddedAsyncServer:
             self._thread.join(timeout=30)
         self.server.close(close_services=self._owns_services)
 
+    def drain(self, timeout_s: float = 30.0) -> dict:
+        """Run the server's graceful drain from the caller's thread."""
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout_s=timeout_s), self._loop)
+        return future.result(timeout=timeout_s + 30)
+
     @property
     def base_url(self) -> str:
         return f"http://{self._host}:{self.server.port}"
@@ -118,6 +131,11 @@ class EmbeddedSyncServer:
             self._thread.join(timeout=30)
         if self._owns_service:
             self.service.close()
+
+    def drain(self, timeout_s: float = 30.0) -> dict:
+        """Graceful drain (503 new work, wait in-flight, flush cache)."""
+        assert self._server is not None
+        return self._server.drain(timeout_s=timeout_s)
 
     @property
     def base_url(self) -> str:

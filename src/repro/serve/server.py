@@ -35,6 +35,24 @@ Architecture — one event loop, N worker-pool shards::
   ``serve.shard.failovers``); only when every shard is down does the
   client see a **503** ``shard_unavailable``.  The ``serve.admission``
   fault site forces 429s for chaos drills.
+* **Self-healing**: every shard sits behind a
+  :class:`~repro.resilience.supervise.CircuitBreaker` — repeated
+  failures trip it open and the ring walk skips the shard without even
+  paying a dispatch (``serve.breaker.short_circuits``) — while a
+  :class:`~repro.resilience.supervise.ShardSupervisor` task health-
+  probes every shard, feeds the same breakers, and restarts a tripped
+  shard's worker pool with jittered backoff
+  (``serve.supervisor.restarts``).  ``GET /v1/healthz`` reports the
+  per-shard breaker state; ``GET /v1/stats`` carries full snapshots.
+* **Brownout**: with ``brownout_after`` set, sustained admission
+  saturation flips the gate into brownout — would-be-429 optimize
+  requests are admitted but downgraded to the fast preset through the
+  degradation ladder (``degraded: true`` in the envelope, never
+  cached), up to a hard cap of twice the queue limit.
+* **Graceful drain**: :meth:`AsyncShardedServer.drain` (SIGTERM under
+  :func:`serve_async`) finishes in-flight work, refuses new requests
+  with **503** + ``Retry-After``, and flushes shard memory caches to
+  the shared disk tier before the listener closes.
 
 Endpoint semantics — parsing, handlers, envelopes, error bodies — come
 from :mod:`repro.service.protocol`, the same module the sync front end
@@ -49,6 +67,7 @@ import asyncio
 import hashlib
 import json
 import math
+import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
@@ -61,10 +80,17 @@ from repro.resilience.errors import (
     AdmissionRejectedError,
     FaultInjected,
     MerlinInputError,
+    ServerDrainingError,
     ShardUnavailableError,
     classify,
 )
 from repro.resilience.faults import fault_point
+from repro.resilience.supervise import (
+    STATE_CLOSED,
+    BreakerConfig,
+    CircuitBreaker,
+    ShardSupervisor,
+)
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.engine import OptimizationService
@@ -119,7 +145,10 @@ class AsyncShardedServer:
                  host: str = "127.0.0.1", port: int = 0,
                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
                  shard_threads: int = DEFAULT_SHARD_THREADS,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 breaker_config: Optional[BreakerConfig] = None,
+                 supervise_interval_s: float = 0.25,
+                 brownout_after: Optional[int] = None) -> None:
         from repro.serve.sharding import ConsistentHashRing
 
         if not services:
@@ -147,12 +176,29 @@ class AsyncShardedServer:
         self.recorder = recorder or Recorder()
         self._recorder_lock = Lock()  # executor threads record too
         self._server: Optional[asyncio.AbstractServer] = None
+        # Self-healing layer: one breaker per shard plus the probing /
+        # pool-restarting supervisor (started with the listener).
+        self.breakers = [
+            CircuitBreaker(breaker_config, name=f"shard-{i}")
+            for i in range(len(self.services))]
+        self.supervisor = ShardSupervisor(
+            self.breakers, probe=self._probe_shard,
+            restart=self._restart_shard,
+            interval_s=supervise_interval_s, record=self._record)
+        # Brownout: after `brownout_after` consecutive saturated
+        # admission decisions, optimize work is degraded to the fast
+        # preset instead of 429'd (None keeps classic reject-only).
+        self.brownout_after = brownout_after
+        self._pressure = 0
+        self._brownout = False
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port)
+        self.supervisor.launch()
 
     @property
     def port(self) -> int:
@@ -168,10 +214,31 @@ class AsyncShardedServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def drain(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Graceful shutdown: refuse new work with 503 + ``Retry-After``,
+        let in-flight requests finish (bounded by ``timeout_s``), flush
+        every shard's memory cache tier to the disk tier, stop listening.
+        Returns a small report for logs/tests."""
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while self._in_flight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        flushed = sum(service.cache.flush() for service in self.services
+                      if service.cache is not None)
+        await self.stop()
+        return {"in_flight": self._in_flight, "flushed": flushed,
+                "drained": self._in_flight == 0}
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def close(self, close_services: bool = False) -> None:
         """Tear down executors (and optionally the shard services)."""
@@ -180,6 +247,39 @@ class AsyncShardedServer:
         if close_services:
             for service in self.services:
                 service.close()
+
+    # -- supervision -----------------------------------------------------
+
+    async def _probe_shard(self, index: int) -> None:
+        """One health probe, run on the shard's own executor so a wedged
+        pool surfaces as a probe failure.  It walks the same
+        ``serve.shard`` fault gate as real traffic (a chaos-downed shard
+        must look down to the supervisor too) plus its own
+        ``serve.supervisor.probe`` site for probe-specific drills."""
+        loop = asyncio.get_running_loop()
+
+        def _probe(service: OptimizationService) -> None:
+            fault_point("serve.supervisor.probe", key=str(index))
+            fault_point("serve.shard", key=str(index))
+            service.stats()
+
+        await loop.run_in_executor(
+            self._executors[index], _probe, self.services[index])
+
+    async def _restart_shard(self, index: int) -> None:
+        """Discard the shard's worker pool; the service rebuilds it
+        lazily on the next dispatch (``OptimizationService.close`` keeps
+        the service usable — that is the restart primitive)."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.services[index].close)
+
+    def _shard_failed(self, index: int) -> None:
+        """Feed one failure to the shard's breaker; count trips."""
+        breaker = self.breakers[index]
+        before = breaker.opens
+        breaker.record_failure()
+        if breaker.opens > before:
+            self._record(metric.SERVE_BREAKER_OPENS)
 
     # -- transport ------------------------------------------------------
 
@@ -278,10 +378,10 @@ class AsyncShardedServer:
         if (method, endpoint) not in protocol.ENDPOINTS:
             return protocol.handle_unknown(path, method)
         if endpoint == "healthz":
-            return protocol.EndpointOutcome(200, {"status": "ok"})
+            return protocol.EndpointOutcome(200, self._healthz_body())
         if endpoint == "stats":
             return protocol.EndpointOutcome(200, self.stats())
-        rejected = self._admission_outcome(path)
+        rejected, browned_out = self._admission_outcome(path, endpoint)
         if rejected is not None:
             return rejected
         self._in_flight += 1
@@ -292,27 +392,74 @@ class AsyncShardedServer:
                 shard = self._route_optimize(body)
                 return await self._run_on_shard(
                     shard, lambda svc: protocol.handle_optimize(
-                        svc, body, path))
+                        svc, body, path, brownout=browned_out))
             shard = self._route_closure(body)
             return await self._run_on_shard(
                 shard, lambda svc: protocol.handle_closure(svc, body, path))
         finally:
             self._in_flight -= 1
 
+    def _healthz_body(self) -> Dict[str, Any]:
+        """Per-shard health: overall status plus each breaker snapshot.
+        The sync front end keeps the flat ``{"status": "ok"}`` body; the
+        sharded tier is where per-shard state exists to report."""
+        shards = [{"index": index, "breaker": breaker.snapshot()}
+                  for index, breaker in enumerate(self.breakers)]
+        degraded = any(s["breaker"]["state"] != STATE_CLOSED
+                       for s in shards)
+        status = "draining" if self._draining else \
+            ("degraded" if degraded else "ok")
+        return {"status": status, "draining": self._draining,
+                "brownout": self._brownout, "shards": shards,
+                "supervisor": self.supervisor.stats()}
+
     # -- admission ------------------------------------------------------
 
-    def _admission_outcome(self, path: str
-                           ) -> Optional[protocol.EndpointOutcome]:
-        reason: Optional[str] = None
+    def _admission_outcome(self, path: str, endpoint: str
+                           ) -> Tuple[Optional[protocol.EndpointOutcome],
+                                      bool]:
+        """(rejection outcome or None, admit-as-brownout flag).
+
+        Draining beats everything: new work gets 503 + ``Retry-After``.
+        Under sustained queue saturation (``brownout_after`` consecutive
+        saturated decisions) optimize requests are admitted *degraded*
+        — routed through the fast preset — up to a hard cap of twice
+        the queue limit, instead of 429'd.  Fault-injected rejections
+        stay hard 429s (chaos drills must observe rejects).
+        """
+        if self._draining:
+            self._record(metric.SERVE_DRAIN_REFUSALS)
+            record = ServerDrainingError(
+                "front end is draining for shutdown; retry elsewhere",
+                stage="serve.drain").record
+            return protocol.EndpointOutcome(
+                503, None, record,
+                retry_after_s=self._retry_after_estimate()), False
         try:
             fault_point("serve.admission", key=path)
         except FaultInjected as exc:
-            reason = f"admission rejected by injected fault: {exc}"
-        if reason is None and self._in_flight >= self.queue_limit:
-            reason = (f"request queue full ({self._in_flight} in flight, "
-                      f"limit {self.queue_limit})")
-        if reason is None:
-            return None
+            return self._reject(
+                f"admission rejected by injected fault: {exc}"), False
+        if self._in_flight < self.queue_limit:
+            self._pressure = 0
+            if self._brownout and self._in_flight <= self.queue_limit // 2:
+                self._brownout = False
+            return None, False
+        self._pressure += 1
+        if self.brownout_after is not None \
+                and self._pressure >= self.brownout_after \
+                and endpoint == "optimize":
+            if not self._brownout:
+                self._brownout = True
+                self._record(metric.SERVE_BROWNOUT_ENTERED)
+            if self._in_flight < 2 * self.queue_limit:
+                self._record(metric.SERVE_BROWNOUT_ADMITTED)
+                return None, True
+        return self._reject(
+            f"request queue full ({self._in_flight} in flight, "
+            f"limit {self.queue_limit})"), False
+
+    def _reject(self, reason: str) -> protocol.EndpointOutcome:
         self._record(metric.SERVE_REJECTED)
         record = AdmissionRejectedError(
             reason, stage="serve.admission").record
@@ -362,18 +509,39 @@ class AsyncShardedServer:
         loop = asyncio.get_running_loop()
         for step in range(len(self.services)):
             index = (shard + step) % len(self.services)
+            breaker = self.breakers[index]
+            if not breaker.allow():
+                # Open breaker: skip the shard without paying a dispatch
+                # (the supervisor's probes, not client traffic, are what
+                # close it again).
+                self._record(metric.SERVE_BREAKER_SHORT_CIRCUITS)
+                if step == 0:
+                    self._record(metric.SERVE_SHARD_FAILOVERS)
+                continue
             try:
                 fault_point("serve.shard", key=str(index))
             except FaultInjected:
                 # Shard down: degrade to the next shard on the ring
                 # (identical answers — the engine is deterministic and
                 # the disk tier, when present, is shared).
+                self._shard_failed(index)
                 if step == 0:
                     self._record(metric.SERVE_SHARD_FAILOVERS)
                 continue
             self._record(metric.serve_shard_requests(index))
-            return await loop.run_in_executor(
-                self._executors[index], handler, self.services[index])
+            try:
+                outcome = await loop.run_in_executor(
+                    self._executors[index], handler, self.services[index])
+            except Exception:
+                self._shard_failed(index)
+                raise
+            # Handler outcomes feed the error-rate threshold: a 5xx is
+            # the shard failing the request, everything else is health.
+            if outcome.status >= 500:
+                self._shard_failed(index)
+            else:
+                breaker.record_success()
+            return outcome
         record = ShardUnavailableError(
             f"shard {shard} is down and no failover shard is available",
             stage="serve.shard").record
@@ -391,9 +559,13 @@ class AsyncShardedServer:
             "shard_count": len(self.services),
             "queue_limit": self.queue_limit,
             "in_flight": self._in_flight,
+            "draining": self._draining,
+            "brownout": self._brownout,
             "counters": report["counters"],
             "latency": report["series"],
             "shards": [service.stats() for service in self.services],
+            "breakers": [breaker.snapshot() for breaker in self.breakers],
+            "supervisor": self.supervisor.stats(),
         }
 
     def _record(self, name: str, n: int = 1) -> None:
@@ -414,24 +586,54 @@ def serve_async(host: str, port: int,
                 service_factory: Optional[Callable[[ResultCache],
                                                    OptimizationService]]
                 = None,
+                brownout_after: Optional[int] = None,
+                drain_timeout_s: float = 30.0,
                 **service_kwargs: Any) -> None:
-    """Blocking entry point behind ``merlin-repro serve --async``."""
+    """Blocking entry point behind ``merlin-repro serve --async``.
+
+    SIGTERM triggers a graceful drain (in-flight requests finish, new
+    ones get 503 + ``Retry-After``, the disk cache tier is flushed)
+    before the process exits; Ctrl-C stays an immediate stop.
+    """
     owned = services is None
     if services is None:
         services = build_shard_services(
             shards, cache_capacity=cache_capacity, disk_dir=disk_dir,
             service_factory=service_factory, **service_kwargs)
     server = AsyncShardedServer(services, host=host, port=port,
-                                queue_limit=queue_limit)
+                                queue_limit=queue_limit,
+                                brownout_after=brownout_after)
 
     async def _main() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, ValueError):
+            pass  # platforms/threads without signal support
         print(f"merlin-repro async service listening on http://{host}:"
               f"{server.port}  ({len(server.services)} shards, queue "
               f"limit {server.queue_limit}; POST /v1/optimize, "
               f"POST /v1/closure, GET /v1/stats, GET /v1/healthz; "
-              "Ctrl-C to stop)")
-        await server.serve_forever()
+              "SIGTERM drains, Ctrl-C stops)")
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        drain_task = asyncio.ensure_future(sigterm.wait())
+        done, _ = await asyncio.wait(
+            {serve_task, drain_task},
+            return_when=asyncio.FIRST_COMPLETED)
+        if drain_task in done:
+            report = await server.drain(timeout_s=drain_timeout_s)
+            print("merlin-repro async service drained "
+                  f"(flushed {report['flushed']} cache entries, "
+                  f"{report['in_flight']} request(s) abandoned)")
+        serve_task.cancel()
+        drain_task.cancel()
+        for task in (serve_task, drain_task):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
 
     try:
         asyncio.run(_main())

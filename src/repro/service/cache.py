@@ -126,6 +126,32 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def flush(self) -> int:
+        """Write every memory-tier entry missing on disk to the disk tier.
+
+        The drain path calls this before shutdown so answers computed
+        since the last disk write survive the restart.  Returns the
+        number of entries written (0 without a disk tier — the memory
+        tier alone cannot outlive the process anyway).
+        """
+        if self.disk_dir is None:
+            return 0
+        with self._lock:
+            entries = [(key, copy.deepcopy(payload))
+                       for key, payload in self._entries.items()]
+        flushed = 0
+        for key, payload in entries:
+            if os.path.exists(self._disk_path(key)):
+                continue
+            self._write_disk(key, payload)
+            flushed += 1
+        if flushed:
+            with self._lock:
+                recorder = self.recorder
+            if recorder is not None:
+                recorder.incr(metric.RESILIENCE_CACHE_FLUSHED, flushed)
+        return flushed
+
     def stats(self) -> Dict[str, Any]:
         """Counter snapshot for ``GET /stats`` and the bench harness."""
         with self._lock:

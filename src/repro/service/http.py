@@ -50,19 +50,36 @@ from __future__ import annotations
 
 import json
 import math
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.instrument import names as metric
-from repro.resilience.errors import MerlinInputError, classify
+from repro.resilience.errors import (
+    MerlinInputError,
+    ServerDrainingError,
+    classify,
+)
 from repro.service import protocol
 from repro.service.engine import OptimizationService
 from repro.service.protocol import MAX_BODY_BYTES  # noqa: F401 (re-export)
 
+#: ``Retry-After`` hint on drain refusals (seconds) — long enough for a
+#: supervisor to restart or reroute, short enough not to stall clients.
+DRAIN_RETRY_AFTER_S = 1.0
+
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one shared optimization service."""
+    """A threading HTTP server owning one shared optimization service.
+
+    Supports graceful shutdown: :meth:`drain` flips the server into
+    draining mode (new work answers **503** + ``Retry-After`` while
+    probes keep working), waits for in-flight requests to finish, and
+    flushes the service cache's memory tier to disk so nothing computed
+    since the last write is lost.
+    """
 
     #: Handler threads die with the process; no lingering shutdown waits.
     daemon_threads = True
@@ -71,6 +88,36 @@ class ServiceHTTPServer(ThreadingHTTPServer):
                  service: OptimizationService) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self.draining = False
+        self._in_flight = 0
+        self._flight_lock = threading.Lock()
+
+    # -- in-flight accounting (called from handler threads) --------------
+
+    def _enter_request(self) -> None:
+        with self._flight_lock:
+            self._in_flight += 1
+
+    def _exit_request(self) -> None:
+        with self._flight_lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._flight_lock:
+            return self._in_flight
+
+    def drain(self, timeout_s: float = 30.0) -> Dict[str, Any]:
+        """Stop accepting work, wait out in-flight requests (bounded by
+        ``timeout_s``), flush the cache; returns a drain report."""
+        self.draining = True
+        deadline = time.monotonic() + timeout_s
+        while self.in_flight > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        flushed = self.service.cache.flush() \
+            if self.service.cache is not None else 0
+        return {"in_flight": self.in_flight, "flushed": flushed,
+                "drained": self.in_flight == 0}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -88,6 +135,13 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle("POST")
 
     def _handle(self, method: str) -> None:
+        self.server._enter_request()
+        try:
+            self._handle_tracked(method)
+        finally:
+            self.server._exit_request()
+
+    def _handle_tracked(self, method: str) -> None:
         service = self.server.service
         started = time.perf_counter()
         is_v1, endpoint, is_legacy = protocol.split_path(self.path)
@@ -95,7 +149,19 @@ class _Handler(BaseHTTPRequestHandler):
             service._record(metric.SERVICE_HTTP_LEGACY_PATH)
         outcome: Optional[protocol.EndpointOutcome] = None
         body: Any = None
-        if method == "POST" and endpoint is not None:
+        if self.server.draining and method == "POST" \
+                and endpoint is not None:
+            # Probes (healthz/stats) keep answering during the drain;
+            # new *work* is refused so in-flight jobs can finish.
+            service._record(metric.SERVE_DRAIN_REFUSALS)
+            exc = ServerDrainingError(
+                "server is draining for shutdown; retry another replica",
+                stage="http")
+            record = classify(exc, stage="http")
+            outcome = protocol.EndpointOutcome(
+                protocol.status_for(record), None, record,
+                retry_after_s=DRAIN_RETRY_AFTER_S)
+        elif method == "POST" and endpoint is not None:
             try:
                 body = protocol.parse_json_bytes(self._read_raw())
             except MerlinInputError as exc:
@@ -162,11 +228,36 @@ def make_server(service: OptimizationService, host: str = "127.0.0.1",
 
 
 def serve(host: str, port: int, service: Optional[OptimizationService] = None,
-          verbose: bool = False) -> None:
-    """Blocking entry point behind ``merlin-repro serve``."""
+          verbose: bool = False, drain_timeout_s: float = 30.0) -> None:
+    """Blocking entry point behind ``merlin-repro serve``.
+
+    SIGTERM triggers a graceful drain: in-flight requests run to
+    completion (bounded by ``drain_timeout_s``), new work gets **503**
+    + ``Retry-After``, the cache's memory tier is flushed to disk, and
+    only then does the listener close.  Ctrl-C stays immediate.
+    """
     service = service or OptimizationService()
     _Handler.verbose = verbose
     server = make_server(service, host, port)
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        # serve_forever() blocks this (main) thread, so the drain runs
+        # on its own thread and then unblocks us via shutdown().
+        def _drain_and_stop() -> None:
+            report = server.drain(timeout_s=drain_timeout_s)
+            print(f"drained: in_flight={report['in_flight']} "
+                  f"flushed={report['flushed']}")
+            server.shutdown()
+
+        threading.Thread(target=_drain_and_stop,
+                         name="merlin-drain", daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread (embedded/test use): drain() is still
+        # available to the owner, only the signal hook is skipped.
+        pass
     print(f"merlin-repro service listening on http://{host}:"
           f"{server.server_port}  (POST /v1/optimize, POST /v1/closure, "
           f"GET /v1/stats, GET /v1/healthz; Ctrl-C to stop)")

@@ -226,8 +226,15 @@ def _prefixed(record: ErrorRecord, prefix: str) -> ErrorRecord:
 
 
 def handle_optimize(service: Any, body: Any,
-                    path: str = "/optimize") -> EndpointOutcome:
-    """``POST optimize``: one net through the shared service."""
+                    path: str = "/optimize",
+                    brownout: bool = False) -> EndpointOutcome:
+    """``POST optimize``: one net through the shared service.
+
+    ``brownout=True`` (set by the async front end under sustained
+    admission pressure) downgrades the job to the fast coarse preset
+    via the degradation ladder instead of running at full quality — the
+    answer is tagged ``degraded`` and never cached.
+    """
     service._record(metric.service_endpoint_requests("optimize"))
     try:
         fault_point("service.http", key=path)
@@ -245,7 +252,7 @@ def handle_optimize(service: Any, body: Any,
             400, None,
             _prefixed(classify(exc, stage="net"), "invalid net payload"))
     timeout_s = body.get("timeout_s") if isinstance(body, dict) else None
-    result = service.optimize(net, timeout_s=timeout_s)
+    result = service.optimize(net, timeout_s=timeout_s, brownout=brownout)
     if result.ok:
         return EndpointOutcome(200, result.to_dict(),
                                degraded=result.degraded)

@@ -1,0 +1,194 @@
+"""Client-side hedged requests: first-wins racing, budget, eligibility.
+
+``_request_once`` is stubbed so timing is controlled exactly — no
+server, no sockets.  The live-server behaviour (hedges against a real
+slow shard) rides the loadgen suite; this file pins the policy logic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.client import ClientResponse, HedgePolicy, MerlinClient, \
+    RetryPolicy
+from repro.client.http import ClientTransportError
+
+
+def _response(tag):
+    return ClientResponse(status=200, body={"result": {"tag": tag}},
+                          headers={})
+
+
+def _client(hedge=None, **hedge_kwargs):
+    if hedge is None:
+        hedge = HedgePolicy(delay_s=0.02, **hedge_kwargs)
+    return MerlinClient("http://test.invalid",
+                        retry=RetryPolicy(max_attempts=1), hedge=hedge)
+
+
+class ScriptedTransport:
+    """Replaces ``_request_once``: call N runs the Nth behaviour."""
+
+    def __init__(self, behaviours):
+        self.behaviours = list(behaviours)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, method, path, payload=None):
+        with self._lock:
+            index = min(self.calls, len(self.behaviours) - 1)
+            self.calls += 1
+        return self.behaviours[index]()
+
+
+def slow(seconds, then):
+    def run():
+        time.sleep(seconds)
+        if isinstance(then, Exception):
+            raise then
+        return then
+    return run
+
+
+def fast(result):
+    return slow(0.0, result)
+
+
+# ----------------------------------------------------------------------
+# Policy validation and eligibility
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    dict(delay_s=0.0),
+    dict(percentile=0.0),
+    dict(percentile=1.0),
+    dict(min_samples=0),
+    dict(window=4, min_samples=8),
+    dict(budget_fraction=0.0),
+    dict(budget_fraction=1.5),
+])
+def test_policy_rejects_nonsense(bad):
+    with pytest.raises(ValueError):
+        HedgePolicy(**bad)
+
+
+def test_only_idempotent_requests_are_hedgeable():
+    client = _client()
+    assert client._hedgeable("GET", "/v1/stats")
+    assert client._hedgeable("GET", "/v1/healthz")
+    assert client._hedgeable("POST", "/v1/optimize")
+    assert not client._hedgeable("POST", "/v1/closure")
+    without = MerlinClient("http://test.invalid")
+    assert not without._hedgeable("GET", "/v1/stats")
+
+
+def test_non_idempotent_posts_never_grow_a_hedge(monkeypatch):
+    client = _client()
+    transport = ScriptedTransport([slow(0.1, _response("only"))])
+    monkeypatch.setattr(client, "_request_once", transport)
+    response = client.request("POST", "/v1/closure", {"circuit": "b9"})
+    assert response.result["tag"] == "only"
+    assert transport.calls == 1
+    stats = client.hedge_stats()
+    assert stats["eligible"] == 0 and stats["issued"] == 0
+
+
+# ----------------------------------------------------------------------
+# The race
+# ----------------------------------------------------------------------
+
+def test_slow_primary_loses_to_the_hedge(monkeypatch):
+    client = _client()
+    release = threading.Event()
+
+    def stuck_primary():
+        release.wait(timeout=30)
+        return _response("primary")
+
+    transport = ScriptedTransport([stuck_primary,
+                                   fast(_response("hedge"))])
+    monkeypatch.setattr(client, "_request_once", transport)
+    try:
+        started = time.monotonic()
+        response = client.request("POST", "/v1/optimize", {"net": {}})
+        elapsed = time.monotonic() - started
+    finally:
+        release.set()
+    assert response.result["tag"] == "hedge"
+    assert elapsed < 5.0  # did not wait for the stuck primary
+    assert transport.calls == 2
+    stats = client.hedge_stats()
+    assert stats == {"enabled": True, "eligible": 1, "issued": 1,
+                     "wins": 1, "latency_samples": 1}
+
+
+def test_fast_primary_needs_no_hedge(monkeypatch):
+    client = _client()
+    transport = ScriptedTransport([fast(_response("primary"))])
+    monkeypatch.setattr(client, "_request_once", transport)
+    response = client.request("GET", "/v1/stats")
+    assert response.result["tag"] == "primary"
+    assert transport.calls == 1
+    stats = client.hedge_stats()
+    assert stats["eligible"] == 1 and stats["issued"] == 0
+    assert stats["wins"] == 0
+
+
+def test_failed_first_finisher_falls_back_to_the_straggler(monkeypatch):
+    client = _client()
+    boom = ClientTransportError("primary died", stage="client")
+    transport = ScriptedTransport([slow(0.05, boom),
+                                   slow(0.1, _response("hedge"))])
+    monkeypatch.setattr(client, "_request_once", transport)
+    response = client.request("GET", "/v1/stats")
+    assert response.result["tag"] == "hedge"
+    assert client.hedge_stats()["wins"] == 1
+
+
+def test_both_racers_failing_raises(monkeypatch):
+    client = _client()
+    boom = ClientTransportError("down", stage="client")
+    transport = ScriptedTransport([slow(0.05, boom), slow(0.05, boom)])
+    monkeypatch.setattr(client, "_request_once", transport)
+    with pytest.raises(ClientTransportError):
+        client.request("GET", "/v1/stats")
+
+
+# ----------------------------------------------------------------------
+# Budget and trigger delay
+# ----------------------------------------------------------------------
+
+def test_hedge_budget_caps_issued_hedges(monkeypatch):
+    # Every primary is slower than the hedge delay, but the budget
+    # (fraction 0.1, floor 1) lets only the first request grow a hedge.
+    client = _client(budget_fraction=0.1)
+    transport = ScriptedTransport(
+        [slow(0.06, _response("slow"))] * 20)
+    monkeypatch.setattr(client, "_request_once", transport)
+    for _ in range(5):
+        client.request("GET", "/v1/stats")
+    stats = client.hedge_stats()
+    assert stats["eligible"] == 5
+    assert stats["issued"] == 1  # max(1, 0.1 * 5) = 1
+    assert transport.calls == 6  # 5 primaries + the single hedge
+
+
+def test_hedge_delay_uses_the_latency_percentile_once_warm():
+    client = _client(min_samples=8, percentile=0.95)
+    assert client.hedge_delay_s() == pytest.approx(0.02)  # cold: fixed
+    samples = [0.01 * (i + 1) for i in range(10)]  # 0.01 .. 0.10
+    with client._hedge_lock:
+        client._latencies.extend(samples)
+    # rank = int(0.95 * 9) = 8 -> the 9th-smallest sample.
+    assert client.hedge_delay_s() == pytest.approx(0.09)
+
+
+def test_latency_window_is_bounded_by_the_policy():
+    client = _client(hedge=HedgePolicy(delay_s=0.02, window=16,
+                                       min_samples=8))
+    with client._hedge_lock:
+        client._latencies.extend([0.01] * 64)
+    assert client.hedge_stats()["latency_samples"] == 16

@@ -1,0 +1,196 @@
+"""The write-ahead closure journal: durability contract and resume.
+
+Covers the record format directly (checksums, torn tails, mid-file
+corruption, index continuity) and the closure integration: a journaled
+run resumed from a truncated journal must reproduce the uninterrupted
+result bit-identically.  The out-of-process SIGKILL version of that
+proof is ``test_journal_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import MerlinConfig
+from repro.instrument.recorder import Recorder
+from repro.netlist.generator import CircuitSpec, generate_circuit
+from repro.pipeline import ClosureConfig, run_closure
+from repro.pipeline.journal import (
+    JOURNAL_VERSION,
+    ClosureJournal,
+    read_journal,
+)
+from repro.resilience.errors import JournalCorruptError, MerlinInputError
+
+CFG = MerlinConfig.test_preset()
+SPEC = CircuitSpec(name="journal", primary_inputs=4, primary_outputs=3,
+                   logic_gates=10, levels=3, max_fanout=4, seed=3)
+
+HEADER = {"circuit": "journal-test", "target": 1.0}
+
+
+def _journal_with(path, iterations, stop_last=False):
+    with ClosureJournal.create(str(path), dict(HEADER)) as journal:
+        for index in range(iterations):
+            journal.append_iteration(
+                index, {"delays": {"n": [float(index)]}},
+                {"iteration": index}, stop_last and index == iterations - 1)
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Record format
+# ----------------------------------------------------------------------
+
+def test_round_trip_recovers_header_and_records(tmp_path):
+    path = _journal_with(tmp_path / "j.jsonl", 3, stop_last=True)
+    replay = read_journal(path)
+    assert replay.header["circuit"] == "journal-test"
+    assert replay.header["version"] == JOURNAL_VERSION
+    assert [r["index"] for r in replay.records] == [0, 1, 2]
+    assert replay.last_index == 2
+    assert replay.stopped is True
+    assert replay.torn == 0
+    assert replay.valid_bytes == os.path.getsize(path)
+
+
+def test_every_line_is_checksummed_canonical_json(tmp_path):
+    path = _journal_with(tmp_path / "j.jsonl", 1)
+    with open(path, "rb") as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        record = json.loads(line)
+        assert "checksum" in record and len(record["checksum"]) == 64
+
+
+def test_torn_final_line_is_discarded_not_fatal(tmp_path):
+    path = _journal_with(tmp_path / "j.jsonl", 2)
+    whole = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(whole - 10)  # tear the last record mid-write
+    recorder = Recorder()
+    replay = read_journal(path, recorder)
+    assert replay.last_index == 0  # iteration 1 was torn away
+    assert replay.torn == 1
+    assert replay.valid_bytes < whole - 10
+    assert recorder.report()["counters"]["pipeline.journal.torn"] == 1
+
+
+def test_mid_file_corruption_is_refused(tmp_path):
+    path = _journal_with(tmp_path / "j.jsonl", 3)
+    with open(path, "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    lines[1] = lines[1][:20] + b"X" + lines[1][21:]  # flip a byte
+    with open(path, "wb") as handle:
+        handle.writelines(lines)
+    with pytest.raises(JournalCorruptError, match="mid-file corruption"):
+        read_journal(path)
+
+
+def test_missing_header_and_index_gaps_are_refused(tmp_path):
+    headerless = tmp_path / "no-header.jsonl"
+    with ClosureJournal.create(str(headerless), dict(HEADER)) as journal:
+        journal.append_iteration(0, {}, {}, False)
+    with open(headerless, "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    with open(headerless, "wb") as handle:
+        handle.writelines(lines[1:])  # drop the header line
+    with pytest.raises(JournalCorruptError, match="header"):
+        read_journal(str(headerless))
+
+    gapped = _journal_with(tmp_path / "gapped.jsonl", 3)
+    with open(gapped, "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    with open(gapped, "wb") as handle:
+        handle.writelines(lines[:2] + lines[3:])  # drop iteration 1
+    with pytest.raises(JournalCorruptError, match="missing or reordered"):
+        read_journal(gapped)
+
+    with pytest.raises(MerlinInputError):
+        read_journal(str(tmp_path / "nope.jsonl"))  # unreadable path
+
+
+def test_resume_truncates_the_torn_tail_before_appending(tmp_path):
+    path = _journal_with(tmp_path / "j.jsonl", 2)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) - 10)
+    replay = read_journal(path)
+    with ClosureJournal.resume(path, replay) as journal:
+        journal.append_iteration(replay.last_index + 1, {}, {}, True)
+    healed = read_journal(path)
+    assert healed.torn == 0
+    assert [r["index"] for r in healed.records] == [0, 1]
+    assert healed.stopped
+
+
+# ----------------------------------------------------------------------
+# Closure integration: journaled + resumed runs are bit-identical
+# ----------------------------------------------------------------------
+
+def _closure_dict(outcome):
+    data = outcome.to_dict()
+    data.pop("runtime_s", None)
+    for iteration in data.get("iterations", []):
+        iteration.pop("wall_s", None)
+    return data
+
+
+def _run(journal_path=None, resume=False):
+    outcome = run_closure(generate_circuit(SPEC), config=CFG,
+                          closure=ClosureConfig(batch_size=1), workers=1,
+                          journal_path=journal_path, resume=resume)
+    return _closure_dict(outcome)
+
+
+def test_journaled_run_matches_plain_run(tmp_path):
+    plain = _run()
+    journaled = _run(journal_path=str(tmp_path / "c.jsonl"))
+    assert journaled == plain
+    replay = read_journal(str(tmp_path / "c.jsonl"))
+    assert replay.stopped
+    assert len(replay.records) == len(plain["iterations"])
+
+
+def test_resume_from_complete_journal_replays_bit_identically(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    first = _run(journal_path=path)
+    resumed = _run(journal_path=path, resume=True)
+    assert resumed == first
+
+
+def test_resume_from_truncated_journal_continues_the_run(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    full = _run(journal_path=path)
+    assert len(full["iterations"]) >= 3  # enough to crash mid-run
+
+    # Simulate a crash after iteration 0: keep header + first record.
+    with open(path, "rb") as handle:
+        lines = handle.read().splitlines(keepends=True)
+    with open(path, "wb") as handle:
+        handle.writelines(lines[:2])
+
+    resumed = _run(journal_path=path, resume=True)
+    assert resumed == full
+    # The resumed run extended the same journal back to full length.
+    assert len(read_journal(path).records) == len(full["iterations"])
+
+
+def test_resume_refuses_a_journal_for_a_different_run(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    _run(journal_path=path)
+    other = CircuitSpec(name="other", primary_inputs=4, primary_outputs=3,
+                        logic_gates=12, levels=3, max_fanout=4, seed=4)
+    with pytest.raises(MerlinInputError, match="journal"):
+        run_closure(generate_circuit(other), config=CFG,
+                    closure=ClosureConfig(batch_size=1), workers=1,
+                    journal_path=path, resume=True)
+
+
+def test_resume_requires_a_journal_path():
+    with pytest.raises(MerlinInputError):
+        run_closure(generate_circuit(SPEC), config=CFG,
+                    closure=ClosureConfig(), workers=1, resume=True)

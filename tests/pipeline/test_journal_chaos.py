@@ -1,0 +1,97 @@
+"""Crash-safety proof: SIGKILL closure mid-iteration, resume, compare.
+
+This is the out-of-process version of the resume tests in
+``test_journal.py``: a real ``merlin-repro closure --journal`` child is
+killed with SIGKILL (no atexit, no flush beyond the journal's own
+fsyncs) partway through, then ``--resume`` must replay the completed
+iterations bit-identically and finish with the same ClosureResult as an
+uninterrupted run on the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.pipeline.journal import read_journal
+
+#: 12 gates, 3 levels, 4 PIs, 3 POs; with --batch 1 this closes in ~7
+#: iterations — wide enough to kill mid-run deterministically.
+CIRCUIT = "12:3:4:3"
+
+
+def _closure_cmd(extra):
+    return [sys.executable, "-m", "repro", "closure",
+            "--circuit", CIRCUIT, "--seed", "3", "--preset", "test",
+            "--workers", "1", "--batch", "1", "--json"] + extra
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.getcwd(), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_closure_json(extra):
+    proc = subprocess.run(_closure_cmd(extra), env=_env(),
+                          capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return _strip_walltimes(json.loads(proc.stdout))
+
+
+def _strip_walltimes(report):
+    report.pop("runtime_s", None)
+    for iteration in report.get("iterations", []):
+        iteration.pop("wall_s", None)
+    return report
+
+
+def _journal_lines(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read().count(b"\n")
+    except OSError:
+        return 0
+
+
+def test_sigkill_mid_closure_then_resume_is_bit_identical(tmp_path):
+    baseline = _run_closure_json([])
+    assert len(baseline["iterations"]) >= 4  # room to die mid-run
+
+    journal = str(tmp_path / "closure.jsonl")
+    victim = subprocess.Popen(_closure_cmd(["--journal", journal]),
+                              env=_env(), stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+    try:
+        # Kill as soon as the journal holds the header plus at least one
+        # completed iteration — mid-run, with work both behind and ahead.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if _journal_lines(journal) >= 2 or victim.poll() is not None:
+                break
+            time.sleep(0.005)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+    finally:
+        if victim.poll() is None:  # pragma: no cover - cleanup
+            victim.kill()
+            victim.wait()
+    assert victim.returncode == -signal.SIGKILL  # died, did not finish
+
+    replay = read_journal(journal)  # journal is valid after the kill...
+    completed = len(replay.records)
+    assert completed < len(baseline["iterations"])  # ...and incomplete
+
+    resumed = _run_closure_json(["--resume", journal])
+    assert resumed == baseline
+
+    # The resumed run extended the same journal to the full run length.
+    healed = read_journal(journal)
+    assert healed.records[:completed] == replay.records
+    assert len(healed.records) == len(baseline["iterations"])
+    assert healed.stopped

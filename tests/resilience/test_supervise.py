@@ -1,0 +1,297 @@
+"""Circuit breaker state machine and shard supervisor, in isolation.
+
+The breaker runs against a fake clock so open windows and half-open
+probes are exact; the supervisor is driven tick-by-tick with stub
+probe/restart callables (the integration with a live sharded server is
+``tests/serve/test_self_healing.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.resilience.supervise import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    ShardSupervisor,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(clock, **overrides) -> CircuitBreaker:
+    config = BreakerConfig(**{"open_duration_s": 1.0, "jitter": 0.0,
+                              **overrides})
+    return CircuitBreaker(config, name="shard-0", clock=clock)
+
+
+# ----------------------------------------------------------------------
+# BreakerConfig validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    dict(failure_threshold=0),
+    dict(error_rate_threshold=0.0),
+    dict(error_rate_threshold=1.5),
+    dict(window=0),
+    dict(min_window=0),
+    dict(min_window=9, window=8),
+    dict(open_duration_s=0.0),
+    dict(half_open_probes=0),
+    dict(jitter=1.0),
+    dict(jitter=-0.1),
+])
+def test_config_rejects_nonsense(bad):
+    with pytest.raises(ValueError):
+        BreakerConfig(**bad)
+
+
+# ----------------------------------------------------------------------
+# State machine
+# ----------------------------------------------------------------------
+
+def test_consecutive_failures_trip_the_breaker_open():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=3)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == STATE_CLOSED and breaker.allow()
+    breaker.record_failure()  # third consecutive failure trips it
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()
+    assert breaker.opens == 1
+
+
+def test_a_success_resets_the_consecutive_count():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == STATE_CLOSED  # never 3 in a row
+
+
+def test_error_rate_trips_once_the_window_is_warm():
+    clock = FakeClock()
+    # High consecutive threshold so only the rate path can trip it.
+    breaker = _breaker(clock, failure_threshold=100, window=8,
+                       min_window=8, error_rate_threshold=0.5)
+    # Alternate success/failure: 50% error rate, window fills at 8.
+    for i in range(7):
+        (breaker.record_failure if i % 2 else breaker.record_success)()
+    assert breaker.state == STATE_CLOSED  # only 7 outcomes: under min
+    breaker.record_failure()  # 8th outcome: 4/8 = 0.5 >= threshold
+    assert breaker.state == STATE_OPEN
+
+
+def test_open_breaker_recovers_through_half_open():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=1, open_duration_s=1.0)
+    breaker.record_failure()
+    assert breaker.state == STATE_OPEN
+    assert not breaker.allow()  # clock has not moved
+    clock.advance(1.01)
+    assert breaker.allow()  # the expired deadline flips to half-open
+    assert breaker.state == STATE_HALF_OPEN
+    assert not breaker.allow()  # trial budget (1 probe) is spent
+    breaker.record_success()
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_failure_reopens_with_a_fresh_deadline():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=1, open_duration_s=1.0)
+    breaker.record_failure()
+    clock.advance(1.01)
+    assert breaker.allow()
+    breaker.record_failure()  # the trial call failed
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow()  # new deadline, not the stale one
+    clock.advance(1.01)
+    assert breaker.allow()
+
+
+def test_jitter_is_seeded_and_deterministic():
+    def openings(seed):
+        clock = FakeClock()
+        config = BreakerConfig(failure_threshold=1, open_duration_s=1.0,
+                               jitter=0.25, seed=seed)
+        breaker = CircuitBreaker(config, name="shard-0", clock=clock)
+        stamps = []
+        for _ in range(4):
+            breaker.record_failure()
+            stamps.append(breaker.snapshot()["transitions"][-1]["at"])
+            clock.advance(2.0)
+            assert breaker.allow()
+        return stamps
+
+    assert openings(7) == openings(7)  # same seed, same jitter schedule
+    # And the jitter actually varies across re-opens (not a constant).
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=1, jitter=0.25)
+    deadlines = set()
+    for _ in range(4):
+        breaker.record_failure()
+        deadlines.add(breaker._opened_until - clock.now)
+        clock.advance(2.0)
+        breaker.allow()
+    assert len(deadlines) > 1
+    assert all(1.0 <= d < 1.25 for d in deadlines)
+
+
+def test_snapshot_and_states_seen_shape():
+    clock = FakeClock()
+    breaker = _breaker(clock, failure_threshold=1)
+    breaker.record_failure()
+    clock.advance(1.01)
+    breaker.allow()
+    breaker.record_success()
+    snap = breaker.snapshot()
+    assert snap["name"] == "shard-0"
+    assert snap["state"] == STATE_CLOSED
+    assert snap["opens"] == 1
+    assert snap["consecutive_failures"] == 0
+    assert snap["window"] == 0  # cleared on close
+    assert snap["error_rate"] == 0.0
+    assert [t["to"] for t in snap["transitions"]] == [
+        STATE_OPEN, STATE_HALF_OPEN, STATE_CLOSED]
+    assert breaker.states_seen() == [
+        STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN, STATE_CLOSED]
+
+
+# ----------------------------------------------------------------------
+# ShardSupervisor (driven tick-by-tick, no event-loop timing)
+# ----------------------------------------------------------------------
+
+class StubShards:
+    """Probe/restart callables over a mutable per-shard health map."""
+
+    def __init__(self, count: int) -> None:
+        self.healthy = [True] * count
+        self.probed: list = []
+        self.restarted: list = []
+
+    async def probe(self, index: int) -> None:
+        self.probed.append(index)
+        if not self.healthy[index]:
+            raise RuntimeError(f"shard {index} is down")
+
+    async def restart(self, index: int) -> None:
+        self.restarted.append(index)
+
+
+def _supervisor(shards: StubShards, breakers, **kwargs):
+    kwargs.setdefault("backoff_base_s", 0.0)
+    kwargs.setdefault("backoff_max_s", 0.0)
+    return ShardSupervisor(breakers, probe=shards.probe,
+                           restart=shards.restart, **kwargs)
+
+
+def test_supervisor_probes_and_recovers_a_downed_shard():
+    clock = FakeClock()
+    shards = StubShards(2)
+    breakers = [_breaker(clock, failure_threshold=2,
+                         open_duration_s=1.0) for _ in range(2)]
+    supervisor = _supervisor(shards, breakers)
+
+    async def scenario():
+        shards.healthy[1] = False
+        await supervisor.tick()  # probe both; shard 1 fails (1/2)
+        await supervisor.tick()  # second failure trips breaker 1
+        assert breakers[1].state == STATE_OPEN
+        await supervisor.tick()  # open: restart fires, probe skipped
+        assert shards.restarted == [1]
+        shards.healthy[1] = True
+        clock.advance(1.5)  # past the open window
+        await supervisor.tick()  # half-open probe succeeds -> closed
+        assert breakers[1].state == STATE_CLOSED
+
+    asyncio.run(scenario())
+    assert breakers[0].state == STATE_CLOSED
+    assert supervisor.probes >= 6
+    assert supervisor.probe_failures == 2
+    assert supervisor.restarts == 1
+    stats = supervisor.stats()
+    assert stats["restarts"] == 1 and stats["running"] is False
+
+
+def test_supervisor_restarts_once_per_breaker_generation():
+    clock = FakeClock()
+    shards = StubShards(1)
+    breakers = [_breaker(clock, failure_threshold=1, open_duration_s=1.0)]
+    supervisor = _supervisor(shards, breakers)
+
+    async def scenario():
+        shards.healthy[0] = False
+        await supervisor.tick()  # failure trips (generation 1)
+        await supervisor.tick()  # restart for generation 1
+        await supervisor.tick()  # still open: no second restart
+        assert shards.restarted == [0]
+        clock.advance(1.5)
+        await supervisor.tick()  # half-open probe fails -> generation 2
+        await supervisor.tick()  # restart for generation 2
+        assert shards.restarted == [0, 0]
+
+    asyncio.run(scenario())
+    assert supervisor.restarts == 2
+
+
+def test_supervisor_counters_reach_the_record_sink():
+    clock = FakeClock()
+    recorded = []
+    shards = StubShards(1)
+    breakers = [_breaker(clock, failure_threshold=1)]
+    supervisor = _supervisor(
+        shards, breakers,
+        record=lambda name, value=1: recorded.append(name))
+
+    async def scenario():
+        await supervisor.tick()
+        shards.healthy[0] = False
+        await supervisor.tick()
+
+    asyncio.run(scenario())
+    assert "serve.supervisor.probes" in recorded
+    assert "serve.supervisor.probe_failures" in recorded
+
+
+def test_supervisor_launch_and_stop_lifecycle():
+    clock = FakeClock()
+    shards = StubShards(1)
+    supervisor = _supervisor(shards, [_breaker(clock)], interval_s=0.01)
+
+    async def scenario():
+        supervisor.launch()
+        assert supervisor.running
+        for _ in range(200):
+            await asyncio.sleep(0.005)
+            if shards.probed:
+                break
+        await supervisor.stop()
+        assert not supervisor.running
+
+    asyncio.run(scenario())
+    assert shards.probed  # the background loop actually ran ticks
+
+
+def test_supervisor_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        ShardSupervisor([], probe=None, restart=None, interval_s=0.0)

@@ -1,0 +1,242 @@
+"""Self-healing serving: breakers, supervision, brownout, healthz.
+
+The headline chaos proof mirrors the CI ``chaos-serve`` gate: a loadgen
+replay against the sharded tier with one shard crashed mid-replay must
+finish with zero client-visible failures and byte-identical answers to
+a fault-free replay, while the crashed shard's breaker walks
+closed -> open -> half-open -> closed as the supervisor probes it back.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from tests.conftest import build_net
+from repro.client import MerlinClient, RetryPolicy
+from repro.core.config import MerlinConfig
+from repro.loadgen import (
+    WorkloadSpec,
+    check_equivalence,
+    compare_signature_maps,
+    generate_workload,
+    run_workload,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, use_fault_plan
+from repro.resilience.supervise import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+)
+from repro.serve.embedded import EmbeddedAsyncServer
+from repro.serve.server import AsyncShardedServer, build_shard_services
+from repro.tech.technology import default_technology
+
+TECH = default_technology()
+CONFIG = MerlinConfig.test_preset()
+SERVICE_KWARGS = dict(tech=TECH, config=CONFIG, workers=1)
+
+#: Fast-recovery breaker for tests: two failures trip it, the open
+#: window is tens of milliseconds, and jitter stays seeded.
+TEST_BREAKER = BreakerConfig(failure_threshold=2, open_duration_s=0.05,
+                             jitter=0.25, seed=7)
+
+WORKLOAD = WorkloadSpec(requests=64, distinct_nets=4, min_sinks=2,
+                        max_sinks=3, seed=11, twin_fraction=0.25,
+                        repeat_fraction=0.4)
+
+
+def _server(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("breaker_config", TEST_BREAKER)
+    kwargs.setdefault("supervise_interval_s", 0.05)
+    return EmbeddedAsyncServer(**SERVICE_KWARGS, **kwargs)
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=1))
+    client = MerlinClient(server.base_url, **kwargs)
+    assert client.wait_healthy(timeout_s=10)
+    return client
+
+
+def _wait_all_breakers_closed(client, timeout_s=15.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        breakers = client.stats()["breakers"]
+        if all(b["state"] == STATE_CLOSED for b in breakers):
+            return breakers
+        time.sleep(0.05)
+    raise AssertionError(f"breakers never re-closed: {breakers}")
+
+
+def _contains_subsequence(haystack, needle):
+    position = 0
+    for item in haystack:
+        if item == needle[position]:
+            position += 1
+            if position == len(needle):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# The chaos proof
+# ----------------------------------------------------------------------
+
+def test_shard_crash_mid_replay_is_invisible_and_self_heals():
+    workload = generate_workload(WORKLOAD)
+
+    with _server() as clean_server:
+        clean = run_workload(clean_server.base_url, workload,
+                             concurrency=4)
+    assert clean.counts()["ok"] == len(workload)
+
+    # Same replay, but shard 0 dies for a bounded burst: enough hits to
+    # trip its breaker (and fail a few half-open probes), then recovery.
+    plan = FaultPlan(seed=5, specs=(
+        FaultSpec(site="serve.shard", kind="error", match="0", times=6),))
+    with _server() as server:
+        client = _client(server)
+        with use_fault_plan(plan):
+            chaotic = run_workload(server.base_url, workload,
+                                   concurrency=4)
+        breakers = _wait_all_breakers_closed(client)
+        stats = client.stats()
+
+    # Zero client-visible failures, and every answer byte-identical to
+    # the fault-free replay (failover shards share the deterministic
+    # engine, so which shard answered cannot matter).
+    counts = chaotic.counts()
+    assert counts["ok"] == counts["requests"] == len(workload)
+    assert check_equivalence(workload, chaotic) == []
+    assert compare_signature_maps(clean.signature_map(),
+                                  chaotic.signature_map()) == []
+    assert set(clean.signature_map()) == set(chaotic.signature_map())
+
+    # The crashed shard's breaker actually cycled: it tripped open,
+    # probed half-open, and closed again under the supervisor.
+    tripped = breakers[0]
+    assert tripped["opens"] >= 1
+    seen = [STATE_CLOSED] + [t["to"] for t in tripped["transitions"]]
+    assert _contains_subsequence(
+        seen, [STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN, STATE_CLOSED])
+    assert stats["supervisor"]["probes"] > 0
+    assert stats["counters"].get("serve.breaker.short_circuits", 0) >= 0
+
+
+def test_supervisor_restarts_a_tripped_shards_pool():
+    plan = FaultPlan(seed=6, specs=(
+        FaultSpec(site="serve.shard", kind="error", match="0", times=4),))
+    with _server() as server:
+        client = _client(server)
+        net = build_net(3, seed=70)
+        with use_fault_plan(plan):
+            # Drive traffic at the faulted tier until the breaker trips
+            # (failover keeps every answer ok), then let it recover.
+            for _ in range(4):
+                assert client.optimize(net)["ok"]
+            _wait_all_breakers_closed(client)
+        stats = client.stats()
+    assert stats["supervisor"]["restarts"] >= 1
+    assert stats["counters"]["serve.supervisor.restarts"] >= 1
+    assert stats["breakers"][0]["opens"] >= 1
+
+
+# ----------------------------------------------------------------------
+# healthz reports the self-healing state
+# ----------------------------------------------------------------------
+
+def test_healthz_carries_per_shard_breaker_state():
+    with _server() as server:
+        client = _client(server)
+        body = client.request("GET", "/v1/healthz").result
+        assert body["status"] == "ok"
+        assert body["draining"] is False and body["brownout"] is False
+        assert [s["index"] for s in body["shards"]] == [0, 1]
+        for shard in body["shards"]:
+            assert shard["breaker"]["state"] == STATE_CLOSED
+        assert body["supervisor"]["interval_s"] == pytest.approx(0.05)
+
+        # Trip shard 0 and healthz must flip to degraded.
+        server.server.breakers[0].record_failure()
+        server.server.breakers[0].record_failure()
+        body = client.request("GET", "/v1/healthz").result
+        assert body["status"] == "degraded"
+        assert body["shards"][0]["breaker"]["state"] == STATE_OPEN
+
+
+# ----------------------------------------------------------------------
+# Brownout: saturation degrades instead of rejecting
+# ----------------------------------------------------------------------
+
+def _admission(server, endpoint="optimize"):
+    return server._admission_outcome(f"/v1/{endpoint}", endpoint)
+
+
+def test_brownout_admits_optimize_degraded_under_sustained_pressure():
+    services = build_shard_services(1, **SERVICE_KWARGS)
+    server = AsyncShardedServer(services, queue_limit=2, brownout_after=2)
+    try:
+        # Below the limit: plain admission, pressure resets.
+        assert _admission(server) == (None, False)
+
+        server._in_flight = 2  # saturated
+        rejected, browned = _admission(server)
+        assert rejected is not None and rejected.status == 429
+        assert not browned  # pressure 1 < brownout_after
+
+        rejected, browned = _admission(server)  # sustained: pressure 2
+        assert rejected is None and browned is True
+        assert server._brownout is True
+
+        # Brownout admits only up to the 2x hard cap; beyond it, 429.
+        server._in_flight = 2 * server.queue_limit
+        rejected, browned = _admission(server)
+        assert rejected is not None and rejected.status == 429
+
+        # Closure is never browned out — it is not idempotent-cheap.
+        server._in_flight = 2
+        server._pressure = 5
+        rejected, browned = _admission(server, endpoint="closure")
+        assert rejected is not None and not browned
+
+        # Pressure relief exits brownout mode.
+        server._in_flight = 1
+        assert _admission(server) == (None, False)
+        assert server._brownout is False
+
+        counters = server.stats()["counters"]
+        assert counters["serve.brownout.entered"] == 1
+        assert counters["serve.brownout.admitted"] == 1
+    finally:
+        server.close(close_services=True)
+
+
+def test_browned_out_requests_answer_degraded_and_are_never_cached():
+    from repro.net import net_to_dict
+    from repro.service import protocol
+
+    with _server(shards=1) as server:
+        service = server.server.services[0]
+        net = build_net(3, seed=71)
+        body = {"net": net_to_dict(net)}
+
+        # A brownout-tagged dispatch (what the admission gate sets under
+        # sustained pressure) answers 200 + degraded, not 429 — and the
+        # coarse-preset answer never lands in the cache.
+        browned = protocol.handle_optimize(service, body, brownout=True)
+        assert browned.status == 200
+        assert browned.degraded is True
+        assert browned.result["degraded"] is True
+        assert service.stats()["cache"]["size"] == 0
+
+        # With pressure gone, the same net recomputes at full quality:
+        # a fresh compute (not a hit on the degraded answer), uncached
+        # flag honest, and normally cacheable again afterwards.
+        clean = protocol.handle_optimize(service, body)
+        assert clean.status == 200 and clean.degraded is False
+        assert clean.result["cached"] is False
+        assert service.stats()["cache"]["size"] == 1

@@ -82,9 +82,10 @@ class TestServeCommand:
 
         captured = {}
 
-        def fake_serve(host, port, service=None, verbose=False):
+        def fake_serve(host, port, service=None, verbose=False,
+                       drain_timeout_s=30.0):
             captured.update(host=host, port=port, service=service,
-                            verbose=verbose)
+                            verbose=verbose, drain_timeout_s=drain_timeout_s)
             service.close()
 
         monkeypatch.setattr(service_mod, "serve", fake_serve)
